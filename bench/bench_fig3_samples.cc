@@ -1,0 +1,66 @@
+/**
+ * @file
+ * E3 / Fig. 3 — convergence: estimation error as a function of the
+ * number of end-to-end timing samples. One simulation per workload at
+ * the largest size; smaller points reuse truncated prefixes of the same
+ * trace so the series is monotone in information, not in luck.
+ * Expected shape: MAE falls roughly as 1/sqrt(n) and flattens at the
+ * aliasing/quantization floor.
+ */
+
+#include "common.hh"
+
+#include "util/str.hh"
+
+using namespace ct;
+using namespace ct::bench;
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv, {"ticks", "seed", "max-samples"});
+    uint64_t ticks = uint64_t(args.getLong("ticks", 4));
+    uint64_t seed = uint64_t(args.getLong("seed", 1));
+    size_t max_samples = size_t(args.getLong("max-samples", 10000));
+
+    std::vector<size_t> points = {10, 30, 100, 300, 1000, 3000, 10000};
+    while (!points.empty() && points.back() > max_samples)
+        points.pop_back();
+
+    auto suite = workloads::allWorkloads();
+
+    TablePrinter table("Fig 3: MAE vs number of timing samples (em, " +
+                       std::to_string(ticks) + " cycles/tick)");
+    std::vector<std::string> header = {"samples", "suite mean"};
+    for (const auto &workload : suite)
+        header.push_back(workload.name);
+    table.setHeader(header);
+
+    // One full-size campaign per workload, reused across sample sizes.
+    std::vector<CampaignResult> full;
+    for (const auto &workload : suite) {
+        full.push_back(runCampaign(workload, points.back(), ticks,
+                                   tomography::EstimatorKind::Em, seed));
+    }
+
+    for (size_t n : points) {
+        std::vector<std::string> row = {std::to_string(n), ""};
+        double sum = 0.0;
+        for (size_t w = 0; w < suite.size(); ++w) {
+            trace::TimingTrace cut = full[w].run.trace;
+            for (ir::ProcId id = 0;
+                 id < suite[w].module->procedureCount(); ++id) {
+                cut = cut.truncated(id, n);
+            }
+            auto estimate = estimateFromTrace(suite[w], cut, ticks,
+                                              tomography::EstimatorKind::Em);
+            auto accuracy = scoreAccuracy(suite[w], full[w].run, estimate);
+            sum += accuracy.mae;
+            row.push_back(formatDouble(accuracy.mae, 4));
+        }
+        row[1] = formatDouble(sum / double(suite.size()), 4);
+        table.addRow(row);
+    }
+    emit(table, "fig3_samples");
+    return 0;
+}

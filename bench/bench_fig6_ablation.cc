@@ -1,0 +1,272 @@
+/**
+ * @file
+ * E8 / Fig. 6 — design ablations:
+ *   (a) estimator algorithm (accuracy vs estimation wall time),
+ *   (b) path-enumeration visit bound for the loopy workloads,
+ *   (c) EM re-enumeration phase on/off,
+ *   (d) prediction-policy / cost-model sensitivity of the end-to-end
+ *       improvement.
+ */
+
+#include "common.hh"
+
+#include <chrono>
+
+#include "layout/evaluator.hh"
+#include "tomography/streaming.hh"
+
+using namespace ct;
+using namespace ct::bench;
+
+namespace {
+
+double
+millisSince(std::chrono::steady_clock::time_point start)
+{
+    auto delta = std::chrono::steady_clock::now() - start;
+    return std::chrono::duration<double, std::milli>(delta).count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv, {"samples", "ticks", "seed"});
+    size_t samples = size_t(args.getLong("samples", 2000));
+    uint64_t ticks = uint64_t(args.getLong("ticks", 4));
+    uint64_t seed = uint64_t(args.getLong("seed", 1));
+
+    auto suite = workloads::allWorkloads();
+
+    // (a) Estimator algorithm: accuracy and cost.
+    {
+        TablePrinter table("Fig 6a: estimator ablation (suite means)");
+        table.setHeader(
+            {"estimator", "MAE", "RMSE", "max err", "est. time ms"});
+        for (auto kind :
+             {tomography::EstimatorKind::Linear, tomography::EstimatorKind::Em,
+              tomography::EstimatorKind::Moment}) {
+            double mae = 0.0, rmse = 0.0, worst = 0.0, ms = 0.0;
+            for (const auto &workload : suite) {
+                sim::SimConfig config;
+                config.cyclesPerTick = ticks;
+                auto inputs = workload.makeInputs(seed);
+                sim::Simulator simulator(
+                    *workload.module, sim::lowerModule(*workload.module),
+                    config, *inputs, seed ^ 0xbe9c);
+                auto run = simulator.run(workload.entry, samples);
+
+                auto start = std::chrono::steady_clock::now();
+                auto estimate =
+                    estimateFromTrace(workload, run.trace, ticks, kind);
+                ms += millisSince(start);
+
+                auto accuracy = scoreAccuracy(workload, run, estimate);
+                mae += accuracy.mae;
+                rmse += accuracy.rmse;
+                worst = std::max(worst, accuracy.maxError);
+            }
+            double n = double(suite.size());
+            table.row(tomography::estimatorName(kind), mae / n, rmse / n,
+                      worst, ms / n);
+        }
+        emit(table, "fig6a_estimators");
+    }
+
+    // (b) Path-bound sensitivity on the loopy workloads.
+    {
+        TablePrinter table("Fig 6b: EM path bound (maxVisitsPerState)");
+        table.setHeader({"bound", "crc16 MAE", "crc16 paths",
+                         "sense_and_send MAE", "covered mass (crc16)"});
+        auto crc = workloads::workloadByName("crc16");
+        auto sns = workloads::workloadByName("sense_and_send");
+        auto crc_run = runCampaign(crc, samples, ticks,
+                                   tomography::EstimatorKind::Em, seed);
+        auto sns_run = runCampaign(sns, samples, ticks,
+                                   tomography::EstimatorKind::Em, seed);
+
+        for (uint32_t bound : {3u, 6u, 9u, 12u, 16u}) {
+            tomography::EstimatorOptions options;
+            options.pathEnum.maxVisitsPerState = bound;
+            auto crc_est = estimateFromTrace(
+                crc, crc_run.run.trace, ticks, tomography::EstimatorKind::Em,
+                options);
+            auto sns_est = estimateFromTrace(
+                sns, sns_run.run.trace, ticks, tomography::EstimatorKind::Em,
+                options);
+            const auto &diag = crc_est.results[crc.entry];
+            table.row(size_t(bound),
+                      scoreAccuracy(crc, crc_run.run, crc_est).mae,
+                      diag.pathCount,
+                      scoreAccuracy(sns, sns_run.run, sns_est).mae,
+                      diag.coveredPathMass);
+        }
+        emit(table, "fig6b_pathbound");
+    }
+
+    // (c) EM re-enumeration phase.
+    {
+        TablePrinter table("Fig 6c: EM re-enumeration phase (suite means)");
+        table.setHeader({"reenumerate", "MAE", "max err"});
+        for (bool reenum : {false, true}) {
+            tomography::EstimatorOptions options;
+            options.reenumerate = reenum;
+            double mae = 0.0, worst = 0.0;
+            for (const auto &workload : suite) {
+                auto campaign =
+                    runCampaign(workload, samples, ticks,
+                                tomography::EstimatorKind::Em, seed, options);
+                mae += campaign.accuracy.mae;
+                worst = std::max(worst, campaign.accuracy.maxError);
+            }
+            table.row(reenum ? "on" : "off", mae / double(suite.size()),
+                      worst);
+        }
+        emit(table, "fig6c_reenumeration");
+    }
+
+    // (d) Policy / cost-model sensitivity of the end-to-end win.
+    {
+        TablePrinter table(
+            "Fig 6d: end-to-end improvement by core configuration");
+        table.setHeader({"config", "mean tomography %", "mean perfect %"});
+        struct Variant
+        {
+            const char *name;
+            sim::PredictPolicy policy;
+            sim::CostModel costs;
+        };
+        const Variant variants[] = {
+            {"telos/not-taken", sim::PredictPolicy::NotTaken,
+             sim::telosCostModel()},
+            {"telos/btfn", sim::PredictPolicy::BTFN, sim::telosCostModel()},
+            {"micaz/not-taken", sim::PredictPolicy::NotTaken,
+             sim::micazCostModel()},
+        };
+        for (const auto &variant : variants) {
+            double tomo = 0.0, perfect = 0.0;
+            for (const auto &workload : suite) {
+                api::PipelineConfig config;
+                config.measureInvocations = samples;
+                config.evalInvocations = samples * 2;
+                config.sim.cyclesPerTick = ticks;
+                config.sim.policy = variant.policy;
+                config.sim.costs = variant.costs;
+                config.seed = seed;
+                api::TomographyPipeline pipeline(workload, config);
+                auto result = pipeline.run();
+                tomo += result.cyclesImprovementPct();
+                perfect += result.perfectImprovementPct();
+            }
+            table.row(variant.name, tomo / double(suite.size()),
+                      perfect / double(suite.size()));
+        }
+        emit(table, "fig6d_coreconfig");
+    }
+
+    // (e) Chain heuristic vs exhaustive optimum: on every procedure
+    // small enough to brute-force, compare the expected transfer cycles
+    // of the Pettis-Hansen order against the true optimum.
+    {
+        TablePrinter table(
+            "Fig 6e: greedy chains vs exhaustive-optimal placement");
+        table.setHeader({"workload/proc", "natural cyc", "greedy cyc",
+                         "optimal cyc", "greedy gap %"});
+        sim::CostModel costs = sim::telosCostModel();
+        auto policy = sim::PredictPolicy::NotTaken;
+
+        for (const auto &workload : suite) {
+            sim::SimConfig config;
+            config.cyclesPerTick = ticks;
+            auto inputs = workload.makeInputs(seed);
+            sim::Simulator simulator(
+                *workload.module, sim::lowerModule(*workload.module),
+                config, *inputs, seed ^ 0xbe9c);
+            auto run = simulator.run(workload.entry, samples);
+
+            for (const auto &proc : workload.module->procedures()) {
+                if (proc.blockCount() > 9 ||
+                    run.invocations[proc.id()] == 0) {
+                    continue;
+                }
+                const auto &profile = run.profile[proc.id()];
+                Rng rng(seed);
+                auto greedy = layout::computeOrder(
+                    proc, profile, layout::LayoutKind::ProfileGuided, rng);
+                auto best =
+                    layout::optimalOrder(proc, profile, costs, policy);
+
+                double c_nat = layout::evaluatePlacement(
+                    proc, sim::naturalOrder(proc), profile, costs, policy)
+                    .transferCycles;
+                double c_greedy = layout::evaluatePlacement(
+                    proc, greedy, profile, costs, policy).transferCycles;
+                double c_best = layout::evaluatePlacement(
+                    proc, best, profile, costs, policy).transferCycles;
+                double gap = c_best > 0.0
+                                 ? 100.0 * (c_greedy - c_best) / c_best
+                                 : 0.0;
+                table.row(workload.name + "/" + proc.name(), c_nat,
+                          c_greedy, c_best, gap);
+            }
+        }
+        emit(table, "fig6e_optimality");
+    }
+
+    // (f) Streaming (online EM) vs batch EM: error of the sink-side
+    // O(1)-memory estimator as the report stream grows.
+    {
+        TablePrinter table(
+            "Fig 6f: streaming vs batch EM (suite mean MAE)");
+        table.setHeader({"reports seen", "streaming", "batch"});
+
+        std::vector<size_t> points = {50, 200, 1000, size_t(samples)};
+        std::vector<CampaignResult> full;
+        for (const auto &workload : suite) {
+            full.push_back(runCampaign(workload, samples, ticks,
+                                       tomography::EstimatorKind::Em, seed));
+        }
+
+        for (size_t n : points) {
+            double stream_mae = 0.0;
+            double batch_mae = 0.0;
+            for (size_t w = 0; w < suite.size(); ++w) {
+                const auto &workload = suite[w];
+                auto durations =
+                    full[w].run.trace.durations(workload.entry);
+                if (durations.size() > n)
+                    durations.resize(n);
+
+                sim::SimConfig config;
+                auto lowered = sim::lowerModule(*workload.module);
+                auto means = tomography::meanCyclesBottomUp(
+                    *workload.module, lowered, config.costs, config.policy,
+                    ticks, full[w].run.profile,
+                    2.0 * config.costs.timerRead);
+                tomography::TimingModel model(
+                    workload.entryProc(), lowered.procs[workload.entry],
+                    config.costs, config.policy, ticks, means,
+                    2.0 * config.costs.timerRead);
+                auto truth =
+                    full[w].run.profile[workload.entry].branchProbabilities(
+                        workload.entryProc());
+
+                tomography::StreamingEstimator streaming(model);
+                streaming.observeAll(durations);
+                if (!truth.empty()) {
+                    stream_mae +=
+                        meanAbsoluteError(streaming.theta(), truth);
+                    auto batch = tomography::makeEstimator(
+                                     tomography::EstimatorKind::Em, {})
+                                     ->estimate(model, durations);
+                    batch_mae += meanAbsoluteError(batch.theta, truth);
+                }
+            }
+            table.row(n, stream_mae / double(suite.size()),
+                      batch_mae / double(suite.size()));
+        }
+        emit(table, "fig6f_streaming");
+    }
+    return 0;
+}

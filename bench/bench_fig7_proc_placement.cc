@@ -1,0 +1,114 @@
+/**
+ * @file
+ * E10 / Fig. 7 (extension) — procedure placement: ordering procedures
+ * in flash by call-graph heat so hot call pairs use the near-call
+ * encoding. Weights come from the *tomography-estimated* profile
+ * (scaled by the invocation counts the sink observes for free), and
+ * the resulting order is compared against the true-profile oracle
+ * across a sweep of far-call penalties.
+ */
+
+#include "common.hh"
+
+#include "layout/proc_placement.hh"
+
+using namespace ct;
+using namespace ct::bench;
+
+namespace {
+
+sim::RunResult
+runWithOrder(const workloads::Workload &workload,
+             const std::vector<ir::ProcId> &order,
+             const sim::CostModel &costs, size_t invocations, uint64_t seed)
+{
+    sim::SimConfig config;
+    config.costs = costs;
+    config.timingProbes = false;
+    config.maxGapCycles = 0;
+    auto lowered = sim::lowerModule(*workload.module);
+    if (!order.empty())
+        lowered.setProcOrder(order);
+    auto inputs = workload.makeInputs(seed);
+    sim::Simulator simulator(*workload.module, std::move(lowered), config,
+                             *inputs, seed ^ 0x77);
+    return simulator.run(workload.entry, invocations);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv, {"samples", "eval", "ticks", "seed"});
+    size_t samples = size_t(args.getLong("samples", 2000));
+    size_t eval = size_t(args.getLong("eval", 4000));
+    uint64_t ticks = uint64_t(args.getLong("ticks", 4));
+    uint64_t seed = uint64_t(args.getLong("seed", 1));
+
+    auto workload = workloads::workloadByName("collection_tree");
+
+    // Measurement campaign + estimation (plain costs: far calls do not
+    // perturb the timing model used for estimation).
+    auto campaign = runCampaign(workload, samples, ticks,
+                                tomography::EstimatorKind::Em, seed);
+
+    // Call weights from the estimate: per-invocation frequencies scaled
+    // by the invocation counts the sink observed.
+    ir::ModuleProfile estimated = campaign.estimate.profile;
+    for (ir::ProcId id = 0; id < workload.module->procedureCount(); ++id) {
+        ir::EdgeProfile scaled = estimated[id];
+        scaled.scale(double(campaign.run.invocations[id]));
+        estimated[id] = scaled;
+    }
+
+    auto tomo_order = layout::procedureOrder(*workload.module, estimated);
+    auto oracle_order =
+        layout::procedureOrder(*workload.module, campaign.run.profile);
+
+    std::vector<ir::ProcId> natural(workload.module->procedureCount());
+    for (ir::ProcId id = 0; id < natural.size(); ++id)
+        natural[id] = id;
+
+    TablePrinter table(
+        "Fig 7: procedure placement vs far-call penalty (collection_tree)");
+    table.setHeader({"farCallExtra", "natural cycles", "tomo cycles",
+                     "saving %", "far calls natural", "far calls tomo",
+                     "order == oracle"});
+
+    for (uint32_t extra : {0u, 3u, 6u, 12u, 24u}) {
+        sim::CostModel costs = sim::telosCostModel();
+        costs.farCallExtra = extra;
+        costs.nearCallWindow = 1;
+
+        auto nat = runWithOrder(workload, natural, costs, eval, seed + 1);
+        auto tomo = runWithOrder(workload, tomo_order, costs, eval,
+                                 seed + 1);
+        double saving =
+            nat.totalCycles
+                ? 100.0 *
+                      (double(nat.totalCycles) - double(tomo.totalCycles)) /
+                      double(nat.totalCycles)
+                : 0.0;
+        table.row(size_t(extra), nat.totalCycles, tomo.totalCycles, saving,
+                  nat.farCalls, tomo.farCalls,
+                  tomo_order == oracle_order ? "yes" : "no");
+    }
+    emit(table, "fig7_proc_placement");
+
+    // Companion: expected far-call volume per candidate order.
+    TablePrinter orders("Fig 7b: expected far calls per flash order");
+    orders.setHeader({"order", "expected far calls (window 1)"});
+    orders.row("natural",
+               layout::expectedFarCalls(*workload.module,
+                                        campaign.run.profile, natural, 1));
+    orders.row("tomography",
+               layout::expectedFarCalls(*workload.module,
+                                        campaign.run.profile, tomo_order, 1));
+    orders.row("oracle",
+               layout::expectedFarCalls(*workload.module,
+                                        campaign.run.profile, oracle_order,
+                                        1));
+    emit(orders, "fig7b_farcalls");
+    return 0;
+}

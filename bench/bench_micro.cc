@@ -1,0 +1,134 @@
+/**
+ * @file
+ * E9 — google-benchmark microbenchmarks of the harness itself: mote
+ * simulation throughput, absorbing-chain math, path enumeration, and
+ * the estimators. These are not paper results; they document that the
+ * reproduction is fast enough to sweep.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "markov/paths.hh"
+#include "sim/machine.hh"
+#include "tomography/estimator.hh"
+#include "tomography/streaming.hh"
+#include "workloads/workload.hh"
+
+using namespace ct;
+
+namespace {
+
+void
+BM_SimulateCrc16(benchmark::State &state)
+{
+    auto workload = workloads::makeCrc16();
+    sim::SimConfig config;
+    config.maxGapCycles = 0;
+    auto inputs = workload.makeInputs(1);
+    sim::Simulator simulator(*workload.module,
+                             sim::lowerModule(*workload.module), config,
+                             *inputs, 2);
+    for (auto _ : state) {
+        auto result = simulator.run(workload.entry, 100);
+        benchmark::DoNotOptimize(result.totalCycles);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) * 100);
+}
+BENCHMARK(BM_SimulateCrc16);
+
+void
+BM_FundamentalMatrix(benchmark::State &state)
+{
+    const size_t n = size_t(state.range(0));
+    markov::AbsorbingChain chain(n);
+    for (size_t i = 0; i + 1 < n; ++i) {
+        chain.setTransition(i, i + 1, 0.7);
+        if (i > 0)
+            chain.setTransition(i, i - 1, 0.2);
+    }
+    for (auto _ : state) {
+        auto matrix = chain.fundamentalMatrix();
+        benchmark::DoNotOptimize(matrix.at(0, n - 1));
+    }
+}
+BENCHMARK(BM_FundamentalMatrix)->Arg(8)->Arg(16)->Arg(32);
+
+void
+BM_PathEnumerationCrc16(benchmark::State &state)
+{
+    auto workload = workloads::makeCrc16();
+    auto lowered = sim::lowerModule(*workload.module);
+    std::vector<double> no_callees(workload.module->procedureCount(), 0.0);
+    tomography::TimingModel model(
+        workload.entryProc(), lowered.procs[workload.entry],
+        sim::telosCostModel(), sim::PredictPolicy::NotTaken, 4, no_callees,
+        4.0);
+    std::vector<double> theta(model.paramCount(), 0.5);
+    auto chain = model.chainFor(theta);
+    for (auto _ : state) {
+        auto paths = markov::enumeratePaths(chain, 0);
+        benchmark::DoNotOptimize(paths.paths.size());
+    }
+}
+BENCHMARK(BM_PathEnumerationCrc16);
+
+void
+BM_Estimator(benchmark::State &state)
+{
+    auto kind = tomography::EstimatorKind(state.range(0));
+    auto workload = workloads::makeEventDispatch();
+    sim::SimConfig config;
+    config.cyclesPerTick = 4;
+    auto inputs = workload.makeInputs(1);
+    sim::Simulator simulator(*workload.module,
+                             sim::lowerModule(*workload.module), config,
+                             *inputs, 2);
+    auto run = simulator.run(workload.entry, 1000);
+    auto lowered = sim::lowerModule(*workload.module);
+    auto estimator = tomography::makeEstimator(kind, {});
+
+    for (auto _ : state) {
+        auto estimate = tomography::estimateModule(
+            *workload.module, lowered, config.costs, config.policy, 4,
+            2.0 * config.costs.timerRead, run.trace, *estimator);
+        benchmark::DoNotOptimize(estimate.thetas.size());
+    }
+    state.SetLabel(tomography::estimatorName(kind));
+}
+BENCHMARK(BM_Estimator)
+    ->Arg(int(tomography::EstimatorKind::Linear))
+    ->Arg(int(tomography::EstimatorKind::Em))
+    ->Arg(int(tomography::EstimatorKind::Moment));
+
+void
+BM_StreamingObserve(benchmark::State &state)
+{
+    auto workload = workloads::makeCrc16();
+    sim::SimConfig config;
+    config.cyclesPerTick = 4;
+    auto inputs = workload.makeInputs(1);
+    sim::Simulator simulator(*workload.module,
+                             sim::lowerModule(*workload.module), config,
+                             *inputs, 2);
+    auto run = simulator.run(workload.entry, 2000);
+    auto durations = run.trace.durations(workload.entry);
+
+    auto lowered = sim::lowerModule(*workload.module);
+    std::vector<double> no_callees(workload.module->procedureCount(), 0.0);
+    tomography::TimingModel model(
+        workload.entryProc(), lowered.procs[workload.entry], config.costs,
+        config.policy, 4, no_callees, 2.0 * config.costs.timerRead);
+
+    size_t cursor = 0;
+    tomography::StreamingEstimator streaming(model);
+    for (auto _ : state) {
+        streaming.observe(durations[cursor]);
+        cursor = (cursor + 1) % durations.size();
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_StreamingObserve);
+
+} // namespace
+
+BENCHMARK_MAIN();

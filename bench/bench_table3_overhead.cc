@@ -1,0 +1,102 @@
+/**
+ * @file
+ * E7 / Table 3 — profiling overhead: what it costs to *collect* the
+ * profile, comparing conventional edge-counter instrumentation (naive
+ * and spanning-tree-optimized) against Code Tomography's two timer
+ * reads per procedure invocation. Expected shape: tomography's runtime
+ * overhead is a small fraction of instrumentation's, and it needs no
+ * per-edge RAM counters — the paper's motivating resource argument.
+ */
+
+#include "common.hh"
+
+#include "profiler/instrument.hh"
+#include "profiler/plan.hh"
+#include "trace/wire_format.hh"
+
+using namespace ct;
+using namespace ct::bench;
+
+namespace {
+
+/** Run a module (not necessarily the workload's own) once. */
+sim::RunResult
+runModule(const ir::Module &module, ir::ProcId entry,
+          const workloads::Workload &workload, bool probes, size_t n,
+          uint64_t seed)
+{
+    sim::SimConfig config;
+    config.timingProbes = probes;
+    config.maxGapCycles = 0;
+    config.cyclesPerTick = 4;
+    auto inputs = workload.makeInputs(seed);
+    sim::Simulator simulator(module, sim::lowerModule(module), config,
+                             *inputs, seed ^ 0x0f);
+    return simulator.run(entry, n);
+}
+
+double
+pct(uint64_t value, uint64_t base)
+{
+    return base ? 100.0 * (double(value) - double(base)) / double(base)
+                : 0.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv, {"samples", "seed"});
+    size_t samples = size_t(args.getLong("samples", 2000));
+    uint64_t seed = uint64_t(args.getLong("seed", 1));
+
+    TablePrinter table("Table 3: profile-collection overhead");
+    table.setHeader({"workload", "clean cycles", "tomo probes %",
+                     "tree instr %", "all-edges instr %", "tree RAM B",
+                     "all RAM B", "tomo RAM B", "tree code +slots",
+                     "all code +slots", "wire B/event"});
+
+    for (const auto &workload : workloads::allWorkloads()) {
+        const auto &module = *workload.module;
+        auto clean = runModule(module, workload.entry, workload, false,
+                               samples, seed);
+        auto probed = runModule(module, workload.entry, workload, true,
+                                samples, seed);
+
+        auto plan_tree = profiler::planModule(
+            module, profiler::ProfilerMode::SpanningTree, 512);
+        auto plan_all = profiler::planModule(
+            module, profiler::ProfilerMode::AllEdges, 512);
+        auto prog_tree = profiler::instrumentModule(module, plan_tree);
+        auto prog_all = profiler::instrumentModule(module, plan_all);
+        auto run_tree = runModule(prog_tree.module, workload.entry, workload,
+                                  false, samples, seed);
+        auto run_all = runModule(prog_all.module, workload.entry, workload,
+                                 false, samples, seed);
+
+        auto slots = [](const ir::Module &m) {
+            auto lowered = sim::lowerModule(m);
+            size_t total = 0;
+            for (ir::ProcId id = 0; id < m.procedureCount(); ++id)
+                total += lowered.procs[id].codeSlots(m.procedure(id));
+            return total;
+        };
+        size_t base_slots = slots(module);
+
+        // Tomography ships timestamps over the radio / a log buffer; a
+        // 4-entry staging buffer of 4-byte records is generous.
+        constexpr size_t tomo_ram = 16;
+
+        table.row(workload.name, clean.totalCycles,
+                  pct(probed.totalCycles, clean.totalCycles),
+                  pct(run_tree.totalCycles, clean.totalCycles),
+                  pct(run_all.totalCycles, clean.totalCycles),
+                  plan_tree.counterBytes(), plan_all.counterBytes(),
+                  tomo_ram, slots(prog_tree.module) - base_slots,
+                  slots(prog_all.module) - base_slots,
+                  trace::bytesPerRecord(probed.trace));
+    }
+    emit(table, "table3_overhead");
+    return 0;
+}

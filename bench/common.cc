@@ -1,0 +1,98 @@
+#include "common.hh"
+
+#include <sys/stat.h>
+
+#include <iostream>
+
+#include "util/logging.hh"
+
+namespace ct::bench {
+
+std::string
+csvPath(const std::string &name)
+{
+    ::mkdir("results", 0755); // best-effort; open failure reports later
+    return "results/" + name + ".csv";
+}
+
+void
+emit(const TablePrinter &table, const std::string &csv_name)
+{
+    table.print(std::cout);
+    CsvWriter csv(csvPath(csv_name));
+    table.writeCsv(csv);
+    std::cout << "[csv] " << csv.path() << "\n\n";
+}
+
+tomography::EstimatorKind
+parseEstimator(const std::string &name)
+{
+    if (name == "linear")
+        return tomography::EstimatorKind::Linear;
+    if (name == "em")
+        return tomography::EstimatorKind::Em;
+    if (name == "moment")
+        return tomography::EstimatorKind::Moment;
+    fatal("unknown estimator '", name, "' (linear|em|moment)");
+}
+
+Accuracy
+scoreAccuracy(const workloads::Workload &workload,
+              const sim::RunResult &truth,
+              const tomography::ModuleEstimate &estimate)
+{
+    std::vector<double> t_all, e_all;
+    for (ir::ProcId id = 0; id < workload.module->procedureCount(); ++id) {
+        const auto &proc = workload.module->procedure(id);
+        if (truth.invocations[id] == 0 || proc.branchBlocks().empty())
+            continue;
+        auto t = truth.profile[id].branchProbabilities(proc);
+        t_all.insert(t_all.end(), t.begin(), t.end());
+        e_all.insert(e_all.end(), estimate.thetas[id].begin(),
+                     estimate.thetas[id].end());
+    }
+    Accuracy out;
+    out.branches = t_all.size();
+    if (!t_all.empty()) {
+        out.mae = meanAbsoluteError(e_all, t_all);
+        out.rmse = rootMeanSquareError(e_all, t_all);
+        out.maxError = maxAbsoluteError(e_all, t_all);
+    }
+    return out;
+}
+
+CampaignResult
+runCampaign(const workloads::Workload &workload, size_t samples,
+            uint64_t cycles_per_tick, tomography::EstimatorKind kind,
+            uint64_t seed, const tomography::EstimatorOptions &options)
+{
+    sim::SimConfig config;
+    config.cyclesPerTick = cycles_per_tick;
+    auto inputs = workload.makeInputs(seed);
+    sim::Simulator simulator(*workload.module,
+                             sim::lowerModule(*workload.module), config,
+                             *inputs, seed ^ 0xbe9c);
+    CampaignResult out;
+    out.run = simulator.run(workload.entry, samples);
+    out.estimate = estimateFromTrace(workload, out.run.trace,
+                                     cycles_per_tick, kind, options);
+    out.accuracy = scoreAccuracy(workload, out.run, out.estimate);
+    return out;
+}
+
+tomography::ModuleEstimate
+estimateFromTrace(const workloads::Workload &workload,
+                  const trace::TimingTrace &trace, uint64_t cycles_per_tick,
+                  tomography::EstimatorKind kind,
+                  const tomography::EstimatorOptions &options)
+{
+    sim::SimConfig config;
+    auto lowered = sim::lowerModule(*workload.module);
+    auto estimator = tomography::makeEstimator(kind, options);
+    return tomography::estimateModule(
+        *workload.module, lowered, config.costs, config.policy,
+        cycles_per_tick, 2.0 * double(config.costs.timerRead), trace,
+        *estimator);
+}
+
+} // namespace ct::bench

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Shared helpers for the experiment harness binaries (one per table /
+ * figure of the reproduced evaluation; see DESIGN.md's experiment
+ * index). Each binary prints its table to stdout and mirrors it as CSV
+ * under results/.
+ */
+
+#ifndef CT_BENCH_COMMON_HH
+#define CT_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "api/pipeline.hh"
+#include "stats/metrics.hh"
+#include "tomography/estimator.hh"
+#include "util/cli.hh"
+#include "util/csv.hh"
+#include "workloads/workload.hh"
+
+namespace ct::bench {
+
+/** Ensure results/ exists and return "results/<name>.csv". */
+std::string csvPath(const std::string &name);
+
+/** Print a table and mirror it to results/<csv_name>.csv. */
+void emit(const TablePrinter &table, const std::string &csv_name);
+
+/** Parse --estimator into a kind; fatal() on bad names. */
+tomography::EstimatorKind parseEstimator(const std::string &name);
+
+/** Branch-probability accuracy of one estimate vs ground truth. */
+struct Accuracy
+{
+    double mae = 0.0;
+    double rmse = 0.0;
+    double maxError = 0.0;
+    size_t branches = 0;
+};
+
+/**
+ * Score @p estimate against @p truth over every procedure of
+ * @p workload that was invoked and has conditional branches.
+ */
+Accuracy scoreAccuracy(const workloads::Workload &workload,
+                       const sim::RunResult &truth,
+                       const tomography::ModuleEstimate &estimate);
+
+/**
+ * Run a measurement campaign (natural layout, probes on) and estimate
+ * with the given estimator; one-stop helper for the accuracy sweeps.
+ */
+struct CampaignResult
+{
+    sim::RunResult run;
+    tomography::ModuleEstimate estimate;
+    Accuracy accuracy;
+};
+
+CampaignResult runCampaign(const workloads::Workload &workload,
+                           size_t samples, uint64_t cycles_per_tick,
+                           tomography::EstimatorKind kind, uint64_t seed,
+                           const tomography::EstimatorOptions &options = {});
+
+/**
+ * Estimate from an existing run's (possibly transformed) trace; used by
+ * sweeps that degrade one shared trace instead of re-simulating.
+ */
+tomography::ModuleEstimate estimateFromTrace(
+    const workloads::Workload &workload, const trace::TimingTrace &trace,
+    uint64_t cycles_per_tick, tomography::EstimatorKind kind,
+    const tomography::EstimatorOptions &options = {});
+
+} // namespace ct::bench
+
+#endif // CT_BENCH_COMMON_HH

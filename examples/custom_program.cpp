@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Bring-your-own-program example: build a mote application with the IR
+ * builder, attach input streams, and run the complete Code Tomography
+ * pipeline on it — the workflow a downstream user follows to optimize
+ * their own sensor firmware.
+ *
+ * The program is a soil-moisture irrigation controller: read the
+ * moisture sensor, branch on a dry/wet threshold, debounce via a RAM
+ * counter, and open the valve (radio command) only after three
+ * consecutive dry readings.
+ */
+
+#include <iostream>
+
+#include "api/pipeline.hh"
+#include "ir/builder.hh"
+#include "ir/dump.hh"
+#include "util/cli.hh"
+#include "util/csv.hh"
+#include "util/str.hh"
+
+using namespace ct;
+
+namespace {
+
+workloads::Workload
+buildIrrigationController()
+{
+    using ir::CondCode;
+    auto module = std::make_shared<ir::Module>("irrigation");
+
+    ir::ProcedureBuilder b(*module, "moisture_check");
+    auto dry = b.newBlock("dry_reading");
+    auto open_valve = b.newBlock("open_valve");
+    auto keep_waiting = b.newBlock("keep_waiting");
+    auto wet = b.newBlock("wet_reading");
+    auto done = b.newBlock("done");
+
+    // entry: sample the moisture sensor and compare with the dry
+    // threshold. Below 400 counts means the soil is drying out.
+    b.setBlock(0);
+    b.sense(1, 0)
+        .li(2, 400)
+        .li(3, 0) // address of the debounce counter
+        .ld(4, 3, 0);
+    b.br(CondCode::Lt, 1, 2, dry, wet);
+
+    // Dry: bump the debounce counter; open the valve on the third
+    // consecutive dry reading.
+    b.setBlock(dry);
+    b.addi(4, 4, 1)
+        .st(3, 0, 4)
+        .li(5, 3);
+    b.br(CondCode::Ge, 4, 5, open_valve, keep_waiting);
+
+    b.setBlock(open_valve);
+    b.li(6, 0x0A11) // "valve open" command word
+        .radioTx(6)
+        .li(4, 0)
+        .st(3, 0, 4); // reset the debounce counter
+    b.jmp(done);
+
+    b.setBlock(keep_waiting);
+    b.sleep(6);
+    b.jmp(done);
+
+    // Wet: clear the debounce counter and nap.
+    b.setBlock(wet);
+    b.li(4, 0)
+        .st(3, 0, 4)
+        .sleep(10);
+    b.jmp(done);
+
+    b.setBlock(done);
+    b.ret();
+
+    workloads::Workload w;
+    w.name = "irrigation";
+    w.description = "soil-moisture valve controller with 3-sample debounce";
+    w.module = module;
+    w.entry = b.finish();
+    w.makeInputs = [](uint64_t seed) {
+        auto inputs = std::make_unique<sim::ScriptedInputs>(seed);
+        // Moisture counts: mostly wet-ish, drifting dry in bursts.
+        inputs->setChannel(0, makeGaussian(470.0, 90.0));
+        return inputs;
+    };
+    w.inputNotes = "ch0 ~ Normal(470, 90); dry threshold 400";
+    return w;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv, {"samples", "ticks", "seed", "dump"});
+
+    auto workload = buildIrrigationController();
+    if (args.getBool("dump", false))
+        std::cout << ir::dumpModule(*workload.module);
+
+    api::PipelineConfig config;
+    config.measureInvocations = size_t(args.getLong("samples", 3000));
+    config.sim.cyclesPerTick = uint64_t(args.getLong("ticks", 4));
+    config.seed = uint64_t(args.getLong("seed", 7));
+
+    std::cout << "custom workload: " << workload.description << "\n\n";
+
+    api::TomographyPipeline pipeline(workload, config);
+    auto result = pipeline.run();
+
+    TablePrinter theta("branch probabilities (true vs estimated)");
+    theta.setHeader({"branch", "true", "estimated"});
+    for (size_t i = 0; i < result.trueTheta.size(); ++i)
+        theta.row("b" + std::to_string(i), result.trueTheta[i],
+                  result.estimatedTheta[i]);
+    theta.print(std::cout);
+
+    TablePrinter table("placement outcomes");
+    table.setHeader({"layout", "mispredict rate", "cycles", "energy (uJ)"});
+    for (const auto &out : result.outcomes)
+        table.row(out.name, out.mispredictRate, out.totalCycles,
+                  out.energyMicrojoules);
+    table.print(std::cout);
+
+    std::cout << "\ntomography saves "
+              << formatDouble(result.cyclesImprovementPct(), 2)
+              << "% cycles and "
+              << formatDouble(result.energyImprovementPct(), 2)
+              << "% energy vs the natural layout (oracle: "
+              << formatDouble(result.perfectImprovementPct(), 2) << "%)\n";
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Quickstart: run the complete Code Tomography pipeline on one workload
+ * and print what happened at each stage.
+ *
+ *   ./quickstart [--workload crc16] [--samples 2000] [--estimator em]
+ *                [--ticks 8] [--seed 1]
+ */
+
+#include <iostream>
+
+#include "api/pipeline.hh"
+#include "api/report.hh"
+#include "util/cli.hh"
+#include "util/csv.hh"
+#include "util/logging.hh"
+#include "util/str.hh"
+
+using namespace ct;
+
+namespace {
+
+tomography::EstimatorKind
+parseEstimator(const std::string &name)
+{
+    if (name == "linear")
+        return tomography::EstimatorKind::Linear;
+    if (name == "em")
+        return tomography::EstimatorKind::Em;
+    if (name == "moment")
+        return tomography::EstimatorKind::Moment;
+    fatal("unknown estimator '", name, "' (linear|em|moment)");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv,
+                 {"workload", "samples", "estimator", "ticks", "seed"});
+
+    api::PipelineConfig config;
+    config.measureInvocations = size_t(args.getLong("samples", 2000));
+    config.estimator = parseEstimator(args.get("estimator", "em"));
+    config.sim.cyclesPerTick = uint64_t(args.getLong("ticks", 8));
+    config.seed = uint64_t(args.getLong("seed", 1));
+
+    auto workload = workloads::workloadByName(
+        args.get("workload", "crc16"));
+
+    api::TomographyPipeline pipeline(workload, config);
+    auto result = pipeline.run();
+    std::cout << api::renderReport(workload, config, result);
+    return 0;
+}

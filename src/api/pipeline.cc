@@ -1,0 +1,172 @@
+#include "api/pipeline.hh"
+
+#include "layout/evaluator.hh"
+#include "stats/metrics.hh"
+#include "util/logging.hh"
+
+namespace ct::api {
+
+const LayoutOutcome &
+PipelineResult::outcome(const std::string &name) const
+{
+    for (const auto &out : outcomes) {
+        if (out.name == name)
+            return out;
+    }
+    fatal("no layout outcome named '", name, "'");
+}
+
+double
+PipelineResult::cyclesImprovementPct() const
+{
+    double base = double(outcome("natural").totalCycles);
+    double opt = double(outcome("tomography").totalCycles);
+    return base > 0.0 ? 100.0 * (base - opt) / base : 0.0;
+}
+
+double
+PipelineResult::perfectImprovementPct() const
+{
+    double base = double(outcome("natural").totalCycles);
+    double opt = double(outcome("perfect").totalCycles);
+    return base > 0.0 ? 100.0 * (base - opt) / base : 0.0;
+}
+
+double
+PipelineResult::mispredictReduction() const
+{
+    return outcome("natural").mispredictRate -
+           outcome("tomography").mispredictRate;
+}
+
+double
+PipelineResult::energyImprovementPct() const
+{
+    double base = outcome("natural").energyMicrojoules;
+    double opt = outcome("tomography").energyMicrojoules;
+    return base > 0.0 ? 100.0 * (base - opt) / base : 0.0;
+}
+
+TomographyPipeline::TomographyPipeline(workloads::Workload workload,
+                                       PipelineConfig config)
+    : workload_(std::move(workload)), config_(std::move(config))
+{
+    CT_ASSERT(workload_.module != nullptr, "workload has no module");
+}
+
+sim::RunResult
+TomographyPipeline::measure()
+{
+    sim::SimConfig cfg = config_.sim;
+    cfg.timingProbes = true;
+    auto lowered = sim::lowerModule(*workload_.module);
+    auto inputs = workload_.makeInputs(config_.seed);
+    sim::Simulator simulator(*workload_.module, std::move(lowered), cfg,
+                             *inputs, config_.seed ^ 0x6d656173);
+    return simulator.run(workload_.entry, config_.measureInvocations);
+}
+
+tomography::ModuleEstimate
+TomographyPipeline::estimate(const trace::TimingTrace &trace)
+{
+    auto estimator =
+        tomography::makeEstimator(config_.estimator,
+                                  config_.estimatorOptions);
+    auto lowered = sim::lowerModule(*workload_.module);
+    double nested_probe_cycles = 2.0 * double(config_.sim.costs.timerRead);
+    return tomography::estimateModule(
+        *workload_.module, lowered, config_.sim.costs, config_.sim.policy,
+        config_.sim.cyclesPerTick, nested_probe_cycles, trace, *estimator);
+}
+
+std::vector<sim::BlockOrder>
+TomographyPipeline::optimize(const ir::ModuleProfile &profile)
+{
+    Rng rng(config_.seed ^ 0x6c61796f);
+    return layout::computeModuleOrders(*workload_.module, profile,
+                                       layout::LayoutKind::ProfileGuided,
+                                       rng);
+}
+
+LayoutOutcome
+TomographyPipeline::evaluate(const std::string &name,
+                             const std::vector<sim::BlockOrder> &orders)
+{
+    sim::SimConfig cfg = config_.sim;
+    cfg.timingProbes = false; // deployment build: no probes
+    auto lowered = sim::lowerModule(*workload_.module, orders);
+    // Same input seed across placements: identical event sequences, so
+    // cycle differences are attributable to placement alone.
+    auto inputs = workload_.makeInputs(config_.seed + 1);
+    sim::Simulator simulator(*workload_.module, std::move(lowered), cfg,
+                             *inputs, config_.seed ^ 0x6576616c);
+    auto run = simulator.run(workload_.entry, config_.evalInvocations);
+
+    LayoutOutcome out;
+    out.name = name;
+    out.mispredictRate = run.branches.mispredictRate();
+    out.takenRate = run.branches.takenRate();
+    out.totalCycles = run.totalCycles;
+    out.mispredicted = run.branches.mispredicted;
+    out.branchesExecuted = run.branches.executed;
+    out.dynamicJumps = run.dynamicJumps;
+    out.energyMicrojoules =
+        sim::telosEnergyModel().energyMicrojoules(run.activity);
+    return out;
+}
+
+PipelineResult
+TomographyPipeline::run()
+{
+    PipelineResult result;
+    result.measureRun = measure();
+    result.estimate = estimate(result.measureRun.trace);
+
+    // Accuracy scoring over every procedure that was actually invoked
+    // and has at least one conditional branch.
+    for (ir::ProcId id = 0; id < workload_.module->procedureCount(); ++id) {
+        const auto &proc = workload_.module->procedure(id);
+        if (result.measureRun.invocations[id] == 0 ||
+            proc.branchBlocks().empty()) {
+            continue;
+        }
+        auto truth =
+            result.measureRun.profile[id].branchProbabilities(proc);
+        const auto &est = result.estimate.thetas[id];
+        CT_ASSERT(truth.size() == est.size(), "theta size mismatch");
+        result.trueTheta.insert(result.trueTheta.end(), truth.begin(),
+                                truth.end());
+        result.estimatedTheta.insert(result.estimatedTheta.end(),
+                                     est.begin(), est.end());
+    }
+    if (!result.trueTheta.empty()) {
+        result.branchMae =
+            meanAbsoluteError(result.estimatedTheta, result.trueTheta);
+        result.branchMaxError =
+            maxAbsoluteError(result.estimatedTheta, result.trueTheta);
+    }
+
+    // Candidate placements.
+    Rng rng(config_.seed ^ 0x72616e64);
+    const auto &module = *workload_.module;
+
+    auto natural = layout::computeModuleOrders(
+        module, result.measureRun.profile, layout::LayoutKind::Natural, rng);
+    auto random = layout::computeModuleOrders(
+        module, result.measureRun.profile, layout::LayoutKind::Random, rng);
+    auto dfs = layout::computeModuleOrders(
+        module, result.measureRun.profile, layout::LayoutKind::Dfs, rng);
+    auto tomography_orders = optimize(result.estimate.profile);
+    auto perfect = layout::computeModuleOrders(
+        module, result.measureRun.profile,
+        layout::LayoutKind::ProfileGuided, rng);
+
+    result.outcomes.push_back(evaluate("natural", natural));
+    result.outcomes.push_back(evaluate("random", random));
+    result.outcomes.push_back(evaluate("dfs", dfs));
+    result.outcomes.push_back(evaluate("tomography", tomography_orders));
+    result.outcomes.push_back(evaluate("perfect", perfect));
+    return result;
+}
+
+} // namespace ct::api

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * TomographyPipeline: the library's top-level public API.
+ *
+ * One call runs the complete Code Tomography workflow on a workload:
+ *
+ *   1. measure  — simulate the natural-layout binary with boundary
+ *                 timing probes, producing the timing trace (and, for
+ *                 evaluation only, the ground-truth edge profile);
+ *   2. estimate — run a tomography estimator on the trace to recover
+ *                 branch probabilities / edge frequencies;
+ *   3. optimize — feed the estimated profile to the code placement
+ *                 pass;
+ *   4. evaluate — re-simulate every candidate placement (probes off)
+ *                 and report misprediction rates and cycle counts,
+ *                 alongside an oracle placement computed from the true
+ *                 profile.
+ */
+
+#ifndef CT_API_PIPELINE_HH
+#define CT_API_PIPELINE_HH
+
+#include <string>
+#include <vector>
+
+#include "layout/placement.hh"
+#include "sim/machine.hh"
+#include "tomography/estimator.hh"
+#include "workloads/workload.hh"
+
+namespace ct::api {
+
+/** Pipeline configuration. */
+struct PipelineConfig
+{
+    tomography::EstimatorKind estimator = tomography::EstimatorKind::Em;
+    tomography::EstimatorOptions estimatorOptions;
+    sim::SimConfig sim;
+    /** Invocations in the timing-measurement campaign. */
+    size_t measureInvocations = 2'000;
+    /** Invocations when evaluating each candidate placement. */
+    size_t evalInvocations = 5'000;
+    uint64_t seed = 1;
+};
+
+/** Simulated outcome of one placement. */
+struct LayoutOutcome
+{
+    std::string name; //!< natural/random/dfs/tomography/perfect
+    double mispredictRate = 0.0;
+    double takenRate = 0.0;
+    uint64_t totalCycles = 0;
+    uint64_t mispredicted = 0;
+    uint64_t branchesExecuted = 0;
+    uint64_t dynamicJumps = 0;
+    /** Energy of the evaluation run under the TelosB energy model. */
+    double energyMicrojoules = 0.0;
+};
+
+/** Everything one pipeline run produces. */
+struct PipelineResult
+{
+    /** The measurement campaign (trace + ground truth). */
+    sim::RunResult measureRun;
+    /** Tomography's output. */
+    tomography::ModuleEstimate estimate;
+
+    /// @name Estimation accuracy (evaluation-only; uses ground truth)
+    /// @{
+    /** Concatenated true branch probabilities over estimated procs. */
+    std::vector<double> trueTheta;
+    /** Concatenated estimated branch probabilities (same order). */
+    std::vector<double> estimatedTheta;
+    double branchMae = 0.0;
+    double branchMaxError = 0.0;
+    /// @}
+
+    /** Outcomes in order: natural, random, dfs, tomography, perfect. */
+    std::vector<LayoutOutcome> outcomes;
+
+    /** Convenience accessors; fatal() if the name is absent. */
+    const LayoutOutcome &outcome(const std::string &name) const;
+
+    /** % cycles saved by the tomography placement vs natural. */
+    double cyclesImprovementPct() const;
+    /** % cycles saved by the oracle placement vs natural. */
+    double perfectImprovementPct() const;
+    /** Misprediction-rate reduction (absolute) vs natural. */
+    double mispredictReduction() const;
+    /** % energy saved by the tomography placement vs natural. */
+    double energyImprovementPct() const;
+};
+
+/** Runs the measure -> estimate -> optimize -> evaluate workflow. */
+class TomographyPipeline
+{
+  public:
+    TomographyPipeline(workloads::Workload workload, PipelineConfig config);
+
+    /** Execute all four stages. */
+    PipelineResult run();
+
+    /// @name Individual stages (for callers composing their own flow)
+    /// @{
+    sim::RunResult measure();
+    tomography::ModuleEstimate estimate(const trace::TimingTrace &trace);
+    std::vector<sim::BlockOrder> optimize(const ir::ModuleProfile &profile);
+    LayoutOutcome evaluate(const std::string &name,
+                           const std::vector<sim::BlockOrder> &orders);
+    /// @}
+
+    const workloads::Workload &workload() const { return workload_; }
+    const PipelineConfig &config() const { return config_; }
+
+  private:
+    workloads::Workload workload_;
+    PipelineConfig config_;
+};
+
+} // namespace ct::api
+
+#endif // CT_API_PIPELINE_HH

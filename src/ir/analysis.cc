@@ -1,0 +1,211 @@
+#include "ir/analysis.hh"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/logging.hh"
+
+namespace ct::ir {
+
+std::vector<BlockId>
+dfsPreorder(const Procedure &proc)
+{
+    std::vector<BlockId> order;
+    std::vector<bool> seen(proc.blockCount(), false);
+
+    std::function<void(BlockId)> visit = [&](BlockId id) {
+        seen[id] = true;
+        order.push_back(id);
+        for (BlockId succ : proc.block(id).successors()) {
+            if (!seen[succ])
+                visit(succ);
+        }
+    };
+    visit(proc.entry());
+    return order;
+}
+
+std::vector<BlockId>
+reversePostOrder(const Procedure &proc)
+{
+    std::vector<BlockId> post;
+    std::vector<bool> seen(proc.blockCount(), false);
+
+    std::function<void(BlockId)> visit = [&](BlockId id) {
+        seen[id] = true;
+        for (BlockId succ : proc.block(id).successors()) {
+            if (!seen[succ])
+                visit(succ);
+        }
+        post.push_back(id);
+    };
+    visit(proc.entry());
+    std::reverse(post.begin(), post.end());
+    return post;
+}
+
+std::vector<BlockId>
+immediateDominators(const Procedure &proc)
+{
+    const auto rpo = reversePostOrder(proc);
+    std::vector<uint32_t> rpoIndex(proc.blockCount(), UINT32_MAX);
+    for (uint32_t i = 0; i < rpo.size(); ++i)
+        rpoIndex[rpo[i]] = i;
+
+    const auto preds = proc.predecessors();
+    std::vector<BlockId> idom(proc.blockCount(), kNoBlock);
+    idom[proc.entry()] = proc.entry();
+
+    auto intersect = [&](BlockId a, BlockId b) {
+        while (a != b) {
+            while (rpoIndex[a] > rpoIndex[b])
+                a = idom[a];
+            while (rpoIndex[b] > rpoIndex[a])
+                b = idom[b];
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (BlockId id : rpo) {
+            if (id == proc.entry())
+                continue;
+            BlockId new_idom = kNoBlock;
+            for (BlockId pred : preds[id]) {
+                if (idom[pred] == kNoBlock)
+                    continue; // pred not yet processed / unreachable
+                new_idom = (new_idom == kNoBlock) ? pred
+                                                  : intersect(pred, new_idom);
+            }
+            if (new_idom != kNoBlock && idom[id] != new_idom) {
+                idom[id] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    return idom;
+}
+
+bool
+dominates(const std::vector<BlockId> &idom, BlockId a, BlockId b)
+{
+    if (b >= idom.size() || idom[b] == kNoBlock)
+        return false;
+    BlockId walk = b;
+    while (true) {
+        if (walk == a)
+            return true;
+        BlockId up = idom[walk];
+        if (up == walk)
+            return walk == a;
+        walk = up;
+    }
+}
+
+bool
+NaturalLoop::contains(BlockId id) const
+{
+    return std::binary_search(body.begin(), body.end(), id);
+}
+
+std::vector<Edge>
+backEdges(const Procedure &proc)
+{
+    const auto idom = immediateDominators(proc);
+    std::vector<Edge> out;
+    for (const Edge &edge : proc.edges()) {
+        if (dominates(idom, edge.to, edge.from))
+            out.push_back(edge);
+    }
+    return out;
+}
+
+std::vector<NaturalLoop>
+findNaturalLoops(const Procedure &proc)
+{
+    const auto preds = proc.predecessors();
+    std::vector<NaturalLoop> loops;
+
+    for (const Edge &edge : backEdges(proc)) {
+        BlockId header = edge.to;
+        auto it = std::find_if(loops.begin(), loops.end(),
+                               [&](const NaturalLoop &loop) {
+                                   return loop.header == header;
+                               });
+        if (it == loops.end()) {
+            loops.push_back({});
+            it = loops.end() - 1;
+            it->header = header;
+            it->body = {header};
+        }
+        it->latches.push_back(edge.from);
+
+        // Standard natural-loop body: header plus everything that reaches
+        // the latch without passing through the header.
+        std::vector<bool> in_body(proc.blockCount(), false);
+        for (BlockId member : it->body)
+            in_body[member] = true;
+        std::vector<BlockId> stack;
+        if (!in_body[edge.from]) {
+            in_body[edge.from] = true;
+            stack.push_back(edge.from);
+        }
+        while (!stack.empty()) {
+            BlockId id = stack.back();
+            stack.pop_back();
+            for (BlockId pred : preds[id]) {
+                if (!in_body[pred]) {
+                    in_body[pred] = true;
+                    stack.push_back(pred);
+                }
+            }
+        }
+        it->body.clear();
+        for (BlockId id = 0; id < proc.blockCount(); ++id) {
+            if (in_body[id])
+                it->body.push_back(id);
+        }
+    }
+
+    std::sort(loops.begin(), loops.end(),
+              [](const NaturalLoop &a, const NaturalLoop &b) {
+                  return a.header < b.header;
+              });
+    return loops;
+}
+
+uint64_t
+countAcyclicPaths(const Procedure &proc, uint64_t saturation)
+{
+    // Count paths over the DAG obtained by deleting back edges, in reverse
+    // post-order (so successors are finished before predecessors when we
+    // walk it backwards).
+    const auto idom = immediateDominators(proc);
+    const auto rpo = reversePostOrder(proc);
+
+    std::vector<uint64_t> paths(proc.blockCount(), 0);
+    for (auto it = rpo.rbegin(); it != rpo.rend(); ++it) {
+        BlockId id = *it;
+        const auto &bb = proc.block(id);
+        if (bb.term.isReturn()) {
+            paths[id] = 1;
+            continue;
+        }
+        uint64_t total = 0;
+        for (BlockId succ : bb.successors()) {
+            if (dominates(idom, succ, id))
+                continue; // back edge
+            total += paths[succ];
+            if (total >= saturation) {
+                total = saturation;
+                break;
+            }
+        }
+        paths[id] = total;
+    }
+    return paths[proc.entry()];
+}
+
+} // namespace ct::ir

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Classic CFG analyses: orders, dominators, natural loops, path counts.
+ *
+ * The layout pass uses the DFS order as a baseline; the tomography
+ * estimators use loop information to bound path enumeration; Table 1
+ * reports the static path counts.
+ */
+
+#ifndef CT_IR_ANALYSIS_HH
+#define CT_IR_ANALYSIS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/procedure.hh"
+
+namespace ct::ir {
+
+/** Depth-first preorder over reachable blocks, taken edge first. */
+std::vector<BlockId> dfsPreorder(const Procedure &proc);
+
+/** Reverse post-order over reachable blocks. */
+std::vector<BlockId> reversePostOrder(const Procedure &proc);
+
+/**
+ * Immediate dominators (Cooper-Harvey-Kennedy). Index by block id; the
+ * entry maps to itself; unreachable blocks map to kNoBlock.
+ */
+std::vector<BlockId> immediateDominators(const Procedure &proc);
+
+/** True if @p a dominates @p b given an idom array. */
+bool dominates(const std::vector<BlockId> &idom, BlockId a, BlockId b);
+
+/** One natural loop. */
+struct NaturalLoop
+{
+    BlockId header = kNoBlock;
+    /** Back edge sources (latches) jumping to the header. */
+    std::vector<BlockId> latches;
+    /** All member blocks (header included), ascending. */
+    std::vector<BlockId> body;
+
+    bool contains(BlockId id) const;
+};
+
+/**
+ * All natural loops (one per header; multiple back edges to one header
+ * are merged into a single loop).
+ */
+std::vector<NaturalLoop> findNaturalLoops(const Procedure &proc);
+
+/** All back edges (tail -> header with header dominating tail). */
+std::vector<Edge> backEdges(const Procedure &proc);
+
+/**
+ * Number of distinct acyclic entry->exit paths, counting each loop body
+ * as traversed at most once (back edges ignored). Saturates at
+ * @p saturation to avoid overflow on branchy procedures.
+ */
+uint64_t countAcyclicPaths(const Procedure &proc,
+                           uint64_t saturation = 1'000'000'000);
+
+} // namespace ct::ir
+
+#endif // CT_IR_ANALYSIS_HH

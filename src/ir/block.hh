@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Basic blocks and terminators.
+ */
+
+#ifndef CT_IR_BLOCK_HH
+#define CT_IR_BLOCK_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/inst.hh"
+#include "ir/types.hh"
+
+namespace ct::ir {
+
+/** Control transfer that ends a basic block. */
+enum class TermKind : uint8_t {
+    Branch, //!< two-way conditional branch
+    Jump,   //!< unconditional jump
+    Return, //!< procedure exit
+};
+
+/**
+ * Block terminator. For Branch, @c taken is reached when the condition
+ * holds and @c fallthrough otherwise; the names describe the *logical*
+ * CFG, not physical adjacency — the layout pass decides which successor
+ * is physically next and may invert the condition.
+ */
+struct Terminator
+{
+    TermKind kind = TermKind::Return;
+    CondCode cond = CondCode::Eq; //!< Branch only
+    Reg lhs = 0;                  //!< Branch only
+    Reg rhs = 0;                  //!< Branch only
+    BlockId taken = kNoBlock;     //!< Branch/Jump target
+    BlockId fallthrough = kNoBlock; //!< Branch only
+
+    bool isBranch() const { return kind == TermKind::Branch; }
+    bool isJump() const { return kind == TermKind::Jump; }
+    bool isReturn() const { return kind == TermKind::Return; }
+
+    std::string toString() const;
+};
+
+/** One basic block: straight-line instructions plus one terminator. */
+struct BasicBlock
+{
+    BlockId id = kNoBlock;
+    std::string name;
+    std::vector<Inst> insts;
+    Terminator term;
+
+    /** Logical successor ids in (taken, fallthrough) order. */
+    std::vector<BlockId> successors() const;
+
+    /** Number of instructions including the terminator. */
+    size_t size() const { return insts.size() + 1; }
+};
+
+/** Classification of a CFG edge, used for profiling and layout. */
+enum class EdgeKind : uint8_t {
+    BranchTaken, //!< conditional branch, condition true
+    BranchFall,  //!< conditional branch, condition false
+    Jump,        //!< unconditional jump
+};
+
+/** One directed CFG edge. */
+struct Edge
+{
+    BlockId from = kNoBlock;
+    BlockId to = kNoBlock;
+    EdgeKind kind = EdgeKind::Jump;
+
+    bool operator==(const Edge &other) const = default;
+};
+
+} // namespace ct::ir
+
+#endif // CT_IR_BLOCK_HH

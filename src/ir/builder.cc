@@ -1,0 +1,247 @@
+#include "ir/builder.hh"
+
+#include "ir/verify.hh"
+#include "util/logging.hh"
+
+namespace ct::ir {
+
+ProcedureBuilder::ProcedureBuilder(Module &module, const std::string &name)
+    : module_(module), procId_(module.addProcedure(name))
+{
+    // Every procedure has an entry block from the start.
+    newBlock("entry");
+    setBlock(0);
+}
+
+BlockId
+ProcedureBuilder::newBlock(const std::string &name)
+{
+    CT_ASSERT(!finished_, "builder already finished");
+    BlockId id = module_.procedure(procId_).addBlock(name);
+    terminated_.push_back(false);
+    return id;
+}
+
+void
+ProcedureBuilder::setBlock(BlockId id)
+{
+    CT_ASSERT(!finished_, "builder already finished");
+    CT_ASSERT(id < terminated_.size(), "setBlock: unknown block");
+    CT_ASSERT(!terminated_[id], "setBlock: block already terminated");
+    current_ = id;
+}
+
+void
+ProcedureBuilder::checkReg(Reg reg) const
+{
+    CT_ASSERT(reg < kNumRegs, "register r", int(reg), " out of range");
+}
+
+void
+ProcedureBuilder::append(Inst inst)
+{
+    CT_ASSERT(!finished_, "builder already finished");
+    CT_ASSERT(current_ != kNoBlock, "no current block");
+    CT_ASSERT(!terminated_[current_], "appending to terminated block");
+    module_.procedure(procId_).block(current_).insts.push_back(inst);
+}
+
+void
+ProcedureBuilder::terminate(Terminator term)
+{
+    CT_ASSERT(!finished_, "builder already finished");
+    CT_ASSERT(current_ != kNoBlock, "no current block");
+    CT_ASSERT(!terminated_[current_], "block terminated twice");
+    module_.procedure(procId_).block(current_).term = term;
+    terminated_[current_] = true;
+    current_ = kNoBlock;
+}
+
+ProcedureBuilder &
+ProcedureBuilder::nop()
+{
+    append({Opcode::Nop, 0, 0, 0, 0});
+    return *this;
+}
+
+ProcedureBuilder &
+ProcedureBuilder::li(Reg rd, Word imm)
+{
+    checkReg(rd);
+    append({Opcode::Li, rd, 0, 0, imm});
+    return *this;
+}
+
+ProcedureBuilder &
+ProcedureBuilder::mov(Reg rd, Reg rs)
+{
+    checkReg(rd);
+    checkReg(rs);
+    append({Opcode::Mov, rd, rs, 0, 0});
+    return *this;
+}
+
+#define CT_BUILDER_ALU3(method, opcode)                                       \
+    ProcedureBuilder &ProcedureBuilder::method(Reg rd, Reg rs1, Reg rs2)      \
+    {                                                                         \
+        checkReg(rd);                                                         \
+        checkReg(rs1);                                                        \
+        checkReg(rs2);                                                        \
+        append({Opcode::opcode, rd, rs1, rs2, 0});                            \
+        return *this;                                                         \
+    }
+
+CT_BUILDER_ALU3(add, Add)
+CT_BUILDER_ALU3(sub, Sub)
+CT_BUILDER_ALU3(mul, Mul)
+CT_BUILDER_ALU3(band, And)
+CT_BUILDER_ALU3(bor, Or)
+CT_BUILDER_ALU3(bxor, Xor)
+CT_BUILDER_ALU3(shl, Shl)
+CT_BUILDER_ALU3(shr, Shr)
+
+#undef CT_BUILDER_ALU3
+
+ProcedureBuilder &
+ProcedureBuilder::addi(Reg rd, Reg rs1, Word imm)
+{
+    checkReg(rd);
+    checkReg(rs1);
+    append({Opcode::AddI, rd, rs1, 0, imm});
+    return *this;
+}
+
+ProcedureBuilder &
+ProcedureBuilder::shri(Reg rd, Reg rs1, Word imm)
+{
+    checkReg(rd);
+    checkReg(rs1);
+    append({Opcode::ShrI, rd, rs1, 0, imm});
+    return *this;
+}
+
+ProcedureBuilder &
+ProcedureBuilder::ld(Reg rd, Reg addr, Word offset)
+{
+    checkReg(rd);
+    checkReg(addr);
+    append({Opcode::Ld, rd, addr, 0, offset});
+    return *this;
+}
+
+ProcedureBuilder &
+ProcedureBuilder::st(Reg addr, Word offset, Reg value)
+{
+    checkReg(addr);
+    checkReg(value);
+    append({Opcode::St, 0, addr, value, offset});
+    return *this;
+}
+
+ProcedureBuilder &
+ProcedureBuilder::sense(Reg rd, Word channel)
+{
+    checkReg(rd);
+    append({Opcode::Sense, rd, 0, 0, channel});
+    return *this;
+}
+
+ProcedureBuilder &
+ProcedureBuilder::radioTx(Reg rs)
+{
+    checkReg(rs);
+    append({Opcode::RadioTx, 0, rs, 0, 0});
+    return *this;
+}
+
+ProcedureBuilder &
+ProcedureBuilder::radioRx(Reg rd)
+{
+    checkReg(rd);
+    append({Opcode::RadioRx, rd, 0, 0, 0});
+    return *this;
+}
+
+ProcedureBuilder &
+ProcedureBuilder::timerRead(Reg rd)
+{
+    checkReg(rd);
+    append({Opcode::TimerRead, rd, 0, 0, 0});
+    return *this;
+}
+
+ProcedureBuilder &
+ProcedureBuilder::sleep(Word cycles)
+{
+    CT_ASSERT(cycles >= 0, "sleep cycles must be >= 0");
+    append({Opcode::Sleep, 0, 0, 0, cycles});
+    return *this;
+}
+
+ProcedureBuilder &
+ProcedureBuilder::call(const std::string &callee)
+{
+    ProcId target = module_.findProcedure(callee);
+    if (target == kNoProc)
+        fatal("call to unknown procedure '", callee,
+              "' (define callees before callers)");
+    append({Opcode::Call, 0, 0, 0, Word(target)});
+    return *this;
+}
+
+void
+ProcedureBuilder::br(CondCode cond, Reg lhs, Reg rhs, BlockId if_true,
+                     BlockId if_false)
+{
+    checkReg(lhs);
+    checkReg(rhs);
+    CT_ASSERT(if_true < terminated_.size(), "br: unknown taken target");
+    CT_ASSERT(if_false < terminated_.size(), "br: unknown fallthrough target");
+    CT_ASSERT(if_true != if_false,
+              "br: both successors identical; use jmp instead");
+    Terminator term;
+    term.kind = TermKind::Branch;
+    term.cond = cond;
+    term.lhs = lhs;
+    term.rhs = rhs;
+    term.taken = if_true;
+    term.fallthrough = if_false;
+    terminate(term);
+}
+
+void
+ProcedureBuilder::jmp(BlockId target)
+{
+    CT_ASSERT(target < terminated_.size(), "jmp: unknown target");
+    Terminator term;
+    term.kind = TermKind::Jump;
+    term.taken = target;
+    terminate(term);
+}
+
+void
+ProcedureBuilder::ret()
+{
+    Terminator term;
+    term.kind = TermKind::Return;
+    terminate(term);
+}
+
+ProcId
+ProcedureBuilder::finish()
+{
+    CT_ASSERT(!finished_, "builder finished twice");
+    for (size_t i = 0; i < terminated_.size(); ++i) {
+        if (!terminated_[i])
+            fatal("procedure '", module_.procedure(procId_).name(),
+                  "': block bb", i, " was never terminated");
+    }
+    finished_ = true;
+    auto report = verifyProcedure(module_.procedure(procId_));
+    if (!report.ok())
+        fatal("procedure '", module_.procedure(procId_).name(),
+              "' failed verification:\n", report.toString());
+    return procId_;
+}
+
+} // namespace ct::ir

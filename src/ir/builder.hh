@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Fluent construction API for procedures.
+ *
+ * The workload suite builds its programs through this interface; it
+ * enforces that every block is terminated exactly once and that operand
+ * registers are in range, so malformed CFGs are caught at build time
+ * rather than during simulation.
+ */
+
+#ifndef CT_IR_BUILDER_HH
+#define CT_IR_BUILDER_HH
+
+#include <vector>
+
+#include "ir/module.hh"
+
+namespace ct::ir {
+
+/** Builds one procedure inside a module. */
+class ProcedureBuilder
+{
+  public:
+    /** Start building a new procedure named @p name in @p module. */
+    ProcedureBuilder(Module &module, const std::string &name);
+
+    /** Create a new (empty, unterminated) block. */
+    BlockId newBlock(const std::string &name = "");
+
+    /** Direct subsequent instruction appends at @p id. */
+    void setBlock(BlockId id);
+
+    /** Block currently being appended to. */
+    BlockId currentBlock() const { return current_; }
+
+    /// @name Straight-line instruction appends
+    /// @{
+    ProcedureBuilder &nop();
+    ProcedureBuilder &li(Reg rd, Word imm);
+    ProcedureBuilder &mov(Reg rd, Reg rs);
+    ProcedureBuilder &add(Reg rd, Reg rs1, Reg rs2);
+    ProcedureBuilder &addi(Reg rd, Reg rs1, Word imm);
+    ProcedureBuilder &sub(Reg rd, Reg rs1, Reg rs2);
+    ProcedureBuilder &mul(Reg rd, Reg rs1, Reg rs2);
+    ProcedureBuilder &band(Reg rd, Reg rs1, Reg rs2);
+    ProcedureBuilder &bor(Reg rd, Reg rs1, Reg rs2);
+    ProcedureBuilder &bxor(Reg rd, Reg rs1, Reg rs2);
+    ProcedureBuilder &shl(Reg rd, Reg rs1, Reg rs2);
+    ProcedureBuilder &shr(Reg rd, Reg rs1, Reg rs2);
+    ProcedureBuilder &shri(Reg rd, Reg rs1, Word imm);
+    ProcedureBuilder &ld(Reg rd, Reg addr, Word offset);
+    ProcedureBuilder &st(Reg addr, Word offset, Reg value);
+    ProcedureBuilder &sense(Reg rd, Word channel);
+    ProcedureBuilder &radioTx(Reg rs);
+    ProcedureBuilder &radioRx(Reg rd);
+    ProcedureBuilder &timerRead(Reg rd);
+    ProcedureBuilder &sleep(Word cycles);
+    ProcedureBuilder &call(const std::string &callee);
+    /// @}
+
+    /// @name Terminators (each ends the current block)
+    /// @{
+    void br(CondCode cond, Reg lhs, Reg rhs, BlockId if_true,
+            BlockId if_false);
+    void jmp(BlockId target);
+    void ret();
+    /// @}
+
+    /**
+     * Finish: verifies every block is terminated and the CFG is
+     * structurally sound; fatal() otherwise. Returns the procedure id.
+     */
+    ProcId finish();
+
+  private:
+    void append(Inst inst);
+    void terminate(Terminator term);
+    void checkReg(Reg reg) const;
+
+    Module &module_;
+    ProcId procId_;
+    BlockId current_ = kNoBlock;
+    std::vector<bool> terminated_;
+    bool finished_ = false;
+};
+
+} // namespace ct::ir
+
+#endif // CT_IR_BUILDER_HH

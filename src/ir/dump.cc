@@ -1,0 +1,32 @@
+#include "ir/dump.hh"
+
+#include <sstream>
+
+namespace ct::ir {
+
+std::string
+dumpProcedure(const Procedure &proc)
+{
+    std::ostringstream os;
+    os << "proc " << proc.name() << " {\n";
+    for (const auto &bb : proc.blocks()) {
+        os << "  bb" << bb.id << " (" << bb.name << "):\n";
+        for (const auto &inst : bb.insts)
+            os << "    " << inst.toString() << "\n";
+        os << "    " << bb.term.toString() << "\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+std::string
+dumpModule(const Module &module)
+{
+    std::ostringstream os;
+    os << "module " << module.name() << "\n";
+    for (const auto &proc : module.procedures())
+        os << dumpProcedure(proc);
+    return os.str();
+}
+
+} // namespace ct::ir

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Human-readable textual rendering of IR.
+ */
+
+#ifndef CT_IR_DUMP_HH
+#define CT_IR_DUMP_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "ir/module.hh"
+
+namespace ct::ir {
+
+/** Render one procedure as assembly-like text. */
+std::string dumpProcedure(const Procedure &proc);
+
+/** Render a whole module. */
+std::string dumpModule(const Module &module);
+
+} // namespace ct::ir
+
+#endif // CT_IR_DUMP_HH

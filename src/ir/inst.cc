@@ -1,0 +1,161 @@
+#include "ir/inst.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace ct::ir {
+
+CondCode
+negate(CondCode cond)
+{
+    switch (cond) {
+      case CondCode::Eq: return CondCode::Ne;
+      case CondCode::Ne: return CondCode::Eq;
+      case CondCode::Lt: return CondCode::Ge;
+      case CondCode::Ge: return CondCode::Lt;
+      case CondCode::Ltu: return CondCode::Geu;
+      case CondCode::Geu: return CondCode::Ltu;
+    }
+    panic("negate: bad CondCode ", int(cond));
+}
+
+const char *
+condName(CondCode cond)
+{
+    switch (cond) {
+      case CondCode::Eq: return "eq";
+      case CondCode::Ne: return "ne";
+      case CondCode::Lt: return "lt";
+      case CondCode::Ge: return "ge";
+      case CondCode::Ltu: return "ltu";
+      case CondCode::Geu: return "geu";
+    }
+    panic("condName: bad CondCode ", int(cond));
+}
+
+bool
+evalCond(CondCode cond, Word lhs, Word rhs)
+{
+    switch (cond) {
+      case CondCode::Eq: return lhs == rhs;
+      case CondCode::Ne: return lhs != rhs;
+      case CondCode::Lt: return lhs < rhs;
+      case CondCode::Ge: return lhs >= rhs;
+      case CondCode::Ltu: return uint32_t(lhs) < uint32_t(rhs);
+      case CondCode::Geu: return uint32_t(lhs) >= uint32_t(rhs);
+    }
+    panic("evalCond: bad CondCode ", int(cond));
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop: return "nop";
+      case Opcode::Li: return "li";
+      case Opcode::Mov: return "mov";
+      case Opcode::Add: return "add";
+      case Opcode::AddI: return "addi";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Shl: return "shl";
+      case Opcode::Shr: return "shr";
+      case Opcode::ShrI: return "shri";
+      case Opcode::Ld: return "ld";
+      case Opcode::St: return "st";
+      case Opcode::Sense: return "sense";
+      case Opcode::RadioTx: return "radio_tx";
+      case Opcode::RadioRx: return "radio_rx";
+      case Opcode::TimerRead: return "timer_read";
+      case Opcode::Sleep: return "sleep";
+      case Opcode::Call: return "call";
+    }
+    panic("opcodeName: bad Opcode ", int(op));
+}
+
+bool
+writesReg(Opcode op)
+{
+    switch (op) {
+      case Opcode::Li:
+      case Opcode::Mov:
+      case Opcode::Add:
+      case Opcode::AddI:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::Shr:
+      case Opcode::ShrI:
+      case Opcode::Ld:
+      case Opcode::Sense:
+      case Opcode::RadioRx:
+      case Opcode::TimerRead:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+Inst::toString() const
+{
+    std::ostringstream os;
+    os << opcodeName(op);
+    auto r = [](Reg reg) { return "r" + std::to_string(int(reg)); };
+    switch (op) {
+      case Opcode::Nop:
+        break;
+      case Opcode::Li:
+        os << " " << r(rd) << ", " << imm;
+        break;
+      case Opcode::Mov:
+        os << " " << r(rd) << ", " << r(rs1);
+        break;
+      case Opcode::AddI:
+      case Opcode::ShrI:
+        os << " " << r(rd) << ", " << r(rs1) << ", " << imm;
+        break;
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::Shr:
+        os << " " << r(rd) << ", " << r(rs1) << ", " << r(rs2);
+        break;
+      case Opcode::Ld:
+        os << " " << r(rd) << ", " << imm << "(" << r(rs1) << ")";
+        break;
+      case Opcode::St:
+        os << " " << r(rs2) << ", " << imm << "(" << r(rs1) << ")";
+        break;
+      case Opcode::Sense:
+        os << " " << r(rd) << ", ch" << imm;
+        break;
+      case Opcode::RadioTx:
+        os << " " << r(rs1);
+        break;
+      case Opcode::RadioRx:
+      case Opcode::TimerRead:
+        os << " " << r(rd);
+        break;
+      case Opcode::Sleep:
+        os << " " << imm;
+        break;
+      case Opcode::Call:
+        os << " proc#" << imm;
+        break;
+    }
+    return os.str();
+}
+
+} // namespace ct::ir

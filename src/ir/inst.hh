@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Non-terminator instructions of the mote ISA.
+ *
+ * The opcode set mirrors what TinyOS-class application code compiles to on
+ * an MSP430/AVR mote: integer ALU ops, loads/stores to a small RAM, device
+ * operations (sensor ADC read, radio TX/RX, timer capture, low-power
+ * sleep), and procedure calls. Control flow lives in Terminator, not here.
+ */
+
+#ifndef CT_IR_INST_HH
+#define CT_IR_INST_HH
+
+#include <string>
+
+#include "ir/types.hh"
+
+namespace ct::ir {
+
+/** Opcodes for straight-line instructions. */
+enum class Opcode : uint8_t {
+    Nop,
+    Li,      //!< rd = imm
+    Mov,     //!< rd = rs1
+    Add,     //!< rd = rs1 + rs2
+    AddI,    //!< rd = rs1 + imm
+    Sub,     //!< rd = rs1 - rs2
+    Mul,     //!< rd = rs1 * rs2 (multi-cycle on motes)
+    And,     //!< rd = rs1 & rs2
+    Or,      //!< rd = rs1 | rs2
+    Xor,     //!< rd = rs1 ^ rs2
+    Shl,     //!< rd = rs1 << (rs2 & 31)
+    Shr,     //!< rd = unsigned(rs1) >> (rs2 & 31)
+    ShrI,    //!< rd = unsigned(rs1) >> (imm & 31)
+    Ld,      //!< rd = ram[rs1 + imm]
+    St,      //!< ram[rs1 + imm] = rs2
+    Sense,   //!< rd = next sample of sensor channel imm (ADC read)
+    RadioTx, //!< transmit rs1 (fixed per-packet cost)
+    RadioRx, //!< rd = next inbound byte/packet token
+    TimerRead, //!< rd = current timer ticks (used by probes)
+    Sleep,   //!< idle for imm cycles (low-power wait)
+    Call,    //!< invoke procedure #imm, then continue
+};
+
+/** Printable mnemonic. */
+const char *opcodeName(Opcode op);
+
+/** True for opcodes that write a destination register. */
+bool writesReg(Opcode op);
+
+/**
+ * One straight-line instruction. Fields that an opcode does not use are
+ * ignored (and zeroed by the builder).
+ */
+struct Inst
+{
+    Opcode op = Opcode::Nop;
+    Reg rd = 0;
+    Reg rs1 = 0;
+    Reg rs2 = 0;
+    Word imm = 0;
+
+    /** "add r1, r2, r3"-style rendering. */
+    std::string toString() const;
+};
+
+} // namespace ct::ir
+
+#endif // CT_IR_INST_HH

@@ -1,0 +1,89 @@
+#include "ir/module.hh"
+
+#include "util/logging.hh"
+
+namespace ct::ir {
+
+Module::Module(std::string name)
+    : name_(std::move(name))
+{
+}
+
+ProcId
+Module::addProcedure(const std::string &proc_name)
+{
+    CT_ASSERT(byName_.find(proc_name) == byName_.end(),
+              "duplicate procedure name '", proc_name, "'");
+    ProcId id = ProcId(procs_.size());
+    procs_.emplace_back(id, proc_name);
+    byName_[proc_name] = id;
+    return id;
+}
+
+Procedure &
+Module::procedure(ProcId id)
+{
+    CT_ASSERT(id < procs_.size(), "procedure id out of range");
+    return procs_[id];
+}
+
+const Procedure &
+Module::procedure(ProcId id) const
+{
+    CT_ASSERT(id < procs_.size(), "procedure id out of range");
+    return procs_[id];
+}
+
+ProcId
+Module::findProcedure(const std::string &proc_name) const
+{
+    auto it = byName_.find(proc_name);
+    return it == byName_.end() ? kNoProc : it->second;
+}
+
+Procedure &
+Module::procedureByName(const std::string &proc_name)
+{
+    ProcId id = findProcedure(proc_name);
+    if (id == kNoProc)
+        fatal("no procedure named '", proc_name, "' in module ", name_);
+    return procs_[id];
+}
+
+const Procedure &
+Module::procedureByName(const std::string &proc_name) const
+{
+    ProcId id = findProcedure(proc_name);
+    if (id == kNoProc)
+        fatal("no procedure named '", proc_name, "' in module ", name_);
+    return procs_[id];
+}
+
+size_t
+Module::totalBlocks() const
+{
+    size_t out = 0;
+    for (const auto &proc : procs_)
+        out += proc.blockCount();
+    return out;
+}
+
+size_t
+Module::totalInsts() const
+{
+    size_t out = 0;
+    for (const auto &proc : procs_)
+        out += proc.instCount() + proc.blockCount(); // + terminators
+    return out;
+}
+
+size_t
+Module::totalBranches() const
+{
+    size_t out = 0;
+    for (const auto &proc : procs_)
+        out += proc.branchBlocks().size();
+    return out;
+}
+
+} // namespace ct::ir

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Modules: collections of procedures with name-based lookup.
+ */
+
+#ifndef CT_IR_MODULE_HH
+#define CT_IR_MODULE_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/procedure.hh"
+
+namespace ct::ir {
+
+/** A whole program: procedures indexed by id, findable by name. */
+class Module
+{
+  public:
+    explicit Module(std::string name = "module");
+
+    const std::string &name() const { return name_; }
+
+    /** Create an empty procedure; returns its id. Names must be unique. */
+    ProcId addProcedure(const std::string &proc_name);
+
+    Procedure &procedure(ProcId id);
+    const Procedure &procedure(ProcId id) const;
+
+    /** Lookup by name; kNoProc when absent. */
+    ProcId findProcedure(const std::string &proc_name) const;
+
+    /** Lookup by name; fatal() when absent. */
+    Procedure &procedureByName(const std::string &proc_name);
+    const Procedure &procedureByName(const std::string &proc_name) const;
+
+    size_t procedureCount() const { return procs_.size(); }
+    const std::vector<Procedure> &procedures() const { return procs_; }
+    std::vector<Procedure> &procedures() { return procs_; }
+
+    /** Aggregate counts for Table-1-style reporting. */
+    size_t totalBlocks() const;
+    size_t totalInsts() const;
+    size_t totalBranches() const;
+
+  private:
+    std::string name_;
+    std::vector<Procedure> procs_;
+    std::map<std::string, ProcId> byName_;
+};
+
+} // namespace ct::ir
+
+#endif // CT_IR_MODULE_HH

@@ -1,0 +1,381 @@
+#include "ir/parse.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "ir/verify.hh"
+#include "util/logging.hh"
+#include "util/str.hh"
+
+namespace ct::ir {
+
+namespace {
+
+/** Line-oriented parsing state with error reporting. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : input_(text) {}
+
+    ParseResult
+    run()
+    {
+        std::string line;
+        while (!failed_ && std::getline(input_, line)) {
+            ++lineNo_;
+            line = trim(stripComment(line));
+            if (line.empty())
+                continue;
+            dispatch(line);
+        }
+        if (!failed_ && proc_ != nullptr)
+            fail("unterminated 'proc' block (missing '}')");
+        if (!failed_) {
+            auto report = verifyModule(result_.module);
+            if (!report.ok())
+                fail("module failed verification:\n" + report.toString());
+        }
+        result_.ok = !failed_;
+        return std::move(result_);
+    }
+
+  private:
+    static std::string
+    stripComment(const std::string &line)
+    {
+        size_t pos = line.find(';');
+        return pos == std::string::npos ? line : line.substr(0, pos);
+    }
+
+    void
+    fail(const std::string &message)
+    {
+        if (failed_)
+            return;
+        failed_ = true;
+        result_.error = "line " + std::to_string(lineNo_) + ": " + message;
+    }
+
+    void
+    dispatch(const std::string &line)
+    {
+        if (startsWith(line, "module ")) {
+            if (proc_ != nullptr || result_.module.procedureCount() > 0) {
+                fail("'module' must be the first declaration");
+                return;
+            }
+            result_.module = Module(trim(line.substr(7)));
+            return;
+        }
+        if (startsWith(line, "proc ")) {
+            beginProc(line);
+            return;
+        }
+        if (line == "}") {
+            endProc();
+            return;
+        }
+        if (startsWith(line, "bb")) {
+            beginBlock(line);
+            return;
+        }
+        parseInstOrTerminator(line);
+    }
+
+    void
+    beginProc(const std::string &line)
+    {
+        if (proc_ != nullptr) {
+            fail("nested 'proc'");
+            return;
+        }
+        std::string rest = trim(line.substr(5));
+        if (!endsWith(rest, "{")) {
+            fail("expected '{' at end of proc header");
+            return;
+        }
+        std::string name = trim(rest.substr(0, rest.size() - 1));
+        if (name.empty()) {
+            fail("proc needs a name");
+            return;
+        }
+        if (result_.module.findProcedure(name) != kNoProc) {
+            fail("duplicate procedure '" + name + "'");
+            return;
+        }
+        ProcId id = result_.module.addProcedure(name);
+        proc_ = &result_.module.procedure(id);
+        block_ = kNoBlock;
+    }
+
+    void
+    endProc()
+    {
+        if (proc_ == nullptr) {
+            fail("'}' outside of a proc");
+            return;
+        }
+        proc_ = nullptr;
+        block_ = kNoBlock;
+    }
+
+    void
+    beginBlock(const std::string &line)
+    {
+        if (proc_ == nullptr) {
+            fail("block outside of a proc");
+            return;
+        }
+        // "bb<N> (<label>):"
+        size_t paren = line.find('(');
+        size_t close = line.find("):");
+        if (paren == std::string::npos || close == std::string::npos ||
+            close < paren) {
+            fail("malformed block header (expected 'bbN (label):')");
+            return;
+        }
+        long index = 0;
+        if (!parseLong(line.substr(2, paren - 2), index) ||
+            index != long(proc_->blockCount())) {
+            fail("block ids must be sequential starting at bb0");
+            return;
+        }
+        std::string label = line.substr(paren + 1, close - paren - 1);
+        block_ = proc_->addBlock(label);
+    }
+
+    bool
+    parseReg(std::string token, Reg &out)
+    {
+        token = trim(token);
+        if (token.size() < 2 || token[0] != 'r')
+            return false;
+        long value = 0;
+        if (!parseLong(token.substr(1), value) || value < 0 ||
+            value >= long(kNumRegs)) {
+            return false;
+        }
+        out = Reg(value);
+        return true;
+    }
+
+    bool
+    parseImm(std::string token, Word &out)
+    {
+        long value = 0;
+        if (!parseLong(trim(token), value))
+            return false;
+        out = Word(value);
+        return true;
+    }
+
+    /** "off(rN)" memory operand. */
+    bool
+    parseMem(std::string token, Reg &base, Word &offset)
+    {
+        token = trim(token);
+        size_t open = token.find('(');
+        if (open == std::string::npos || token.back() != ')')
+            return false;
+        return parseImm(token.substr(0, open), offset) &&
+               parseReg(token.substr(open + 1,
+                                     token.size() - open - 2), base);
+    }
+
+    bool
+    parseBlockRef(std::string token, BlockId &out)
+    {
+        token = trim(token);
+        if (!startsWith(token, "bb"))
+            return false;
+        long value = 0;
+        if (!parseLong(token.substr(2), value) || value < 0)
+            return false;
+        out = BlockId(value);
+        return true;
+    }
+
+    bool
+    parseCond(const std::string &name, CondCode &out)
+    {
+        for (auto cond : {CondCode::Eq, CondCode::Ne, CondCode::Lt,
+                          CondCode::Ge, CondCode::Ltu, CondCode::Geu}) {
+            if (name == condName(cond)) {
+                out = cond;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    void
+    parseInstOrTerminator(const std::string &line)
+    {
+        if (proc_ == nullptr || block_ == kNoBlock) {
+            fail("instruction outside of a block");
+            return;
+        }
+        BasicBlock &bb = proc_->block(block_);
+
+        size_t space = line.find(' ');
+        std::string mnemonic =
+            space == std::string::npos ? line : line.substr(0, space);
+        std::string rest =
+            space == std::string::npos ? "" : trim(line.substr(space + 1));
+        auto ops = split(rest, ',');
+        for (auto &op : ops)
+            op = trim(op);
+
+        auto bad = [&]() { fail("malformed '" + mnemonic + "' operands"); };
+
+        // Terminators.
+        if (mnemonic == "ret") {
+            bb.term.kind = TermKind::Return;
+            block_ = kNoBlock;
+            return;
+        }
+        if (mnemonic == "jmp") {
+            BlockId target;
+            if (!parseBlockRef(rest, target))
+                return bad();
+            bb.term.kind = TermKind::Jump;
+            bb.term.taken = target;
+            block_ = kNoBlock;
+            return;
+        }
+        if (startsWith(mnemonic, "br.")) {
+            // br.<cond> rA, rB -> bbT else bbF
+            CondCode cond;
+            if (!parseCond(mnemonic.substr(3), cond))
+                return bad();
+            size_t arrow = rest.find("->");
+            size_t els = rest.find("else");
+            if (arrow == std::string::npos || els == std::string::npos)
+                return bad();
+            auto regs = split(trim(rest.substr(0, arrow)), ',');
+            BlockId taken, fall;
+            Reg lhs, rhs;
+            if (regs.size() != 2 || !parseReg(regs[0], lhs) ||
+                !parseReg(regs[1], rhs) ||
+                !parseBlockRef(rest.substr(arrow + 2, els - arrow - 2),
+                               taken) ||
+                !parseBlockRef(rest.substr(els + 4), fall)) {
+                return bad();
+            }
+            bb.term.kind = TermKind::Branch;
+            bb.term.cond = cond;
+            bb.term.lhs = lhs;
+            bb.term.rhs = rhs;
+            bb.term.taken = taken;
+            bb.term.fallthrough = fall;
+            block_ = kNoBlock;
+            return;
+        }
+
+        // Straight-line instructions.
+        Inst inst;
+        if (mnemonic == "nop") {
+            inst.op = Opcode::Nop;
+        } else if (mnemonic == "li") {
+            inst.op = Opcode::Li;
+            if (ops.size() != 2 || !parseReg(ops[0], inst.rd) ||
+                !parseImm(ops[1], inst.imm))
+                return bad();
+        } else if (mnemonic == "mov") {
+            inst.op = Opcode::Mov;
+            if (ops.size() != 2 || !parseReg(ops[0], inst.rd) ||
+                !parseReg(ops[1], inst.rs1))
+                return bad();
+        } else if (mnemonic == "addi" || mnemonic == "shri") {
+            inst.op = mnemonic == "addi" ? Opcode::AddI : Opcode::ShrI;
+            if (ops.size() != 3 || !parseReg(ops[0], inst.rd) ||
+                !parseReg(ops[1], inst.rs1) || !parseImm(ops[2], inst.imm))
+                return bad();
+        } else if (mnemonic == "add" || mnemonic == "sub" ||
+                   mnemonic == "mul" || mnemonic == "and" ||
+                   mnemonic == "or" || mnemonic == "xor" ||
+                   mnemonic == "shl" || mnemonic == "shr") {
+            inst.op = mnemonic == "add"   ? Opcode::Add
+                      : mnemonic == "sub" ? Opcode::Sub
+                      : mnemonic == "mul" ? Opcode::Mul
+                      : mnemonic == "and" ? Opcode::And
+                      : mnemonic == "or"  ? Opcode::Or
+                      : mnemonic == "xor" ? Opcode::Xor
+                      : mnemonic == "shl" ? Opcode::Shl
+                                          : Opcode::Shr;
+            if (ops.size() != 3 || !parseReg(ops[0], inst.rd) ||
+                !parseReg(ops[1], inst.rs1) || !parseReg(ops[2], inst.rs2))
+                return bad();
+        } else if (mnemonic == "ld") {
+            inst.op = Opcode::Ld;
+            if (ops.size() != 2 || !parseReg(ops[0], inst.rd) ||
+                !parseMem(ops[1], inst.rs1, inst.imm))
+                return bad();
+        } else if (mnemonic == "st") {
+            inst.op = Opcode::St;
+            if (ops.size() != 2 || !parseReg(ops[0], inst.rs2) ||
+                !parseMem(ops[1], inst.rs1, inst.imm))
+                return bad();
+        } else if (mnemonic == "sense") {
+            inst.op = Opcode::Sense;
+            if (ops.size() != 2 || !parseReg(ops[0], inst.rd) ||
+                !startsWith(ops[1], "ch") ||
+                !parseImm(ops[1].substr(2), inst.imm))
+                return bad();
+        } else if (mnemonic == "radio_tx") {
+            inst.op = Opcode::RadioTx;
+            if (ops.size() != 1 || !parseReg(ops[0], inst.rs1))
+                return bad();
+        } else if (mnemonic == "radio_rx") {
+            inst.op = Opcode::RadioRx;
+            if (ops.size() != 1 || !parseReg(ops[0], inst.rd))
+                return bad();
+        } else if (mnemonic == "timer_read") {
+            inst.op = Opcode::TimerRead;
+            if (ops.size() != 1 || !parseReg(ops[0], inst.rd))
+                return bad();
+        } else if (mnemonic == "sleep") {
+            inst.op = Opcode::Sleep;
+            if (ops.size() != 1 || !parseImm(ops[0], inst.imm) ||
+                inst.imm < 0)
+                return bad();
+        } else if (mnemonic == "call") {
+            inst.op = Opcode::Call;
+            if (ops.size() != 1 || !startsWith(ops[0], "proc#") ||
+                !parseImm(ops[0].substr(5), inst.imm))
+                return bad();
+        } else {
+            fail("unknown mnemonic '" + mnemonic + "'");
+            return;
+        }
+        bb.insts.push_back(inst);
+    }
+
+    std::istringstream input_;
+    size_t lineNo_ = 0;
+    ParseResult result_;
+    Procedure *proc_ = nullptr;
+    BlockId block_ = kNoBlock;
+    bool failed_ = false;
+};
+
+} // namespace
+
+ParseResult
+parseModule(const std::string &text)
+{
+    return Parser(text).run();
+}
+
+ParseResult
+parseModuleFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open IR file '", path, "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parseModule(buffer.str());
+}
+
+} // namespace ct::ir

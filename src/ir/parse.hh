@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Textual IR parser: the inverse of dump.hh.
+ *
+ * Accepts the exact format dumpModule() emits, so modules round-trip
+ * through text. This lets workloads live in files, experiments ship
+ * reproducible inputs, and tests fuzz the printer/parser pair.
+ *
+ * Grammar (per line, ';' starts a comment):
+ *
+ *   module <name>
+ *   proc <name> {
+ *     bb<N> (<label>):
+ *       <mnemonic> <operands...>
+ *       br.<cond> r<A>, r<B> -> bb<T> else bb<F>
+ *       jmp bb<T>
+ *       ret
+ *   }
+ */
+
+#ifndef CT_IR_PARSE_HH
+#define CT_IR_PARSE_HH
+
+#include <string>
+
+#include "ir/module.hh"
+
+namespace ct::ir {
+
+/** Result of a parse attempt. */
+struct ParseResult
+{
+    Module module;
+    bool ok = false;
+    std::string error; //!< "line N: message" when !ok
+};
+
+/** Parse module text. */
+ParseResult parseModule(const std::string &text);
+
+/** Parse a module from a file; fatal() if the file cannot be read. */
+ParseResult parseModuleFile(const std::string &path);
+
+} // namespace ct::ir
+
+#endif // CT_IR_PARSE_HH

@@ -1,0 +1,149 @@
+#include "ir/procedure.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace ct::ir {
+
+std::string
+Terminator::toString() const
+{
+    std::ostringstream os;
+    switch (kind) {
+      case TermKind::Branch:
+        os << "br." << condName(cond) << " r" << int(lhs) << ", r"
+           << int(rhs) << " -> bb" << taken << " else bb" << fallthrough;
+        break;
+      case TermKind::Jump:
+        os << "jmp bb" << taken;
+        break;
+      case TermKind::Return:
+        os << "ret";
+        break;
+    }
+    return os.str();
+}
+
+std::vector<BlockId>
+BasicBlock::successors() const
+{
+    switch (term.kind) {
+      case TermKind::Branch:
+        return {term.taken, term.fallthrough};
+      case TermKind::Jump:
+        return {term.taken};
+      case TermKind::Return:
+        return {};
+    }
+    panic("BasicBlock::successors: bad TermKind");
+}
+
+Procedure::Procedure(ProcId id, std::string name)
+    : id_(id), name_(std::move(name))
+{
+}
+
+BlockId
+Procedure::addBlock(std::string name)
+{
+    BlockId id = BlockId(blocks_.size());
+    BasicBlock bb;
+    bb.id = id;
+    bb.name = name.empty() ? ("bb" + std::to_string(id)) : std::move(name);
+    blocks_.push_back(std::move(bb));
+    return id;
+}
+
+BasicBlock &
+Procedure::block(BlockId id)
+{
+    CT_ASSERT(id < blocks_.size(), "block id out of range in ", name_);
+    return blocks_[id];
+}
+
+const BasicBlock &
+Procedure::block(BlockId id) const
+{
+    CT_ASSERT(id < blocks_.size(), "block id out of range in ", name_);
+    return blocks_[id];
+}
+
+std::vector<Edge>
+Procedure::edges() const
+{
+    std::vector<Edge> out;
+    for (const auto &bb : blocks_) {
+        switch (bb.term.kind) {
+          case TermKind::Branch:
+            out.push_back({bb.id, bb.term.taken, EdgeKind::BranchTaken});
+            out.push_back({bb.id, bb.term.fallthrough, EdgeKind::BranchFall});
+            break;
+          case TermKind::Jump:
+            out.push_back({bb.id, bb.term.taken, EdgeKind::Jump});
+            break;
+          case TermKind::Return:
+            break;
+        }
+    }
+    return out;
+}
+
+std::vector<BlockId>
+Procedure::branchBlocks() const
+{
+    std::vector<BlockId> out;
+    for (const auto &bb : blocks_) {
+        if (bb.term.isBranch())
+            out.push_back(bb.id);
+    }
+    return out;
+}
+
+std::vector<BlockId>
+Procedure::exitBlocks() const
+{
+    std::vector<BlockId> out;
+    for (const auto &bb : blocks_) {
+        if (bb.term.isReturn())
+            out.push_back(bb.id);
+    }
+    return out;
+}
+
+std::vector<std::vector<BlockId>>
+Procedure::predecessors() const
+{
+    std::vector<std::vector<BlockId>> preds(blocks_.size());
+    for (const auto &bb : blocks_) {
+        for (BlockId succ : bb.successors()) {
+            if (succ < blocks_.size())
+                preds[succ].push_back(bb.id);
+        }
+    }
+    return preds;
+}
+
+size_t
+Procedure::instCount() const
+{
+    size_t out = 0;
+    for (const auto &bb : blocks_)
+        out += bb.insts.size();
+    return out;
+}
+
+std::vector<ProcId>
+Procedure::callees() const
+{
+    std::vector<ProcId> out;
+    for (const auto &bb : blocks_) {
+        for (const auto &inst : bb.insts) {
+            if (inst.op == Opcode::Call)
+                out.push_back(ProcId(inst.imm));
+        }
+    }
+    return out;
+}
+
+} // namespace ct::ir

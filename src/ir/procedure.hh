@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Procedures: CFGs of basic blocks with query helpers.
+ */
+
+#ifndef CT_IR_PROCEDURE_HH
+#define CT_IR_PROCEDURE_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/block.hh"
+
+namespace ct::ir {
+
+/**
+ * A procedure is a list of basic blocks; block 0 is the entry. Blocks are
+ * stored in "natural" (authoring) order, which also serves as the unlaid-
+ * out baseline placement.
+ */
+class Procedure
+{
+  public:
+    Procedure(ProcId id, std::string name);
+
+    ProcId id() const { return id_; }
+    const std::string &name() const { return name_; }
+
+    /** Append a block; returns its id. */
+    BlockId addBlock(std::string name);
+
+    BasicBlock &block(BlockId id);
+    const BasicBlock &block(BlockId id) const;
+
+    size_t blockCount() const { return blocks_.size(); }
+    const std::vector<BasicBlock> &blocks() const { return blocks_; }
+    std::vector<BasicBlock> &blocks() { return blocks_; }
+
+    BlockId entry() const { return 0; }
+
+    /** All CFG edges, in block order then (taken, fallthrough). */
+    std::vector<Edge> edges() const;
+
+    /** Ids of blocks whose terminator is a conditional branch. */
+    std::vector<BlockId> branchBlocks() const;
+
+    /** Ids of blocks whose terminator is Return. */
+    std::vector<BlockId> exitBlocks() const;
+
+    /** Predecessor lists indexed by block id. */
+    std::vector<std::vector<BlockId>> predecessors() const;
+
+    /** Total straight-line instruction count (terminators excluded). */
+    size_t instCount() const;
+
+    /** Ids of procedures invoked via Call instructions (with repeats). */
+    std::vector<ProcId> callees() const;
+
+  private:
+    ProcId id_;
+    std::string name_;
+    std::vector<BasicBlock> blocks_;
+};
+
+} // namespace ct::ir
+
+#endif // CT_IR_PROCEDURE_HH

@@ -1,0 +1,117 @@
+#include "ir/profile.hh"
+
+#include "util/logging.hh"
+
+namespace ct::ir {
+
+void
+EdgeProfile::addEdge(BlockId from, BlockId to, double weight)
+{
+    counts_[{from, to}] += weight;
+}
+
+double
+EdgeProfile::edgeCount(BlockId from, BlockId to) const
+{
+    auto it = counts_.find({from, to});
+    return it == counts_.end() ? 0.0 : it->second;
+}
+
+double
+EdgeProfile::edgeFrequency(BlockId from, BlockId to) const
+{
+    return invocations_ > 0.0 ? edgeCount(from, to) / invocations_ : 0.0;
+}
+
+double
+EdgeProfile::outflow(BlockId block) const
+{
+    double sum = 0.0;
+    auto it = counts_.lower_bound({block, 0});
+    for (; it != counts_.end() && it->first.first == block; ++it)
+        sum += it->second;
+    return sum;
+}
+
+double
+EdgeProfile::visitCount(const Procedure &proc, BlockId block) const
+{
+    double inflow = block == proc.entry() ? invocations_ : 0.0;
+    for (const auto &[edge, count] : counts_) {
+        if (edge.second == block)
+            inflow += count;
+    }
+    return inflow;
+}
+
+double
+EdgeProfile::takenProbability(const Procedure &proc, BlockId block,
+                              double fallback) const
+{
+    const auto &bb = proc.block(block);
+    CT_ASSERT(bb.term.isBranch(), "takenProbability on non-branch block bb",
+              block, " of ", proc.name());
+    double taken = edgeCount(block, bb.term.taken);
+    double fall = edgeCount(block, bb.term.fallthrough);
+    double total = taken + fall;
+    return total > 0.0 ? taken / total : fallback;
+}
+
+std::vector<double>
+EdgeProfile::branchProbabilities(const Procedure &proc, double fallback) const
+{
+    std::vector<double> out;
+    for (BlockId block : proc.branchBlocks())
+        out.push_back(takenProbability(proc, block, fallback));
+    return out;
+}
+
+std::vector<double>
+EdgeProfile::edgeFrequencies(const Procedure &proc) const
+{
+    std::vector<double> out;
+    for (const Edge &edge : proc.edges())
+        out.push_back(edgeFrequency(edge.from, edge.to));
+    return out;
+}
+
+void
+EdgeProfile::scale(double s)
+{
+    for (auto &[edge, count] : counts_)
+        count *= s;
+    invocations_ *= s;
+}
+
+void
+EdgeProfile::merge(const EdgeProfile &other)
+{
+    for (const auto &[edge, count] : other.counts_)
+        counts_[edge] += count;
+    invocations_ += other.invocations_;
+}
+
+EdgeProfile &
+ModuleProfile::operator[](ProcId id)
+{
+    CT_ASSERT(id < profiles_.size(), "ModuleProfile index out of range");
+    return profiles_[id];
+}
+
+const EdgeProfile &
+ModuleProfile::operator[](ProcId id) const
+{
+    CT_ASSERT(id < profiles_.size(), "ModuleProfile index out of range");
+    return profiles_[id];
+}
+
+void
+ModuleProfile::merge(const ModuleProfile &other)
+{
+    CT_ASSERT(profiles_.size() == other.profiles_.size(),
+              "ModuleProfile size mismatch in merge");
+    for (size_t i = 0; i < profiles_.size(); ++i)
+        profiles_[i].merge(other.profiles_[i]);
+}
+
+} // namespace ct::ir

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Edge profiles: execution-frequency annotations over CFGs.
+ *
+ * An EdgeProfile is the common currency of the whole pipeline: the
+ * simulator emits a ground-truth profile, the instrumented profiler
+ * reconstructs one exactly, Code Tomography *estimates* one from timing,
+ * and the layout optimizer consumes one.
+ */
+
+#ifndef CT_IR_PROFILE_HH
+#define CT_IR_PROFILE_HH
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "ir/procedure.hh"
+
+namespace ct::ir {
+
+/** Per-procedure edge execution frequencies. */
+class EdgeProfile
+{
+  public:
+    EdgeProfile() = default;
+
+    /** Accumulate @p weight traversals of (from -> to). */
+    void addEdge(BlockId from, BlockId to, double weight = 1.0);
+
+    /** Record one more profiled invocation of the procedure. */
+    void addInvocations(double n = 1.0) { invocations_ += n; }
+
+    /** Total traversals recorded on (from -> to). */
+    double edgeCount(BlockId from, BlockId to) const;
+
+    /** Traversals per invocation (0 when no invocations recorded). */
+    double edgeFrequency(BlockId from, BlockId to) const;
+
+    /** Number of profiled invocations. */
+    double invocations() const { return invocations_; }
+
+    /**
+     * Executions of @p block per the profile: sum of its outgoing edge
+     * counts (every non-exit block) — for blocks ending in Return this
+     * undercounts, so the caller should prefer visitCount().
+     */
+    double outflow(BlockId block) const;
+
+    /**
+     * Visit count of @p block: inflow from edges plus entry invocations
+     * when @p block is the procedure entry.
+     */
+    double visitCount(const Procedure &proc, BlockId block) const;
+
+    /**
+     * Probability that @p block's conditional branch is taken, per this
+     * profile. Falls back to @p fallback when the block was never
+     * executed. panic()s if the block is not a branch block.
+     */
+    double takenProbability(const Procedure &proc, BlockId block,
+                            double fallback = 0.5) const;
+
+    /**
+     * Taken probabilities for every branch block of @p proc, in
+     * branchBlocks() order (the estimator-comparison vector of E2-E4).
+     */
+    std::vector<double> branchProbabilities(const Procedure &proc,
+                                            double fallback = 0.5) const;
+
+    /**
+     * Edge frequencies for every CFG edge of @p proc in edges() order.
+     */
+    std::vector<double> edgeFrequencies(const Procedure &proc) const;
+
+    /** All recorded edges with their counts. */
+    const std::map<std::pair<BlockId, BlockId>, double> &cells() const
+    {
+        return counts_;
+    }
+
+    /** Multiply all counts and the invocation count by @p s. */
+    void scale(double s);
+
+    /** Add another profile's counts into this one. */
+    void merge(const EdgeProfile &other);
+
+  private:
+    std::map<std::pair<BlockId, BlockId>, double> counts_;
+    double invocations_ = 0.0;
+};
+
+/** Profiles for every procedure of a module, indexed by ProcId. */
+class ModuleProfile
+{
+  public:
+    ModuleProfile() = default;
+    explicit ModuleProfile(size_t proc_count) : profiles_(proc_count) {}
+
+    void resize(size_t proc_count) { profiles_.resize(proc_count); }
+    size_t size() const { return profiles_.size(); }
+
+    EdgeProfile &operator[](ProcId id);
+    const EdgeProfile &operator[](ProcId id) const;
+
+    void merge(const ModuleProfile &other);
+
+  private:
+    std::vector<EdgeProfile> profiles_;
+};
+
+} // namespace ct::ir
+
+#endif // CT_IR_PROFILE_HH

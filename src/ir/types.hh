@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fundamental identifier types shared across the IR.
+ *
+ * The IR models programs for a small in-order sensor mote: 16 general
+ * registers, 32-bit words (wider than a real MSP430's 16 bits, which only
+ * makes arithmetic in workloads easier and changes no timing behaviour),
+ * and MIPS-style compare-and-branch terminators (no condition flags).
+ */
+
+#ifndef CT_IR_TYPES_HH
+#define CT_IR_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace ct::ir {
+
+/** Register index, 0..15. */
+using Reg = uint8_t;
+
+/** Number of architectural registers. */
+constexpr unsigned kNumRegs = 16;
+
+/** Machine word. */
+using Word = int32_t;
+
+/** Index of a basic block within its procedure. */
+using BlockId = uint32_t;
+
+/** Index of a procedure within its module. */
+using ProcId = uint32_t;
+
+/** Sentinel for "no block". */
+constexpr BlockId kNoBlock = std::numeric_limits<BlockId>::max();
+
+/** Sentinel for "no procedure". */
+constexpr ProcId kNoProc = std::numeric_limits<ProcId>::max();
+
+/** Branch conditions, comparing two registers. */
+enum class CondCode : uint8_t {
+    Eq,  //!< lhs == rhs
+    Ne,  //!< lhs != rhs
+    Lt,  //!< lhs <  rhs (signed)
+    Ge,  //!< lhs >= rhs (signed)
+    Ltu, //!< lhs <  rhs (unsigned)
+    Geu, //!< lhs >= rhs (unsigned)
+};
+
+/** The condition that holds exactly when @p cond does not. */
+CondCode negate(CondCode cond);
+
+/** Printable mnemonic ("eq", "ltu", ...). */
+const char *condName(CondCode cond);
+
+/** Evaluate a condition over two words. */
+bool evalCond(CondCode cond, Word lhs, Word rhs);
+
+} // namespace ct::ir
+
+#endif // CT_IR_TYPES_HH

@@ -1,0 +1,158 @@
+#include "ir/verify.hh"
+
+#include <sstream>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace ct::ir {
+
+void
+VerifyReport::addError(std::string message)
+{
+    errors_.push_back(std::move(message));
+}
+
+std::string
+VerifyReport::toString() const
+{
+    std::ostringstream os;
+    for (const auto &err : errors_)
+        os << "  - " << err << "\n";
+    return os.str();
+}
+
+namespace {
+
+void
+checkBlock(const Procedure &proc, const BasicBlock &bb, VerifyReport &report)
+{
+    auto err = [&](const std::string &what) {
+        report.addError(proc.name() + "/bb" + std::to_string(bb.id) + ": " +
+                        what);
+    };
+
+    for (const auto &inst : bb.insts) {
+        if (inst.rd >= kNumRegs || inst.rs1 >= kNumRegs ||
+            inst.rs2 >= kNumRegs) {
+            err("register operand out of range in '" + inst.toString() + "'");
+        }
+    }
+
+    switch (bb.term.kind) {
+      case TermKind::Branch:
+        if (bb.term.taken >= proc.blockCount())
+            err("branch taken target out of range");
+        if (bb.term.fallthrough >= proc.blockCount())
+            err("branch fallthrough target out of range");
+        if (bb.term.taken == bb.term.fallthrough)
+            err("branch successors must be distinct");
+        if (bb.term.lhs >= kNumRegs || bb.term.rhs >= kNumRegs)
+            err("branch register operand out of range");
+        break;
+      case TermKind::Jump:
+        if (bb.term.taken >= proc.blockCount())
+            err("jump target out of range");
+        break;
+      case TermKind::Return:
+        break;
+    }
+}
+
+std::vector<bool>
+reachableBlocks(const Procedure &proc)
+{
+    std::vector<bool> seen(proc.blockCount(), false);
+    std::vector<BlockId> stack = {proc.entry()};
+    seen[proc.entry()] = true;
+    while (!stack.empty()) {
+        BlockId id = stack.back();
+        stack.pop_back();
+        for (BlockId succ : proc.block(id).successors()) {
+            if (succ < proc.blockCount() && !seen[succ]) {
+                seen[succ] = true;
+                stack.push_back(succ);
+            }
+        }
+    }
+    return seen;
+}
+
+} // namespace
+
+VerifyReport
+verifyProcedure(const Procedure &proc)
+{
+    VerifyReport report;
+    if (proc.blockCount() == 0) {
+        report.addError(proc.name() + ": procedure has no blocks");
+        return report;
+    }
+
+    for (const auto &bb : proc.blocks())
+        checkBlock(proc, bb, report);
+
+    auto seen = reachableBlocks(proc);
+    for (BlockId id = 0; id < proc.blockCount(); ++id) {
+        if (!seen[id])
+            report.addError(proc.name() + "/bb" + std::to_string(id) +
+                            ": unreachable from entry");
+    }
+
+    bool has_reachable_exit = false;
+    for (BlockId id : proc.exitBlocks())
+        has_reachable_exit |= seen[id];
+    if (!has_reachable_exit)
+        report.addError(proc.name() + ": no reachable Return block");
+
+    return report;
+}
+
+namespace {
+
+/** DFS cycle check over the static call graph. */
+bool
+callGraphHasCycle(const Module &module, ProcId node, std::vector<int> &state)
+{
+    state[node] = 1; // in progress
+    for (ProcId callee : module.procedure(node).callees()) {
+        if (callee >= module.procedureCount())
+            continue; // reported separately
+        if (state[callee] == 1)
+            return true;
+        if (state[callee] == 0 && callGraphHasCycle(module, callee, state))
+            return true;
+    }
+    state[node] = 2; // done
+    return false;
+}
+
+} // namespace
+
+VerifyReport
+verifyModule(const Module &module)
+{
+    VerifyReport report;
+    for (const auto &proc : module.procedures()) {
+        auto sub = verifyProcedure(proc);
+        for (const auto &err : sub.errors())
+            report.addError(err);
+        for (ProcId callee : proc.callees()) {
+            if (callee >= module.procedureCount())
+                report.addError(proc.name() + ": call to unknown procedure #" +
+                                std::to_string(callee));
+        }
+    }
+
+    std::vector<int> state(module.procedureCount(), 0);
+    for (ProcId id = 0; id < module.procedureCount(); ++id) {
+        if (state[id] == 0 && callGraphHasCycle(module, id, state)) {
+            report.addError("module " + module.name() +
+                            ": recursive call graph (unsupported on motes)");
+            break;
+        }
+    }
+    return report;
+}
+
+} // namespace ct::ir

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Structural verification of procedures and modules.
+ */
+
+#ifndef CT_IR_VERIFY_HH
+#define CT_IR_VERIFY_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/module.hh"
+
+namespace ct::ir {
+
+/** Accumulated verification diagnostics. */
+class VerifyReport
+{
+  public:
+    void addError(std::string message);
+
+    bool ok() const { return errors_.empty(); }
+    const std::vector<std::string> &errors() const { return errors_; }
+
+    /** All errors joined with newlines. */
+    std::string toString() const;
+
+  private:
+    std::vector<std::string> errors_;
+};
+
+/**
+ * Check one procedure:
+ *  - all terminator targets are in range,
+ *  - branch successors are distinct,
+ *  - all blocks are reachable from the entry,
+ *  - every register operand is < kNumRegs,
+ *  - at least one exit (Return) block exists and is reachable.
+ */
+VerifyReport verifyProcedure(const Procedure &proc);
+
+/**
+ * Check a whole module: each procedure individually, Call targets exist,
+ * and the static call graph is acyclic (the mote has a tiny stack; the
+ * workload suite is recursion-free by construction).
+ */
+VerifyReport verifyModule(const Module &module);
+
+} // namespace ct::ir
+
+#endif // CT_IR_VERIFY_HH

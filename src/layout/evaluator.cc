@@ -1,0 +1,103 @@
+#include "layout/evaluator.hh"
+
+#include "util/logging.hh"
+
+namespace ct::layout {
+
+namespace {
+
+/** Invocation count guarded against zero (for per-invocation rates). */
+double
+nz(const ir::EdgeProfile &profile)
+{
+    return profile.invocations() > 0.0 ? profile.invocations() : 1.0;
+}
+
+} // namespace
+
+PlacementCost
+evaluatePlacement(const ir::Procedure &proc, const sim::BlockOrder &order,
+                  const ir::EdgeProfile &profile, const sim::CostModel &costs,
+                  sim::PredictPolicy policy)
+{
+    sim::LoweredProc placed = sim::lowerProcedure(proc, order);
+    PlacementCost out;
+
+    for (const auto &bb : proc.blocks()) {
+        const auto &lb = placed.order[placed.positionOf[bb.id]];
+        switch (lb.ctrl) {
+          case sim::CtrlKind::Ret: {
+            double visits = profile.visitCount(proc, bb.id);
+            out.transferCycles +=
+                visits * double(costs.retOverhead) / nz(profile);
+            break;
+          }
+          case sim::CtrlKind::Fallthrough:
+            break;
+          case sim::CtrlKind::Jmp: {
+            double freq = profile.edgeFrequency(bb.id, lb.otherTarget);
+            out.transferCycles += freq * double(costs.jump);
+            out.jumps += freq;
+            break;
+          }
+          case sim::CtrlKind::CondBr:
+          case sim::CtrlKind::CondBrPlusJmp: {
+            double f_taken =
+                profile.edgeFrequency(bb.id, bb.term.taken);
+            double f_fall =
+                profile.edgeFrequency(bb.id, bb.term.fallthrough);
+            double f_exec = f_taken + f_fall;
+            out.branchesExecuted += f_exec;
+            out.transferCycles += f_exec * double(costs.branchBase);
+
+            bool predicted = sim::predictsTaken(
+                policy, placed.positionOf[bb.id],
+                placed.positionOf[lb.condTarget]);
+
+            // Frequency of the *transfer* (emitted condition true) edge.
+            double f_transfer =
+                lb.condTarget == bb.term.taken ? f_taken : f_fall;
+            double f_stay = f_exec - f_transfer;
+
+            out.takenBranches += f_transfer;
+            double f_mis = predicted ? f_stay : f_transfer;
+            out.mispredictions += f_mis;
+            out.transferCycles += f_mis * double(costs.mispredictPenalty);
+
+            if (lb.ctrl == sim::CtrlKind::CondBrPlusJmp) {
+                out.transferCycles += f_stay * double(costs.jump);
+                out.jumps += f_stay;
+            }
+            break;
+          }
+        }
+    }
+    return out;
+}
+
+PlacementCost
+evaluateModulePlacement(const ir::Module &module,
+                        const std::vector<sim::BlockOrder> &orders,
+                        const ir::ModuleProfile &profile,
+                        const sim::CostModel &costs,
+                        sim::PredictPolicy policy)
+{
+    CT_ASSERT(orders.size() == module.procedureCount(),
+              "evaluateModulePlacement: orders size mismatch");
+    PlacementCost total;
+    for (ir::ProcId id = 0; id < module.procedureCount(); ++id) {
+        const auto &proc = module.procedure(id);
+        PlacementCost cost = evaluatePlacement(
+            proc, orders[id].empty() ? sim::naturalOrder(proc) : orders[id],
+            profile[id], costs, policy);
+        double weight = profile[id].invocations();
+        total.transferCycles += cost.transferCycles * weight;
+        total.mispredictions += cost.mispredictions * weight;
+        total.takenBranches += cost.takenBranches * weight;
+        total.branchesExecuted += cost.branchesExecuted * weight;
+        total.jumps += cost.jumps * weight;
+    }
+    return total;
+}
+
+} // namespace ct::layout

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Static placement cost evaluation.
+ *
+ * Given a profile (true or estimated) and a candidate order, predict the
+ * per-invocation control-transfer cost without running the simulator —
+ * the quantity the optimizer minimizes and the experiments cross-check
+ * against simulated results.
+ */
+
+#ifndef CT_LAYOUT_EVALUATOR_HH
+#define CT_LAYOUT_EVALUATOR_HH
+
+#include "ir/module.hh"
+#include "ir/profile.hh"
+#include "sim/costs.hh"
+#include "sim/lower.hh"
+
+namespace ct::layout {
+
+/** Expected per-invocation placement costs. */
+struct PlacementCost
+{
+    double transferCycles = 0.0;   //!< all control-transfer cycles
+    double mispredictions = 0.0;   //!< expected mispredicted cond branches
+    double takenBranches = 0.0;    //!< expected taken cond branches
+    double branchesExecuted = 0.0; //!< expected cond branches executed
+    double jumps = 0.0;            //!< expected unconditional jumps
+
+    double mispredictRate() const
+    {
+        return branchesExecuted > 0.0 ? mispredictions / branchesExecuted
+                                      : 0.0;
+    }
+};
+
+/**
+ * Evaluate @p order for @p proc under @p profile (per-invocation edge
+ * frequencies are derived from it).
+ */
+PlacementCost evaluatePlacement(const ir::Procedure &proc,
+                                const sim::BlockOrder &order,
+                                const ir::EdgeProfile &profile,
+                                const sim::CostModel &costs,
+                                sim::PredictPolicy policy);
+
+/** Sum of evaluatePlacement over every procedure, weighted by each
+ *  procedure's profiled invocation count. */
+PlacementCost evaluateModulePlacement(const ir::Module &module,
+                                      const std::vector<sim::BlockOrder> &o,
+                                      const ir::ModuleProfile &profile,
+                                      const sim::CostModel &costs,
+                                      sim::PredictPolicy policy);
+
+} // namespace ct::layout
+
+#endif // CT_LAYOUT_EVALUATOR_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Code placement: computing physical block orders.
+ *
+ * The profile-guided algorithm is Pettis-Hansen-style bottom-up chain
+ * merging: hot edges are made fallthroughs by gluing their endpoints
+ * into chains, then chains are concatenated. Combined with the
+ * condition inversion performed at lowering time, this converts the
+ * likely successor of every hot conditional branch into the physically
+ * next block, which is exactly what minimizes static-not-taken
+ * mispredictions on a mote core.
+ */
+
+#ifndef CT_LAYOUT_PLACEMENT_HH
+#define CT_LAYOUT_PLACEMENT_HH
+
+#include <vector>
+
+#include "ir/module.hh"
+#include "ir/profile.hh"
+#include "sim/lower.hh"
+#include "stats/rng.hh"
+
+namespace ct::layout {
+
+/** Available placement strategies. */
+enum class LayoutKind {
+    Natural,       //!< authoring order (unoptimized baseline)
+    Dfs,           //!< depth-first order, taken successors first
+    Random,        //!< entry first, rest shuffled (pessimal-ish baseline)
+    ProfileGuided, //!< Pettis-Hansen chains over edge weights
+};
+
+const char *layoutName(LayoutKind kind);
+
+/**
+ * Compute a physical order for @p proc.
+ *
+ * @param profile edge weights; only consulted for ProfileGuided.
+ * @param rng     randomness source; only consulted for Random.
+ */
+sim::BlockOrder computeOrder(const ir::Procedure &proc,
+                             const ir::EdgeProfile &profile, LayoutKind kind,
+                             Rng &rng);
+
+/**
+ * Pettis-Hansen bottom-up chaining given explicit edge weights (in
+ * Procedure::edges() order). Exposed separately for tests and for
+ * callers with synthetic weights.
+ */
+sim::BlockOrder pettisHansenOrder(const ir::Procedure &proc,
+                                  const std::vector<double> &edge_weights);
+
+/**
+ * Exhaustively optimal order: minimizes the static expected transfer
+ * cycles (see layout::evaluatePlacement) over all permutations keeping
+ * the entry first. Exponential — refuses procedures with more than
+ * @p max_blocks blocks (fatal()). A validation oracle for the greedy
+ * chain heuristic, not a production pass.
+ */
+sim::BlockOrder optimalOrder(const ir::Procedure &proc,
+                             const ir::EdgeProfile &profile,
+                             const sim::CostModel &costs,
+                             sim::PredictPolicy policy,
+                             size_t max_blocks = 9);
+
+/** Orders for every procedure of a module. */
+std::vector<sim::BlockOrder> computeModuleOrders(
+    const ir::Module &module, const ir::ModuleProfile &profile,
+    LayoutKind kind, Rng &rng);
+
+} // namespace ct::layout
+
+#endif // CT_LAYOUT_PLACEMENT_HH

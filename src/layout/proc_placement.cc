@@ -1,0 +1,159 @@
+#include "layout/proc_placement.hh"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace ct::layout {
+
+std::vector<CallEdge>
+callEdgeWeights(const ir::Module &module, const ir::ModuleProfile &profile)
+{
+    std::map<std::pair<ir::ProcId, ir::ProcId>, double> acc;
+    for (const auto &proc : module.procedures()) {
+        for (const auto &bb : proc.blocks()) {
+            for (const auto &inst : bb.insts) {
+                if (inst.op != ir::Opcode::Call)
+                    continue;
+                double executions =
+                    profile[proc.id()].visitCount(proc, bb.id);
+                acc[{proc.id(), ir::ProcId(inst.imm)}] += executions;
+            }
+        }
+    }
+    std::vector<CallEdge> out;
+    for (const auto &[pair, weight] : acc)
+        out.push_back({pair.first, pair.second, weight});
+    return out;
+}
+
+namespace {
+
+/** Slot of @p id within chain-of-chains bookkeeping. */
+size_t
+positionIn(const std::vector<ir::ProcId> &chain, ir::ProcId id)
+{
+    for (size_t i = 0; i < chain.size(); ++i) {
+        if (chain[i] == id)
+            return i;
+    }
+    panic("positionIn: proc not in chain");
+}
+
+/** Join two chains in the orientation minimizing |pos(a) - pos(b)|. */
+std::vector<ir::ProcId>
+joinChains(std::vector<ir::ProcId> lhs, std::vector<ir::ProcId> rhs,
+           ir::ProcId a, ir::ProcId b)
+{
+    auto distance = [&](const std::vector<ir::ProcId> &joined) {
+        size_t pa = positionIn(joined, a);
+        size_t pb = positionIn(joined, b);
+        return pa > pb ? pa - pb : pb - pa;
+    };
+
+    std::vector<std::vector<ir::ProcId>> candidates;
+    auto emit = [&](std::vector<ir::ProcId> first,
+                    std::vector<ir::ProcId> second) {
+        first.insert(first.end(), second.begin(), second.end());
+        candidates.push_back(std::move(first));
+    };
+    std::vector<ir::ProcId> lhs_rev(lhs.rbegin(), lhs.rend());
+    std::vector<ir::ProcId> rhs_rev(rhs.rbegin(), rhs.rend());
+    emit(lhs, rhs);
+    emit(lhs, rhs_rev);
+    emit(lhs_rev, rhs);
+    emit(lhs_rev, rhs_rev);
+
+    size_t best = 0;
+    for (size_t i = 1; i < candidates.size(); ++i) {
+        if (distance(candidates[i]) < distance(candidates[best]))
+            best = i;
+    }
+    return candidates[best];
+}
+
+} // namespace
+
+std::vector<ir::ProcId>
+procedureOrder(const ir::Module &module, const ir::ModuleProfile &profile)
+{
+    const size_t n = module.procedureCount();
+    auto edges = callEdgeWeights(module, profile);
+    std::stable_sort(edges.begin(), edges.end(),
+                     [](const CallEdge &a, const CallEdge &b) {
+                         return a.weight > b.weight;
+                     });
+
+    std::vector<uint32_t> chainOf(n);
+    std::iota(chainOf.begin(), chainOf.end(), 0);
+    std::vector<std::vector<ir::ProcId>> chains(n);
+    for (ir::ProcId id = 0; id < n; ++id)
+        chains[id] = {id};
+
+    for (const CallEdge &edge : edges) {
+        if (edge.weight <= 0.0)
+            break;
+        uint32_t ca = chainOf[edge.caller];
+        uint32_t cb = chainOf[edge.callee];
+        if (ca == cb)
+            continue;
+        auto joined = joinChains(chains[ca], chains[cb], edge.caller,
+                                 edge.callee);
+        chains[cb].clear();
+        chains[ca] = std::move(joined);
+        for (ir::ProcId id : chains[ca])
+            chainOf[id] = ca;
+    }
+
+    // Concatenate remaining chains: heaviest total call volume first,
+    // ties by smallest member id (determinism).
+    std::vector<double> volume(n, 0.0);
+    for (const CallEdge &edge : edges) {
+        volume[chainOf[edge.caller]] += edge.weight;
+        volume[chainOf[edge.callee]] += edge.weight;
+    }
+    std::vector<uint32_t> heads;
+    for (uint32_t c = 0; c < n; ++c) {
+        if (!chains[c].empty())
+            heads.push_back(c);
+    }
+    std::stable_sort(heads.begin(), heads.end(),
+                     [&](uint32_t a, uint32_t b) {
+                         if (volume[a] != volume[b])
+                             return volume[a] > volume[b];
+                         return chains[a].front() < chains[b].front();
+                     });
+
+    std::vector<ir::ProcId> order;
+    order.reserve(n);
+    for (uint32_t c : heads)
+        for (ir::ProcId id : chains[c])
+            order.push_back(id);
+    CT_ASSERT(order.size() == n, "procedureOrder: lost procedures");
+    return order;
+}
+
+double
+expectedFarCalls(const ir::Module &module, const ir::ModuleProfile &profile,
+                 const std::vector<ir::ProcId> &order, uint32_t window)
+{
+    CT_ASSERT(order.size() == module.procedureCount(),
+              "expectedFarCalls: order size mismatch");
+    std::vector<size_t> position(order.size());
+    for (size_t pos = 0; pos < order.size(); ++pos)
+        position[order[pos]] = pos;
+
+    double far = 0.0;
+    for (const CallEdge &edge : callEdgeWeights(module, profile)) {
+        size_t pa = position[edge.caller];
+        size_t pb = position[edge.callee];
+        size_t distance = pa > pb ? pa - pb : pb - pa;
+        if (distance > window)
+            far += edge.weight;
+    }
+    return far;
+}
+
+} // namespace ct::layout

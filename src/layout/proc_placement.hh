@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Procedure placement: ordering procedures in flash so hot call pairs
+ * sit within the near-call window — the procedure-ordering half of
+ * Pettis-Hansen, complementing the basic-block half in placement.hh.
+ *
+ * Relevant on motes because MSP430-class parts encode short calls /
+ * branches more cheaply than far ones, and because flash prefetch
+ * buffers favour locality. The simulator prices this via
+ * CostModel::farCallExtra / nearCallWindow.
+ */
+
+#ifndef CT_LAYOUT_PROC_PLACEMENT_HH
+#define CT_LAYOUT_PROC_PLACEMENT_HH
+
+#include <vector>
+
+#include "ir/module.hh"
+#include "ir/profile.hh"
+
+namespace ct::layout {
+
+/** One weighted call-graph edge. */
+struct CallEdge
+{
+    ir::ProcId caller = ir::kNoProc;
+    ir::ProcId callee = ir::kNoProc;
+    /** Expected call executions over the profiled run. */
+    double weight = 0.0;
+};
+
+/**
+ * Dynamic call-edge weights from a profile: for every Call site, the
+ * executions of its containing block (visit count scaled to the
+ * profile's invocation totals). Parallel call sites to the same callee
+ * accumulate.
+ */
+std::vector<CallEdge> callEdgeWeights(const ir::Module &module,
+                                      const ir::ModuleProfile &profile);
+
+/**
+ * Greedy call-graph chaining: repeatedly merge the two procedure
+ * chains joined by the heaviest remaining call edge, choosing the
+ * orientation that brings the edge's endpoints closest; concatenate
+ * leftover chains by total weight. Returns a permutation of all
+ * ProcIds (flash order).
+ */
+std::vector<ir::ProcId> procedureOrder(const ir::Module &module,
+                                       const ir::ModuleProfile &profile);
+
+/**
+ * Expected far-call executions under @p order: the sum of call-edge
+ * weights whose endpoints sit more than @p window slots apart. The
+ * quantity procedureOrder minimizes greedily.
+ */
+double expectedFarCalls(const ir::Module &module,
+                        const ir::ModuleProfile &profile,
+                        const std::vector<ir::ProcId> &order,
+                        uint32_t window);
+
+} // namespace ct::layout
+
+#endif // CT_LAYOUT_PROC_PLACEMENT_HH

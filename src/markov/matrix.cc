@@ -1,0 +1,189 @@
+#include "markov/matrix.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ct::markov {
+
+Matrix::Matrix(size_t rows, size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0)
+{
+}
+
+Matrix
+Matrix::identity(size_t n)
+{
+    Matrix out(n, n);
+    for (size_t i = 0; i < n; ++i)
+        out.at(i, i) = 1.0;
+    return out;
+}
+
+double &
+Matrix::at(size_t r, size_t c)
+{
+    CT_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+}
+
+double
+Matrix::at(size_t r, size_t c) const
+{
+    CT_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+}
+
+Matrix
+Matrix::operator+(const Matrix &other) const
+{
+    CT_ASSERT(rows_ == other.rows_ && cols_ == other.cols_,
+              "matrix shape mismatch in +");
+    Matrix out(rows_, cols_);
+    for (size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] = data_[i] + other.data_[i];
+    return out;
+}
+
+Matrix
+Matrix::operator-(const Matrix &other) const
+{
+    CT_ASSERT(rows_ == other.rows_ && cols_ == other.cols_,
+              "matrix shape mismatch in -");
+    Matrix out(rows_, cols_);
+    for (size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] = data_[i] - other.data_[i];
+    return out;
+}
+
+Matrix
+Matrix::operator*(const Matrix &other) const
+{
+    CT_ASSERT(cols_ == other.rows_, "matrix shape mismatch in *");
+    Matrix out(rows_, other.cols_);
+    for (size_t i = 0; i < rows_; ++i) {
+        for (size_t k = 0; k < cols_; ++k) {
+            double lhs = at(i, k);
+            if (lhs == 0.0)
+                continue;
+            for (size_t j = 0; j < other.cols_; ++j)
+                out.at(i, j) += lhs * other.at(k, j);
+        }
+    }
+    return out;
+}
+
+Matrix
+Matrix::operator*(double scale) const
+{
+    Matrix out(rows_, cols_);
+    for (size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] = data_[i] * scale;
+    return out;
+}
+
+std::vector<double>
+Matrix::apply(const std::vector<double> &v) const
+{
+    CT_ASSERT(v.size() == cols_, "matrix/vector shape mismatch");
+    std::vector<double> out(rows_, 0.0);
+    for (size_t i = 0; i < rows_; ++i) {
+        double sum = 0.0;
+        for (size_t j = 0; j < cols_; ++j)
+            sum += at(i, j) * v[j];
+        out[i] = sum;
+    }
+    return out;
+}
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix out(cols_, rows_);
+    for (size_t i = 0; i < rows_; ++i)
+        for (size_t j = 0; j < cols_; ++j)
+            out.at(j, i) = at(i, j);
+    return out;
+}
+
+bool
+Matrix::solve(const std::vector<double> &b, std::vector<double> &x) const
+{
+    CT_ASSERT(rows_ == cols_, "solve requires a square matrix");
+    CT_ASSERT(b.size() == rows_, "solve rhs size mismatch");
+    size_t n = rows_;
+    // Augmented working copy.
+    std::vector<double> a(data_);
+    std::vector<double> rhs(b);
+
+    for (size_t col = 0; col < n; ++col) {
+        // Partial pivot.
+        size_t pivot = col;
+        double best = std::abs(a[col * n + col]);
+        for (size_t r = col + 1; r < n; ++r) {
+            double mag = std::abs(a[r * n + col]);
+            if (mag > best) {
+                best = mag;
+                pivot = r;
+            }
+        }
+        if (best < 1e-12)
+            return false; // singular
+        if (pivot != col) {
+            for (size_t c = 0; c < n; ++c)
+                std::swap(a[col * n + c], a[pivot * n + c]);
+            std::swap(rhs[col], rhs[pivot]);
+        }
+        double inv = 1.0 / a[col * n + col];
+        for (size_t r = col + 1; r < n; ++r) {
+            double factor = a[r * n + col] * inv;
+            if (factor == 0.0)
+                continue;
+            for (size_t c = col; c < n; ++c)
+                a[r * n + c] -= factor * a[col * n + c];
+            rhs[r] -= factor * rhs[col];
+        }
+    }
+
+    x.assign(n, 0.0);
+    for (size_t i = n; i-- > 0;) {
+        double sum = rhs[i];
+        for (size_t j = i + 1; j < n; ++j)
+            sum -= a[i * n + j] * x[j];
+        x[i] = sum / a[i * n + i];
+    }
+    return true;
+}
+
+bool
+Matrix::inverse(Matrix &out) const
+{
+    CT_ASSERT(rows_ == cols_, "inverse requires a square matrix");
+    size_t n = rows_;
+    out = Matrix(n, n);
+    std::vector<double> e(n, 0.0);
+    std::vector<double> col;
+    for (size_t j = 0; j < n; ++j) {
+        std::fill(e.begin(), e.end(), 0.0);
+        e[j] = 1.0;
+        if (!solve(e, col))
+            return false;
+        for (size_t i = 0; i < n; ++i)
+            out.at(i, j) = col[i];
+    }
+    return true;
+}
+
+double
+Matrix::maxDiff(const Matrix &other) const
+{
+    CT_ASSERT(rows_ == other.rows_ && cols_ == other.cols_,
+              "matrix shape mismatch in maxDiff");
+    double worst = 0.0;
+    for (size_t i = 0; i < data_.size(); ++i)
+        worst = std::max(worst, std::abs(data_[i] - other.data_[i]));
+    return worst;
+}
+
+} // namespace ct::markov

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Small dense matrix kernel.
+ *
+ * Procedure CFGs have tens of blocks, so an O(n^3) dense solver is the
+ * right tool; no sparse machinery is warranted.
+ */
+
+#ifndef CT_MARKOV_MATRIX_HH
+#define CT_MARKOV_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace ct::markov {
+
+/** Row-major dense matrix of doubles. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** rows x cols zero matrix. */
+    Matrix(size_t rows, size_t cols);
+
+    static Matrix identity(size_t n);
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+
+    double &at(size_t r, size_t c);
+    double at(size_t r, size_t c) const;
+
+    Matrix operator+(const Matrix &other) const;
+    Matrix operator-(const Matrix &other) const;
+    Matrix operator*(const Matrix &other) const;
+    Matrix operator*(double scale) const;
+
+    /** Matrix-vector product. */
+    std::vector<double> apply(const std::vector<double> &v) const;
+
+    /** Transpose copy. */
+    Matrix transposed() const;
+
+    /**
+     * Solve this * x = b by Gaussian elimination with partial pivoting.
+     * panic()s on non-square; returns false if singular.
+     */
+    bool solve(const std::vector<double> &b, std::vector<double> &x) const;
+
+    /**
+     * Inverse via column-wise solves.
+     * @retval true on success; false if singular.
+     */
+    bool inverse(Matrix &out) const;
+
+    /** Max-norm distance to another matrix (for tests). */
+    double maxDiff(const Matrix &other) const;
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+} // namespace ct::markov
+
+#endif // CT_MARKOV_MATRIX_HH

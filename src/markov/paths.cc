@@ -1,0 +1,124 @@
+#include "markov/paths.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ct::markov {
+
+double
+PathSet::coveredMass() const
+{
+    double sum = 0.0;
+    for (const auto &path : paths)
+        sum += path.prob;
+    return sum;
+}
+
+namespace {
+
+struct EnumState
+{
+    const AbsorbingChain &chain;
+    const PathEnumOptions &options;
+    PathSet out;
+    std::vector<size_t> stack;
+    std::vector<uint32_t> visits;
+
+    EnumState(const AbsorbingChain &c, const PathEnumOptions &o)
+        : chain(c), options(o), visits(c.size(), 0)
+    {
+    }
+
+    void
+    expand(size_t state, double prob, double reward)
+    {
+        if (out.paths.size() >= options.maxPaths) {
+            out.droppedMass += prob;
+            return;
+        }
+        if (prob < options.minProb ||
+            stack.size() >= options.maxLength ||
+            visits[state] >= options.maxVisitsPerState) {
+            out.droppedMass += prob;
+            return;
+        }
+
+        stack.push_back(state);
+        ++visits[state];
+
+        double exit_p = chain.exitProb(state);
+        if (exit_p > 0.0) {
+            Path path;
+            path.states = stack;
+            path.prob = prob * exit_p;
+            path.reward =
+                reward + chain.stateReward(state) + chain.exitReward(state);
+            if (path.prob >= options.minProb &&
+                out.paths.size() < options.maxPaths) {
+                out.paths.push_back(std::move(path));
+            } else {
+                out.droppedMass += prob * exit_p;
+            }
+        }
+
+        for (size_t next = 0; next < chain.size(); ++next) {
+            double p = chain.transition(state, next);
+            if (p <= 0.0)
+                continue;
+            expand(next, prob * p,
+                   reward + chain.stateReward(state) +
+                       chain.edgeReward(state, next));
+        }
+
+        --visits[state];
+        stack.pop_back();
+    }
+};
+
+} // namespace
+
+PathSet
+enumeratePaths(const AbsorbingChain &chain, size_t start,
+               const PathEnumOptions &options)
+{
+    CT_ASSERT(start < chain.size(), "enumeratePaths: bad start state");
+    EnumState state(chain, options);
+    state.expand(start, 1.0, 0.0);
+
+    std::sort(state.out.paths.begin(), state.out.paths.end(),
+              [](const Path &a, const Path &b) { return a.prob > b.prob; });
+    return std::move(state.out);
+}
+
+std::vector<RewardClass>
+groupByReward(const PathSet &set, double tolerance)
+{
+    // Sort path indices by reward, then sweep merging near-equal runs.
+    std::vector<size_t> order(set.paths.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return set.paths[a].reward < set.paths[b].reward;
+    });
+
+    std::vector<RewardClass> classes;
+    for (size_t idx : order) {
+        const Path &path = set.paths[idx];
+        if (!classes.empty() &&
+            std::abs(path.reward - classes.back().reward) <= tolerance) {
+            classes.back().members.push_back(idx);
+            classes.back().prob += path.prob;
+        } else {
+            RewardClass cls;
+            cls.reward = path.reward;
+            cls.members = {idx};
+            cls.prob = path.prob;
+            classes.push_back(std::move(cls));
+        }
+    }
+    return classes;
+}
+
+} // namespace ct::markov

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Bounded enumeration of absorbing-walk paths.
+ *
+ * The tomography estimators reason over an explicit, bounded set of
+ * likely paths (latent classes in the EM formulation; rows of the linear
+ * system in the histogram-inversion formulation). Loops make the exact
+ * path set infinite, so enumeration is bounded by per-state visit caps
+ * and a minimum path probability, and the dropped tail mass is reported.
+ */
+
+#ifndef CT_MARKOV_PATHS_HH
+#define CT_MARKOV_PATHS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "markov/chain.hh"
+
+namespace ct::markov {
+
+/** One enumerated path through the chain. */
+struct Path
+{
+    std::vector<size_t> states; //!< transient states in visit order
+    double prob = 0.0;          //!< probability of exactly this walk
+    double reward = 0.0;        //!< deterministic total reward of the walk
+};
+
+/** Enumeration bounds. */
+struct PathEnumOptions
+{
+    /** Drop paths whose probability falls below this while expanding. */
+    double minProb = 1e-6;
+    /** Per-state visit cap (bounds loop unrolling). */
+    uint32_t maxVisitsPerState = 12;
+    /** Hard cap on the number of emitted paths. */
+    size_t maxPaths = 50'000;
+    /** Hard cap on path length. */
+    size_t maxLength = 4'096;
+};
+
+/** Result of enumeration: the paths plus the probability mass dropped. */
+struct PathSet
+{
+    std::vector<Path> paths;
+    /** Probability mass of walks not represented (pruned tail). */
+    double droppedMass = 0.0;
+
+    /** Sum of emitted path probabilities (1 - droppedMass up to fp). */
+    double coveredMass() const;
+};
+
+/**
+ * Enumerate paths from @p start until absorption, depth-first, pruning
+ * by the options. Probabilities use the chain's transitions; rewards use
+ * its state/edge/exit rewards.
+ */
+PathSet enumeratePaths(const AbsorbingChain &chain, size_t start,
+                       const PathEnumOptions &options = {});
+
+/**
+ * Group paths by (near-)equal reward: paths whose rewards differ by at
+ * most @p tolerance share a class. Returns, per class, the representative
+ * reward and the member path indices. Classes are sorted by reward.
+ * This captures the *aliasing* structure of end-to-end timing: within a
+ * class, boundary timing alone cannot distinguish members.
+ */
+struct RewardClass
+{
+    double reward = 0.0;
+    std::vector<size_t> members; //!< indices into PathSet::paths
+    double prob = 0.0;           //!< total probability of the class
+};
+
+std::vector<RewardClass> groupByReward(const PathSet &set,
+                                       double tolerance = 1e-9);
+
+} // namespace ct::markov
+
+#endif // CT_MARKOV_PATHS_HH

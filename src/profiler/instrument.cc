@@ -1,0 +1,100 @@
+#include "profiler/instrument.hh"
+
+#include "ir/verify.hh"
+#include "util/logging.hh"
+
+namespace ct::profiler {
+
+namespace {
+
+/** The 4-instruction counter update targeting RAM word @p addr. */
+std::vector<ir::Inst>
+counterUpdate(ir::Word addr)
+{
+    using ir::Opcode;
+    std::vector<ir::Inst> code;
+    code.push_back({Opcode::Li, kScratchB, 0, 0, addr});
+    code.push_back({Opcode::Ld, kScratchA, kScratchB, 0, 0});
+    code.push_back({Opcode::AddI, kScratchA, kScratchA, 0, 1});
+    code.push_back({Opcode::St, 0, kScratchB, kScratchA, 0});
+    return code;
+}
+
+void
+retargetBranch(ir::Terminator &term, ir::BlockId old_target,
+               ir::BlockId new_target)
+{
+    bool hit = false;
+    if (term.taken == old_target) {
+        term.taken = new_target;
+        hit = true;
+    } else if (term.isBranch() && term.fallthrough == old_target) {
+        term.fallthrough = new_target;
+        hit = true;
+    }
+    CT_ASSERT(hit, "retargetBranch: edge target not found");
+}
+
+} // namespace
+
+InstrumentedProgram
+instrumentModule(const ir::Module &original, const ModulePlan &plan)
+{
+    CT_ASSERT(plan.procs.size() == original.procedureCount(),
+              "instrumentModule: plan does not match module");
+
+    InstrumentedProgram out{original, plan};
+
+    for (ir::ProcId id = 0; id < out.module.procedureCount(); ++id) {
+        ir::Procedure &proc = out.module.procedure(id);
+        const ProcPlan &pp = plan.procs[id];
+
+        for (size_t k = 0; k < pp.counted.size(); ++k) {
+            const ir::Edge &edge = pp.counted[k];
+            ir::Word addr = plan.slotAddress(id, k);
+            auto update = counterUpdate(addr);
+
+            ir::BasicBlock &from = proc.block(edge.from);
+            if (from.term.isJump()) {
+                // Single successor: count in place.
+                from.insts.insert(from.insts.end(), update.begin(),
+                                  update.end());
+            } else if (from.term.isBranch()) {
+                // Split the edge through a fresh counting block.
+                ir::BlockId split = proc.addBlock(
+                    "cnt_" + std::to_string(edge.from) + "_" +
+                    std::to_string(edge.to));
+                ir::BasicBlock &sb = proc.block(split);
+                sb.insts = update;
+                sb.term.kind = ir::TermKind::Jump;
+                sb.term.taken = edge.to;
+                retargetBranch(proc.block(edge.from).term, edge.to, split);
+            } else {
+                panic("counted edge out of a Return block");
+            }
+        }
+    }
+
+    auto report = ir::verifyModule(out.module);
+    if (!report.ok())
+        panic("instrumented module failed verification:\n",
+              report.toString());
+    return out;
+}
+
+std::vector<double>
+readCounters(const std::vector<ir::Word> &ram, const ModulePlan &plan,
+             ir::ProcId proc)
+{
+    CT_ASSERT(proc < plan.procs.size(), "readCounters: bad proc");
+    std::vector<double> out;
+    for (size_t k = 0; k < plan.procs[proc].counted.size(); ++k) {
+        ir::Word addr = plan.slotAddress(proc, k);
+        CT_ASSERT(addr >= 0 && size_t(addr) < ram.size(),
+                  "counter address outside RAM snapshot");
+        out.push_back(double(ram[size_t(addr)]));
+    }
+    return out;
+}
+
+} // namespace ct::profiler

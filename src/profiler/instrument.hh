@@ -1,0 +1,52 @@
+/**
+ * @file
+ * IR rewriting that inserts edge counters.
+ *
+ * Counted edges out of unconditional blocks get their counter update
+ * appended in the source block; counted branch edges are split through a
+ * fresh block holding the update. The counter update sequence is the
+ * classic 4-instruction load/inc/store using registers r14/r15, which
+ * are reserved for instrumentation by convention (the workload suite
+ * never touches them).
+ */
+
+#ifndef CT_PROFILER_INSTRUMENT_HH
+#define CT_PROFILER_INSTRUMENT_HH
+
+#include "ir/module.hh"
+#include "profiler/plan.hh"
+
+namespace ct::profiler {
+
+/** Registers reserved for counter updates. */
+constexpr ir::Reg kScratchA = 14;
+constexpr ir::Reg kScratchB = 15;
+
+/** Cycles one counter update costs under a given cost model is
+ *  li + ld + addi + st; see counterUpdateCycles(). */
+constexpr size_t kCounterUpdateInsts = 4;
+
+/** A module with counters inserted per a ModulePlan. */
+struct InstrumentedProgram
+{
+    ir::Module module; //!< rewritten copy (split blocks appended)
+    ModulePlan plan;
+};
+
+/**
+ * Rewrite @p original per @p plan. The caller must size simulator RAM
+ * to cover [plan.counterBase, plan.counterBase + plan.counterCount()).
+ */
+InstrumentedProgram instrumentModule(const ir::Module &original,
+                                     const ModulePlan &plan);
+
+/**
+ * Read the counted-edge values of @p proc from a RAM snapshot taken
+ * after running the instrumented program.
+ */
+std::vector<double> readCounters(const std::vector<ir::Word> &ram,
+                                 const ModulePlan &plan, ir::ProcId proc);
+
+} // namespace ct::profiler
+
+#endif // CT_PROFILER_INSTRUMENT_HH

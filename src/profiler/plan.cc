@@ -1,0 +1,120 @@
+#include "profiler/plan.hh"
+
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace ct::profiler {
+
+const char *
+profilerModeName(ProfilerMode mode)
+{
+    switch (mode) {
+      case ProfilerMode::AllEdges: return "all-edges";
+      case ProfilerMode::SpanningTree: return "spanning-tree";
+    }
+    panic("profilerModeName: bad mode");
+}
+
+size_t
+ModulePlan::counterCount() const
+{
+    size_t n = 0;
+    for (const auto &proc : procs)
+        n += proc.counted.size();
+    return n;
+}
+
+ir::Word
+ModulePlan::slotAddress(ir::ProcId proc, size_t k) const
+{
+    CT_ASSERT(proc < procs.size(), "slotAddress: bad proc");
+    CT_ASSERT(k < procs[proc].counted.size(), "slotAddress: bad slot");
+    size_t offset = 0;
+    for (ir::ProcId p = 0; p < proc; ++p)
+        offset += procs[p].counted.size();
+    return counterBase + ir::Word(offset + k);
+}
+
+namespace {
+
+/** Union-find over vertices of the closed flow graph. */
+class UnionFind
+{
+  public:
+    explicit UnionFind(size_t n) : parent_(n)
+    {
+        std::iota(parent_.begin(), parent_.end(), size_t(0));
+    }
+
+    size_t
+    find(size_t v)
+    {
+        while (parent_[v] != v) {
+            parent_[v] = parent_[parent_[v]];
+            v = parent_[v];
+        }
+        return v;
+    }
+
+    /** @retval true if the union joined two components. */
+    bool
+    unite(size_t a, size_t b)
+    {
+        size_t ra = find(a);
+        size_t rb = find(b);
+        if (ra == rb)
+            return false;
+        parent_[ra] = rb;
+        return true;
+    }
+
+  private:
+    std::vector<size_t> parent_;
+};
+
+} // namespace
+
+ProcPlan
+planProcedure(const ir::Procedure &proc, ProfilerMode mode)
+{
+    ProcPlan plan;
+    const auto edges = proc.edges();
+
+    if (mode == ProfilerMode::AllEdges) {
+        plan.counted = edges;
+        return plan;
+    }
+
+    // SpanningTree: close the flow graph with a virtual EXIT vertex
+    // (ret-block -> EXIT edges plus EXIT -> entry). Virtual edges join
+    // the tree first — their counts come for free (the invocation count
+    // is known), so only real co-tree edges need physical counters.
+    const size_t exit_vertex = proc.blockCount();
+    UnionFind uf(proc.blockCount() + 1);
+
+    uf.unite(exit_vertex, proc.entry());
+    for (ir::BlockId ret : proc.exitBlocks())
+        uf.unite(ret, exit_vertex);
+
+    for (const ir::Edge &edge : edges) {
+        if (uf.unite(edge.from, edge.to))
+            plan.derived.push_back(edge);
+        else
+            plan.counted.push_back(edge);
+    }
+    return plan;
+}
+
+ModulePlan
+planModule(const ir::Module &module, ProfilerMode mode, ir::Word counter_base)
+{
+    ModulePlan plan;
+    plan.mode = mode;
+    plan.counterBase = counter_base;
+    for (const auto &proc : module.procedures())
+        plan.procs.push_back(planProcedure(proc, mode));
+    return plan;
+}
+
+} // namespace ct::profiler

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Instrumentation planning: which CFG edges receive RAM counters.
+ *
+ * This is the conventional profiling approach Code Tomography competes
+ * against. Two placements are provided:
+ *  - AllEdges: a counter on every CFG edge (naive),
+ *  - SpanningTree: Knuth's optimal placement — counters only on edges
+ *    outside a spanning tree of the (virtually closed) flow graph; tree
+ *    edge counts are recovered afterwards by flow conservation.
+ */
+
+#ifndef CT_PROFILER_PLAN_HH
+#define CT_PROFILER_PLAN_HH
+
+#include <vector>
+
+#include "ir/module.hh"
+
+namespace ct::profiler {
+
+/** Counter placement strategy. */
+enum class ProfilerMode {
+    AllEdges,
+    SpanningTree,
+};
+
+const char *profilerModeName(ProfilerMode mode);
+
+/** Plan for one procedure. */
+struct ProcPlan
+{
+    /** Edges that receive a physical counter, with assigned slot index
+     *  (slot i lives at RAM address base + i, bases assigned at module
+     *  level). */
+    std::vector<ir::Edge> counted;
+    /** Edges whose counts are derived by flow conservation. */
+    std::vector<ir::Edge> derived;
+};
+
+/** Plan for a whole module, with counter slot assignment. */
+struct ModulePlan
+{
+    ProfilerMode mode = ProfilerMode::AllEdges;
+    std::vector<ProcPlan> procs; //!< indexed by ProcId
+    /** First RAM word used for counters. */
+    ir::Word counterBase = 0;
+
+    /** Total number of physical counters. */
+    size_t counterCount() const;
+
+    /** RAM bytes consumed by counters (2 bytes each on a 16-bit mote). */
+    size_t counterBytes() const { return counterCount() * 2; }
+
+    /**
+     * RAM address of the counter for the @p k-th counted edge of
+     * procedure @p proc (slots are assigned in plan order).
+     */
+    ir::Word slotAddress(ir::ProcId proc, size_t k) const;
+};
+
+/** Choose counted/derived edges for one procedure. */
+ProcPlan planProcedure(const ir::Procedure &proc, ProfilerMode mode);
+
+/**
+ * Plan every procedure and assign counter slots starting at
+ * @p counter_base.
+ */
+ModulePlan planModule(const ir::Module &module, ProfilerMode mode,
+                      ir::Word counter_base);
+
+} // namespace ct::profiler
+
+#endif // CT_PROFILER_PLAN_HH

@@ -1,0 +1,114 @@
+#include "profiler/reconstruct.hh"
+
+#include "profiler/instrument.hh"
+#include "util/logging.hh"
+
+namespace ct::profiler {
+
+ir::EdgeProfile
+reconstructProfile(const ir::Procedure &proc, const ProcPlan &plan,
+                   const std::vector<double> &counted_values,
+                   double invocations)
+{
+    CT_ASSERT(counted_values.size() == plan.counted.size(),
+              "reconstructProfile: counter value count mismatch");
+
+    // Closed circulation graph: vertices = blocks + EXIT; edges = real
+    // CFG edges, ret->EXIT virtuals, and EXIT->entry carrying the
+    // invocation count.
+    struct FlowEdge
+    {
+        size_t from;
+        size_t to;
+        bool known;
+        double value;
+        bool real;
+        ir::Edge source; //!< valid when real
+    };
+
+    const size_t exit_vertex = proc.blockCount();
+    std::vector<FlowEdge> flow;
+
+    for (size_t k = 0; k < plan.counted.size(); ++k) {
+        const ir::Edge &edge = plan.counted[k];
+        flow.push_back({edge.from, edge.to, true, counted_values[k], true,
+                        edge});
+    }
+    for (const ir::Edge &edge : plan.derived)
+        flow.push_back({edge.from, edge.to, false, 0.0, true, edge});
+    for (ir::BlockId ret : proc.exitBlocks())
+        flow.push_back({ret, exit_vertex, false, 0.0, false, {}});
+    flow.push_back({exit_vertex, proc.entry(), true, invocations, false, {}});
+
+    // Leaf elimination: any vertex with exactly one unknown incident
+    // edge determines it by flow balance (inflow == outflow).
+    const size_t vertices = proc.blockCount() + 1;
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (size_t v = 0; v < vertices; ++v) {
+            double balance = 0.0; // inflow - outflow over known edges
+            FlowEdge *unknown = nullptr;
+            int unknown_sign = 0; // +1 if unknown flows in, -1 if out
+            size_t unknown_count = 0;
+            for (auto &edge : flow) {
+                if (edge.from != v && edge.to != v)
+                    continue;
+                if (edge.from == v && edge.to == v)
+                    continue; // self loop cancels in the balance
+                int sign = edge.to == v ? +1 : -1;
+                if (edge.known) {
+                    balance += sign * edge.value;
+                } else {
+                    ++unknown_count;
+                    unknown = &edge;
+                    unknown_sign = sign;
+                }
+            }
+            if (unknown_count == 1) {
+                unknown->known = true;
+                unknown->value = -balance / double(unknown_sign);
+                if (unknown->value < 0.0 && unknown->value > -1e-6)
+                    unknown->value = 0.0;
+                progress = true;
+            }
+        }
+    }
+
+    ir::EdgeProfile out;
+    out.addInvocations(invocations);
+    for (const auto &edge : flow) {
+        if (!edge.real)
+            continue;
+        if (!edge.known)
+            panic("reconstructProfile: unsolvable flow system in '",
+                  proc.name(), "' (edge ", edge.source.from, " -> ",
+                  edge.source.to, ")");
+        out.addEdge(edge.source.from, edge.source.to, edge.value);
+    }
+
+    // Note on self loops (a branch whose taken target is its own block):
+    // they cancel out of every balance equation, so they can never be
+    // derived — planProcedure always places them in `counted` (the
+    // union-find "join" of a vertex with itself fails), keeping the
+    // solver complete.
+    return out;
+}
+
+ir::ModuleProfile
+reconstructModuleProfile(const ir::Module &module, const ModulePlan &plan,
+                         const std::vector<ir::Word> &ram,
+                         const std::vector<double> &invocations)
+{
+    CT_ASSERT(invocations.size() == module.procedureCount(),
+              "reconstructModuleProfile: invocation vector mismatch");
+    ir::ModuleProfile out(module.procedureCount());
+    for (ir::ProcId id = 0; id < module.procedureCount(); ++id) {
+        auto counted = readCounters(ram, plan, id);
+        out[id] = reconstructProfile(module.procedure(id), plan.procs[id],
+                                     counted, invocations[id]);
+    }
+    return out;
+}
+
+} // namespace ct::profiler

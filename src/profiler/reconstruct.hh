@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Flow-conservation reconstruction of full edge profiles from the
+ * counted subset (the payoff of spanning-tree counter placement).
+ */
+
+#ifndef CT_PROFILER_RECONSTRUCT_HH
+#define CT_PROFILER_RECONSTRUCT_HH
+
+#include "ir/profile.hh"
+#include "profiler/plan.hh"
+
+namespace ct::profiler {
+
+/**
+ * Recover every CFG edge count of @p proc from the physical counter
+ * values @p counted_values (in ProcPlan::counted order) plus the known
+ * invocation count, by leaf elimination on the closed flow graph.
+ * panic()s if the system is not triangularizable (which cannot happen
+ * for a plan produced by planProcedure on a verified procedure).
+ */
+ir::EdgeProfile reconstructProfile(const ir::Procedure &proc,
+                                   const ProcPlan &plan,
+                                   const std::vector<double> &counted_values,
+                                   double invocations);
+
+/**
+ * Reconstruct profiles for a whole module from a post-run RAM snapshot.
+ * @param invocations per-procedure invocation counts.
+ */
+ir::ModuleProfile reconstructModuleProfile(
+    const ir::Module &module, const ModulePlan &plan,
+    const std::vector<ir::Word> &ram, const std::vector<double> &invocations);
+
+} // namespace ct::profiler
+
+#endif // CT_PROFILER_RECONSTRUCT_HH

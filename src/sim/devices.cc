@@ -1,0 +1,59 @@
+#include "sim/devices.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ct::sim {
+
+ScriptedInputs::ScriptedInputs(uint64_t seed)
+    : rng_(seed)
+{
+}
+
+void
+ScriptedInputs::setChannel(int channel, std::unique_ptr<Distribution> dist)
+{
+    CT_ASSERT(dist != nullptr, "setChannel: null distribution");
+    channels_[channel] = std::move(dist);
+}
+
+void
+ScriptedInputs::setRadio(std::unique_ptr<Distribution> dist)
+{
+    CT_ASSERT(dist != nullptr, "setRadio: null distribution");
+    radio_ = std::move(dist);
+}
+
+ir::Word
+ScriptedInputs::sense(int channel)
+{
+    auto it = channels_.find(channel);
+    if (it == channels_.end())
+        fatal("workload reads unconfigured sensor channel ", channel);
+    ++senseCount_;
+    return ir::Word(std::llround(it->second->sample(rng_)));
+}
+
+ir::Word
+ScriptedInputs::radioRx()
+{
+    if (!radio_)
+        fatal("workload reads the radio but no inbound stream is configured");
+    ++radioRxCount_;
+    return ir::Word(std::llround(radio_->sample(rng_)));
+}
+
+Timer::Timer(uint64_t cycles_per_tick)
+    : cyclesPerTick_(cycles_per_tick)
+{
+    CT_ASSERT(cycles_per_tick >= 1, "timer resolution must be >= 1 cycle");
+}
+
+int64_t
+Timer::ticksAt(uint64_t cycles) const
+{
+    return int64_t(cycles / cyclesPerTick_);
+}
+
+} // namespace ct::sim

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Mote peripherals: sensor bank, radio, and the capture timer.
+ *
+ * Sensors and the radio are the sources of the paper's "nondeterministic
+ * inputs": every Sense/RadioRx instruction pulls the next sample from a
+ * configured stochastic stream.
+ */
+
+#ifndef CT_SIM_DEVICES_HH
+#define CT_SIM_DEVICES_HH
+
+#include <map>
+#include <memory>
+
+#include "ir/types.hh"
+#include "stats/distributions.hh"
+#include "stats/rng.hh"
+
+namespace ct::sim {
+
+/** Source of sensor and radio input values. */
+class InputSource
+{
+  public:
+    virtual ~InputSource() = default;
+
+    /** Next ADC sample on @p channel. */
+    virtual ir::Word sense(int channel) = 0;
+
+    /** Next inbound radio word. */
+    virtual ir::Word radioRx() = 0;
+};
+
+/**
+ * InputSource driven by per-channel distributions.
+ * Distributions emit doubles; values are rounded to the nearest Word.
+ */
+class ScriptedInputs : public InputSource
+{
+  public:
+    explicit ScriptedInputs(uint64_t seed);
+
+    /** Configure @p channel to sample from @p dist. */
+    void setChannel(int channel, std::unique_ptr<Distribution> dist);
+
+    /** Configure the radio inbound stream. */
+    void setRadio(std::unique_ptr<Distribution> dist);
+
+    ir::Word sense(int channel) override;
+    ir::Word radioRx() override;
+
+    /** Number of sense() calls served (all channels). */
+    uint64_t senseCount() const { return senseCount_; }
+    uint64_t radioRxCount() const { return radioRxCount_; }
+
+  private:
+    Rng rng_;
+    std::map<int, std::unique_ptr<Distribution>> channels_;
+    std::unique_ptr<Distribution> radio_;
+    uint64_t senseCount_ = 0;
+    uint64_t radioRxCount_ = 0;
+};
+
+/**
+ * Free-running capture timer: converts a cycle count into quantized
+ * ticks, mirroring a hardware timer driven at cpu_freq / resolution.
+ */
+class Timer
+{
+  public:
+    /** @param cycles_per_tick quantization quantum (>= 1). */
+    explicit Timer(uint64_t cycles_per_tick);
+
+    /** Tick count visible at absolute cycle @p cycles. */
+    int64_t ticksAt(uint64_t cycles) const;
+
+    uint64_t cyclesPerTick() const { return cyclesPerTick_; }
+
+  private:
+    uint64_t cyclesPerTick_;
+};
+
+} // namespace ct::sim
+
+#endif // CT_SIM_DEVICES_HH

@@ -1,0 +1,197 @@
+#include "sim/lower.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace ct::sim {
+
+BlockOrder
+naturalOrder(const ir::Procedure &proc)
+{
+    BlockOrder order(proc.blockCount());
+    for (ir::BlockId id = 0; id < proc.blockCount(); ++id)
+        order[id] = id;
+    return order;
+}
+
+size_t
+LoweredProc::extraJumps() const
+{
+    size_t n = 0;
+    for (const auto &lb : order)
+        n += lb.ctrl == CtrlKind::CondBrPlusJmp;
+    return n;
+}
+
+size_t
+LoweredProc::codeSlots(const ir::Procedure &source) const
+{
+    size_t slots = 0;
+    for (const auto &lb : order) {
+        slots += source.block(lb.block).insts.size();
+        switch (lb.ctrl) {
+          case CtrlKind::CondBr:
+          case CtrlKind::Jmp:
+          case CtrlKind::Ret:
+            slots += 1;
+            break;
+          case CtrlKind::CondBrPlusJmp:
+            slots += 2;
+            break;
+          case CtrlKind::Fallthrough:
+            break;
+        }
+    }
+    return slots;
+}
+
+namespace {
+
+void
+checkOrder(const ir::Procedure &proc, const BlockOrder &order)
+{
+    if (order.size() != proc.blockCount())
+        fatal("layout order for '", proc.name(), "' has ", order.size(),
+              " blocks, procedure has ", proc.blockCount());
+    if (order.empty() || order[0] != proc.entry())
+        fatal("layout order for '", proc.name(),
+              "' must begin with the entry block");
+    std::vector<bool> seen(proc.blockCount(), false);
+    for (ir::BlockId id : order) {
+        if (id >= proc.blockCount() || seen[id])
+            fatal("layout order for '", proc.name(),
+                  "' is not a permutation of its blocks");
+        seen[id] = true;
+    }
+}
+
+} // namespace
+
+LoweredProc
+lowerProcedure(const ir::Procedure &proc, const BlockOrder &order)
+{
+    checkOrder(proc, order);
+
+    LoweredProc out;
+    out.proc = proc.id();
+    out.positionOf.assign(proc.blockCount(), 0);
+    for (size_t pos = 0; pos < order.size(); ++pos)
+        out.positionOf[order[pos]] = pos;
+
+    for (size_t pos = 0; pos < order.size(); ++pos) {
+        const auto &bb = proc.block(order[pos]);
+        bool has_next = pos + 1 < order.size();
+        ir::BlockId next = has_next ? order[pos + 1] : ir::kNoBlock;
+
+        LoweredBlock lb;
+        lb.block = bb.id;
+        switch (bb.term.kind) {
+          case ir::TermKind::Return:
+            lb.ctrl = CtrlKind::Ret;
+            break;
+          case ir::TermKind::Jump:
+            if (bb.term.taken == next) {
+                lb.ctrl = CtrlKind::Fallthrough;
+            } else {
+                lb.ctrl = CtrlKind::Jmp;
+            }
+            lb.otherTarget = bb.term.taken;
+            break;
+          case ir::TermKind::Branch:
+            lb.lhs = bb.term.lhs;
+            lb.rhs = bb.term.rhs;
+            if (bb.term.fallthrough == next) {
+                // Natural shape: branch to taken, fall into fallthrough.
+                lb.ctrl = CtrlKind::CondBr;
+                lb.cond = bb.term.cond;
+                lb.inverted = false;
+                lb.condTarget = bb.term.taken;
+                lb.otherTarget = bb.term.fallthrough;
+            } else if (bb.term.taken == next) {
+                // Inverted: branch to the old fallthrough, fall into the
+                // old taken successor. This is the code-placement payoff.
+                lb.ctrl = CtrlKind::CondBr;
+                lb.cond = ir::negate(bb.term.cond);
+                lb.inverted = true;
+                lb.condTarget = bb.term.fallthrough;
+                lb.otherTarget = bb.term.taken;
+            } else {
+                // Neither successor adjacent: branch + trailing jump.
+                lb.ctrl = CtrlKind::CondBrPlusJmp;
+                lb.cond = bb.term.cond;
+                lb.inverted = false;
+                lb.condTarget = bb.term.taken;
+                lb.otherTarget = bb.term.fallthrough;
+            }
+            break;
+        }
+        out.order.push_back(lb);
+    }
+    return out;
+}
+
+LoweredModule
+lowerModule(const ir::Module &module)
+{
+    std::vector<BlockOrder> orders(module.procedureCount());
+    return lowerModule(module, orders);
+}
+
+LoweredModule
+lowerModule(const ir::Module &module, const std::vector<BlockOrder> &orders)
+{
+    CT_ASSERT(orders.size() == module.procedureCount(),
+              "lowerModule: orders size mismatch");
+    LoweredModule out;
+    for (ir::ProcId id = 0; id < module.procedureCount(); ++id) {
+        const auto &proc = module.procedure(id);
+        const BlockOrder &order = orders[id];
+        out.procs.push_back(
+            lowerProcedure(proc, order.empty() ? naturalOrder(proc) : order));
+        out.procPosition.push_back(id); // identity flash layout
+    }
+    return out;
+}
+
+size_t
+LoweredModule::procDistance(ir::ProcId a, ir::ProcId b) const
+{
+    CT_ASSERT(a < procPosition.size() && b < procPosition.size(),
+              "procDistance: bad ProcId");
+    size_t pa = procPosition[a];
+    size_t pb = procPosition[b];
+    return pa > pb ? pa - pb : pb - pa;
+}
+
+void
+LoweredModule::setProcOrder(const std::vector<ir::ProcId> &order)
+{
+    CT_ASSERT(order.size() == procs.size(),
+              "setProcOrder: order size mismatch");
+    std::vector<bool> seen(procs.size(), false);
+    procPosition.assign(procs.size(), 0);
+    for (size_t pos = 0; pos < order.size(); ++pos) {
+        ir::ProcId id = order[pos];
+        CT_ASSERT(id < procs.size() && !seen[id],
+                  "setProcOrder: not a permutation");
+        seen[id] = true;
+        procPosition[id] = pos;
+    }
+}
+
+bool
+predictsTaken(PredictPolicy policy, size_t from_pos, size_t target_pos)
+{
+    switch (policy) {
+      case PredictPolicy::NotTaken:
+        return false;
+      case PredictPolicy::Taken:
+        return true;
+      case PredictPolicy::BTFN:
+        return target_pos <= from_pos;
+    }
+    panic("predictsTaken: bad policy");
+}
+
+} // namespace ct::sim

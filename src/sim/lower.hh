@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Lowering: resolve a logical CFG plus a physical block order into the
+ * executable form the core fetches.
+ *
+ * This is where code placement becomes machine behaviour: a conditional
+ * branch whose *taken* logical successor is physically adjacent gets its
+ * condition inverted so the hot path falls through; a Jump to the
+ * physically next block disappears entirely; a branch with neither
+ * successor adjacent needs a trailing unconditional jump.
+ */
+
+#ifndef CT_SIM_LOWER_HH
+#define CT_SIM_LOWER_HH
+
+#include <vector>
+
+#include "ir/module.hh"
+#include "sim/costs.hh"
+
+namespace ct::sim {
+
+/** A physical block order: permutation of a procedure's block ids. */
+using BlockOrder = std::vector<ir::BlockId>;
+
+/** The identity (authoring) order of @p proc. */
+BlockOrder naturalOrder(const ir::Procedure &proc);
+
+/** How a lowered block transfers control. */
+enum class CtrlKind : uint8_t {
+    CondBr,        //!< conditional branch; falls through when untaken
+    CondBrPlusJmp, //!< conditional branch; unconditional jump when untaken
+    Jmp,           //!< unconditional jump
+    Fallthrough,   //!< jump target is physically next: no instruction
+    Ret,           //!< procedure exit
+};
+
+/** One block in its lowered, placed form. */
+struct LoweredBlock
+{
+    ir::BlockId block = ir::kNoBlock; //!< original block id
+    CtrlKind ctrl = CtrlKind::Ret;
+
+    /// @name CondBr / CondBrPlusJmp fields
+    /// @{
+    ir::CondCode cond = ir::CondCode::Eq; //!< condition as emitted
+    ir::Reg lhs = 0;
+    ir::Reg rhs = 0;
+    bool inverted = false; //!< condition was negated during lowering
+    /** Logical successor reached when the emitted condition holds. */
+    ir::BlockId condTarget = ir::kNoBlock;
+    /// @}
+
+    /** Logical successor reached otherwise (fallthrough or jump). */
+    ir::BlockId otherTarget = ir::kNoBlock;
+};
+
+/** One procedure in placed form. */
+struct LoweredProc
+{
+    ir::ProcId proc = ir::kNoProc;
+    std::vector<LoweredBlock> order;   //!< physical order
+    std::vector<size_t> positionOf;    //!< block id -> physical index
+
+    /** Extra unconditional jumps introduced by this placement. */
+    size_t extraJumps() const;
+
+    /**
+     * Code size in "instruction slots": straight-line instructions plus
+     * emitted control transfers (fallthroughs are free).
+     */
+    size_t codeSlots(const ir::Procedure &source) const;
+};
+
+/** A whole placed module. */
+struct LoweredModule
+{
+    std::vector<LoweredProc> procs; //!< indexed by ProcId
+    /**
+     * Flash slot of each procedure (ProcId -> position). Defaults to
+     * the identity (declaration order). Together with
+     * CostModel::nearCallWindow / farCallExtra this prices calls
+     * between distant procedures.
+     */
+    std::vector<size_t> procPosition;
+
+    /** Flash distance between two procedures under this placement. */
+    size_t procDistance(ir::ProcId a, ir::ProcId b) const;
+
+    /** Install a procedure order (permutation of all ProcIds). */
+    void setProcOrder(const std::vector<ir::ProcId> &order);
+};
+
+/**
+ * Lower @p proc with physical order @p order (a permutation of all block
+ * ids beginning with the entry). fatal()s on an invalid order.
+ */
+LoweredProc lowerProcedure(const ir::Procedure &proc,
+                           const BlockOrder &order);
+
+/** Lower every procedure with its natural order. */
+LoweredModule lowerModule(const ir::Module &module);
+
+/**
+ * Lower every procedure with the given per-procedure orders (indexed by
+ * ProcId; an empty order means natural).
+ */
+LoweredModule lowerModule(const ir::Module &module,
+                          const std::vector<BlockOrder> &orders);
+
+/**
+ * Would the conditional transfer out of @p lb be predicted taken under
+ * @p policy? @p from_pos / @p target_pos are physical indices.
+ */
+bool predictsTaken(PredictPolicy policy, size_t from_pos, size_t target_pos);
+
+} // namespace ct::sim
+
+#endif // CT_SIM_LOWER_HH

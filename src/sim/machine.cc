@@ -1,0 +1,260 @@
+#include "sim/machine.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace ct::sim {
+
+Simulator::Simulator(const ir::Module &module, LoweredModule lowered,
+                     SimConfig config, InputSource &inputs, uint64_t seed)
+    : module_(module), lowered_(std::move(lowered)), config_(config),
+      inputs_(inputs), timer_(config.cyclesPerTick), gapRng_(seed),
+      ram_(config.ramWords, 0)
+{
+    CT_ASSERT(lowered_.procs.size() == module.procedureCount(),
+              "lowered module does not match the logical module");
+}
+
+RunResult
+Simulator::run(ir::ProcId entry, size_t count)
+{
+    CT_ASSERT(entry < module_.procedureCount(), "run: bad entry procedure");
+
+    RunResult result;
+    result.profile.resize(module_.procedureCount());
+    result.invocations.assign(module_.procedureCount(), 0);
+    result.procCycles.assign(module_.procedureCount(), 0);
+
+    std::fill(ram_.begin(), ram_.end(), 0);
+    cycles_ = 0;
+
+    for (size_t i = 0; i < count; ++i) {
+        execProcedure(entry, result, 0);
+        if (config_.maxGapCycles > 0) {
+            uint64_t gap = gapRng_.below(config_.maxGapCycles + 1);
+            cycles_ += gap;
+            result.activity[Activity::Idle] += gap;
+        }
+    }
+    result.totalCycles = cycles_;
+    result.finalRam = ram_;
+    return result;
+}
+
+uint64_t
+Simulator::execProcedure(ir::ProcId proc_id, RunResult &result,
+                         uint32_t depth)
+{
+    if (depth > config_.maxCallDepth)
+        fatal("call depth exceeds ", config_.maxCallDepth,
+              " (runaway recursion?)");
+
+    const ir::Procedure &proc = module_.procedure(proc_id);
+    const LoweredProc &placed = lowered_.procs[proc_id];
+    const CostModel &costs = config_.costs;
+
+    uint64_t invocation = result.invocations[proc_id]++;
+    result.profile[proc_id].addInvocations(1.0);
+
+    auto spend = [&](uint64_t n, Activity act) {
+        cycles_ += n;
+        result.activity[act] += n;
+    };
+
+    trace::TimingRecord record;
+    if (config_.timingProbes) {
+        spend(costs.timerRead, Activity::CpuActive);
+        record.proc = proc_id;
+        record.invocation = invocation;
+        record.startTick = timer_.ticksAt(cycles_);
+    }
+    const uint64_t body_start = cycles_;
+
+    ir::Word regs[ir::kNumRegs] = {};
+    size_t pos = 0; // entry is always physically first
+    uint64_t steps = 0;
+    bool running = true;
+
+    while (running) {
+        if (++steps > config_.maxStepsPerInvocation)
+            fatal("invocation of '", proc.name(), "' exceeded ",
+                  config_.maxStepsPerInvocation,
+                  " blocks; non-terminating loop?");
+
+        const LoweredBlock &lb = placed.order[pos];
+        const ir::BasicBlock &bb = proc.block(lb.block);
+
+        // Unrelated interrupt preemption at the block boundary.
+        if (config_.isrPerBlockProb > 0.0 &&
+            gapRng_.bernoulli(config_.isrPerBlockProb)) {
+            spend(config_.isrCycles, Activity::CpuActive);
+            ++result.isrFirings;
+        }
+
+        // Straight-line body.
+        for (const auto &inst : bb.insts) {
+            using ir::Opcode;
+            Activity act = Activity::CpuActive;
+            switch (inst.op) {
+              case Opcode::Sense:
+                act = Activity::Sense;
+                break;
+              case Opcode::RadioTx:
+                act = Activity::RadioTx;
+                break;
+              case Opcode::RadioRx:
+                act = Activity::RadioRx;
+                break;
+              case Opcode::Sleep:
+                act = Activity::Sleep;
+                break;
+              default:
+                break;
+            }
+            spend(costs.cyclesFor(inst), act);
+            switch (inst.op) {
+              case Opcode::Nop:
+              case Opcode::Sleep:
+                break;
+              case Opcode::Li:
+                regs[inst.rd] = inst.imm;
+                break;
+              case Opcode::Mov:
+                regs[inst.rd] = regs[inst.rs1];
+                break;
+              case Opcode::Add:
+                regs[inst.rd] = regs[inst.rs1] + regs[inst.rs2];
+                break;
+              case Opcode::AddI:
+                regs[inst.rd] = regs[inst.rs1] + inst.imm;
+                break;
+              case Opcode::Sub:
+                regs[inst.rd] = regs[inst.rs1] - regs[inst.rs2];
+                break;
+              case Opcode::Mul:
+                regs[inst.rd] = regs[inst.rs1] * regs[inst.rs2];
+                break;
+              case Opcode::And:
+                regs[inst.rd] = regs[inst.rs1] & regs[inst.rs2];
+                break;
+              case Opcode::Or:
+                regs[inst.rd] = regs[inst.rs1] | regs[inst.rs2];
+                break;
+              case Opcode::Xor:
+                regs[inst.rd] = regs[inst.rs1] ^ regs[inst.rs2];
+                break;
+              case Opcode::Shl:
+                regs[inst.rd] = regs[inst.rs1] << (regs[inst.rs2] & 31);
+                break;
+              case Opcode::Shr:
+                regs[inst.rd] = ir::Word(uint32_t(regs[inst.rs1]) >>
+                                         (regs[inst.rs2] & 31));
+                break;
+              case Opcode::ShrI:
+                regs[inst.rd] =
+                    ir::Word(uint32_t(regs[inst.rs1]) >> (inst.imm & 31));
+                break;
+              case Opcode::Ld: {
+                int64_t addr = int64_t(regs[inst.rs1]) + inst.imm;
+                if (addr < 0 || size_t(addr) >= ram_.size())
+                    fatal("'", proc.name(), "': load address ", addr,
+                          " out of RAM (", ram_.size(), " words)");
+                regs[inst.rd] = ram_[size_t(addr)];
+                break;
+              }
+              case Opcode::St: {
+                int64_t addr = int64_t(regs[inst.rs1]) + inst.imm;
+                if (addr < 0 || size_t(addr) >= ram_.size())
+                    fatal("'", proc.name(), "': store address ", addr,
+                          " out of RAM (", ram_.size(), " words)");
+                ram_[size_t(addr)] = regs[inst.rs2];
+                break;
+              }
+              case Opcode::Sense:
+                regs[inst.rd] = inputs_.sense(int(inst.imm));
+                break;
+              case Opcode::RadioTx:
+                break; // payload value has no architectural effect
+              case Opcode::RadioRx:
+                regs[inst.rd] = inputs_.radioRx();
+                break;
+              case Opcode::TimerRead:
+                regs[inst.rd] = ir::Word(timer_.ticksAt(cycles_));
+                break;
+              case Opcode::Call: {
+                // Linkage charged via cyclesFor above; body is recursive.
+                ir::ProcId callee = ir::ProcId(inst.imm);
+                if (costs.farCallExtra > 0 &&
+                    lowered_.procDistance(proc_id, callee) >
+                        costs.nearCallWindow) {
+                    spend(costs.farCallExtra, Activity::CpuActive);
+                    ++result.farCalls;
+                }
+                execProcedure(callee, result, depth + 1);
+                break;
+              }
+            }
+        }
+
+        // Control transfer.
+        switch (lb.ctrl) {
+          case CtrlKind::Ret:
+            spend(costs.retOverhead, Activity::CpuActive);
+            running = false;
+            break;
+          case CtrlKind::Fallthrough:
+            result.profile[proc_id].addEdge(lb.block, lb.otherTarget);
+            pos = pos + 1;
+            break;
+          case CtrlKind::Jmp:
+            spend(costs.jump, Activity::CpuActive);
+            ++result.dynamicJumps;
+            result.profile[proc_id].addEdge(lb.block, lb.otherTarget);
+            pos = placed.positionOf[lb.otherTarget];
+            break;
+          case CtrlKind::CondBr:
+          case CtrlKind::CondBrPlusJmp: {
+            spend(costs.branchBase, Activity::CpuActive);
+            bool transfer = ir::evalCond(lb.cond, regs[lb.lhs], regs[lb.rhs]);
+            bool predicted = predictsTaken(config_.policy, pos,
+                                           placed.positionOf[lb.condTarget]);
+            ++result.branches.executed;
+            if (transfer)
+                ++result.branches.taken;
+            if (transfer != predicted) {
+                ++result.branches.mispredicted;
+                spend(costs.mispredictPenalty, Activity::CpuActive);
+            }
+            ir::BlockId next_block;
+            if (transfer) {
+                next_block = lb.condTarget;
+            } else {
+                next_block = lb.otherTarget;
+                if (lb.ctrl == CtrlKind::CondBrPlusJmp) {
+                    spend(costs.jump, Activity::CpuActive);
+                    ++result.dynamicJumps;
+                }
+            }
+            result.profile[proc_id].addEdge(lb.block, next_block);
+            // For CondBr with the transfer untaken, positionOf[next_block]
+            // is pos + 1 by construction of the lowering.
+            pos = placed.positionOf[next_block];
+            break;
+          }
+        }
+    }
+
+    uint64_t body_cycles = cycles_ - body_start;
+    result.procCycles[proc_id] += body_cycles;
+
+    if (config_.timingProbes) {
+        record.endTick = timer_.ticksAt(cycles_);
+        record.trueCycles = body_cycles;
+        spend(config_.costs.timerRead, Activity::CpuActive);
+        result.trace.add(record);
+    }
+    return body_cycles;
+}
+
+} // namespace ct::sim

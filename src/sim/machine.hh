@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The mote simulator: executes a placed module, accounting cycles under
+ * the cost model and static branch prediction, while collecting the
+ * ground-truth edge profile and (optionally) boundary timing records.
+ */
+
+#ifndef CT_SIM_MACHINE_HH
+#define CT_SIM_MACHINE_HH
+
+#include <vector>
+
+#include "ir/module.hh"
+#include "ir/profile.hh"
+#include "sim/costs.hh"
+#include "sim/devices.hh"
+#include "sim/energy.hh"
+#include "sim/lower.hh"
+#include "stats/rng.hh"
+#include "trace/timing_trace.hh"
+
+namespace ct::sim {
+
+/** Simulator configuration. */
+struct SimConfig
+{
+    CostModel costs = telosCostModel();
+    PredictPolicy policy = PredictPolicy::NotTaken;
+    size_t ramWords = 1024;
+    uint64_t cyclesPerTick = 8;      //!< timer quantization quantum
+    bool timingProbes = true;        //!< capture start/end timestamps
+    uint32_t maxGapCycles = 97;      //!< random idle gap between events
+    uint64_t maxStepsPerInvocation = 5'000'000;
+    uint32_t maxCallDepth = 64;
+
+    /// @name Interrupt preemption model
+    /// @{
+    /** Probability that an unrelated ISR fires at a block boundary
+     *  (radio/timer housekeeping stealing cycles mid-procedure). */
+    double isrPerBlockProb = 0.0;
+    /** Cycles one such ISR steals. */
+    uint32_t isrCycles = 30;
+    /// @}
+};
+
+/** Dynamic conditional-branch statistics. */
+struct BranchStats
+{
+    uint64_t executed = 0;
+    uint64_t taken = 0;
+    uint64_t mispredicted = 0;
+
+    double mispredictRate() const
+    {
+        return executed ? double(mispredicted) / double(executed) : 0.0;
+    }
+    double takenRate() const
+    {
+        return executed ? double(taken) / double(executed) : 0.0;
+    }
+};
+
+/** Everything one measurement campaign produces. */
+struct RunResult
+{
+    ir::ModuleProfile profile;  //!< ground-truth logical edge counts
+    trace::TimingTrace trace;   //!< boundary timing records (if probed)
+    uint64_t totalCycles = 0;   //!< all cycles including probes and gaps
+    BranchStats branches;
+    uint64_t dynamicJumps = 0;  //!< executed unconditional jumps
+    uint64_t isrFirings = 0;    //!< interrupt preemptions simulated
+    uint64_t farCalls = 0;      //!< calls that paid the far-call extra
+    ActivityCycles activity;    //!< cycle classification for energy
+    std::vector<uint64_t> invocations; //!< per-ProcId invocation counts
+    std::vector<uint64_t> procCycles;  //!< per-ProcId body cycles (inclusive)
+    std::vector<ir::Word> finalRam;    //!< RAM snapshot after the run
+};
+
+/**
+ * Executes procedures of one placed module. RAM persists across
+ * invocations within a run (mote globals); registers are per-frame.
+ */
+class Simulator
+{
+  public:
+    /**
+     * @param module  the logical program (must outlive the simulator)
+     * @param lowered its placed form
+     * @param config  machine parameters
+     * @param inputs  sensor/radio streams (must outlive the simulator)
+     * @param seed    seeds the inter-invocation gap stream
+     */
+    Simulator(const ir::Module &module, LoweredModule lowered,
+              SimConfig config, InputSource &inputs, uint64_t seed);
+
+    /**
+     * Run @p count invocations of @p entry back-to-back (with small
+     * random idle gaps), collecting profile/trace/stats.
+     */
+    RunResult run(ir::ProcId entry, size_t count);
+
+    const SimConfig &config() const { return config_; }
+    const LoweredModule &lowered() const { return lowered_; }
+
+  private:
+    /** Execute one invocation of @p proc; returns its body cycles. */
+    uint64_t execProcedure(ir::ProcId proc, RunResult &result,
+                           uint32_t depth);
+
+    const ir::Module &module_;
+    LoweredModule lowered_;
+    SimConfig config_;
+    InputSource &inputs_;
+    Timer timer_;
+    Rng gapRng_;
+    std::vector<ir::Word> ram_;
+    uint64_t cycles_ = 0; //!< absolute cycle counter across the run
+};
+
+} // namespace ct::sim
+
+#endif // CT_SIM_MACHINE_HH

@@ -1,0 +1,184 @@
+#include "stats/distributions.hh"
+
+#include <numeric>
+
+#include "util/logging.hh"
+#include "util/str.hh"
+
+namespace ct {
+
+UniformDist::UniformDist(double lo, double hi)
+    : lo_(lo), hi_(hi)
+{
+    CT_ASSERT(lo <= hi, "UniformDist requires lo <= hi");
+}
+
+double
+UniformDist::sample(Rng &rng) const
+{
+    return rng.uniform(lo_, hi_);
+}
+
+std::string
+UniformDist::describe() const
+{
+    return "Uniform[" + formatDouble(lo_) + "," + formatDouble(hi_) + ")";
+}
+
+GaussianDist::GaussianDist(double mean, double sigma)
+    : mean_(mean), sigma_(sigma)
+{
+    CT_ASSERT(sigma >= 0.0, "GaussianDist requires sigma >= 0");
+}
+
+double
+GaussianDist::sample(Rng &rng) const
+{
+    return rng.gaussian(mean_, sigma_);
+}
+
+std::string
+GaussianDist::describe() const
+{
+    return "Normal(" + formatDouble(mean_) + "," + formatDouble(sigma_) + ")";
+}
+
+BernoulliDist::BernoulliDist(double p)
+    : p_(p)
+{
+    CT_ASSERT(p >= 0.0 && p <= 1.0, "BernoulliDist p out of [0,1]");
+}
+
+double
+BernoulliDist::sample(Rng &rng) const
+{
+    return rng.bernoulli(p_) ? 1.0 : 0.0;
+}
+
+std::string
+BernoulliDist::describe() const
+{
+    return "Bernoulli(" + formatDouble(p_) + ")";
+}
+
+DiscreteDist::DiscreteDist(std::vector<double> values,
+                           std::vector<double> weights)
+    : values_(std::move(values))
+{
+    CT_ASSERT(values_.size() == weights.size(),
+              "DiscreteDist values/weights size mismatch");
+    CT_ASSERT(!values_.empty(), "DiscreteDist needs at least one value");
+    double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+    CT_ASSERT(total > 0.0, "DiscreteDist weights must sum to > 0");
+    cdf_.resize(weights.size());
+    double run = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        CT_ASSERT(weights[i] >= 0.0, "DiscreteDist weight must be >= 0");
+        run += weights[i] / total;
+        cdf_[i] = run;
+    }
+    cdf_.back() = 1.0;
+}
+
+size_t
+DiscreteDist::sampleIndex(Rng &rng) const
+{
+    double u = rng.uniform();
+    for (size_t i = 0; i < cdf_.size(); ++i) {
+        if (u < cdf_[i])
+            return i;
+    }
+    return cdf_.size() - 1;
+}
+
+double
+DiscreteDist::sample(Rng &rng) const
+{
+    return values_[sampleIndex(rng)];
+}
+
+double
+DiscreteDist::probability(size_t i) const
+{
+    CT_ASSERT(i < cdf_.size(), "DiscreteDist index out of range");
+    return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+double
+DiscreteDist::mean() const
+{
+    double out = 0.0;
+    for (size_t i = 0; i < values_.size(); ++i)
+        out += values_[i] * probability(i);
+    return out;
+}
+
+std::string
+DiscreteDist::describe() const
+{
+    return "Discrete(" + std::to_string(values_.size()) + " values)";
+}
+
+BurstyDist::BurstyDist(double p_quiet, double p_busy, double p_enter,
+                       double p_exit)
+    : pQuiet_(p_quiet), pBusy_(p_busy), pEnter_(p_enter), pExit_(p_exit)
+{
+    for (double p : {p_quiet, p_busy, p_enter, p_exit})
+        CT_ASSERT(p >= 0.0 && p <= 1.0, "BurstyDist probability out of range");
+}
+
+double
+BurstyDist::sample(Rng &rng) const
+{
+    if (busy_) {
+        if (rng.bernoulli(pExit_))
+            busy_ = false;
+    } else {
+        if (rng.bernoulli(pEnter_))
+            busy_ = true;
+    }
+    double p = busy_ ? pBusy_ : pQuiet_;
+    return rng.bernoulli(p) ? 1.0 : 0.0;
+}
+
+double
+BurstyDist::mean() const
+{
+    // Stationary split of the regime chain: pi_busy = enter/(enter+exit).
+    double denom = pEnter_ + pExit_;
+    double pi_busy = denom > 0.0 ? pEnter_ / denom : 0.0;
+    return pi_busy * pBusy_ + (1.0 - pi_busy) * pQuiet_;
+}
+
+std::string
+BurstyDist::describe() const
+{
+    return "Bursty(q=" + formatDouble(pQuiet_) + ",b=" + formatDouble(pBusy_) +
+           ")";
+}
+
+std::unique_ptr<Distribution>
+makeUniform(double lo, double hi)
+{
+    return std::make_unique<UniformDist>(lo, hi);
+}
+
+std::unique_ptr<Distribution>
+makeGaussian(double mean, double sigma)
+{
+    return std::make_unique<GaussianDist>(mean, sigma);
+}
+
+std::unique_ptr<Distribution>
+makeBernoulli(double p)
+{
+    return std::make_unique<BernoulliDist>(p);
+}
+
+std::unique_ptr<Distribution>
+makeBursty(double p_quiet, double p_busy, double p_enter, double p_exit)
+{
+    return std::make_unique<BurstyDist>(p_quiet, p_busy, p_enter, p_exit);
+}
+
+} // namespace ct

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Reusable probability distributions over doubles and integers.
+ *
+ * These feed the workload input generators ("nondeterministic inputs" of
+ * the paper) and the estimators' likelihood kernels.
+ */
+
+#ifndef CT_STATS_DISTRIBUTIONS_HH
+#define CT_STATS_DISTRIBUTIONS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stats/rng.hh"
+
+namespace ct {
+
+/** Abstract sampling interface for scalar input sources. */
+class Distribution
+{
+  public:
+    virtual ~Distribution() = default;
+
+    /** Draw one sample. */
+    virtual double sample(Rng &rng) const = 0;
+
+    /** Analytic mean (used by tests and sanity checks). */
+    virtual double mean() const = 0;
+
+    /** Short description for reports. */
+    virtual std::string describe() const = 0;
+};
+
+/** Uniform over [lo, hi). */
+class UniformDist : public Distribution
+{
+  public:
+    UniformDist(double lo, double hi);
+    double sample(Rng &rng) const override;
+    double mean() const override { return 0.5 * (lo_ + hi_); }
+    std::string describe() const override;
+
+  private:
+    double lo_;
+    double hi_;
+};
+
+/** Normal(mean, sigma). */
+class GaussianDist : public Distribution
+{
+  public:
+    GaussianDist(double mean, double sigma);
+    double sample(Rng &rng) const override;
+    double mean() const override { return mean_; }
+    std::string describe() const override;
+
+  private:
+    double mean_;
+    double sigma_;
+};
+
+/** Bernoulli over {0, 1} with P(1) = p. */
+class BernoulliDist : public Distribution
+{
+  public:
+    explicit BernoulliDist(double p);
+    double sample(Rng &rng) const override;
+    double mean() const override { return p_; }
+    std::string describe() const override;
+
+  private:
+    double p_;
+};
+
+/**
+ * Finite discrete distribution over arbitrary values with given weights.
+ * Sampling is by inverse CDF over the normalized weights.
+ */
+class DiscreteDist : public Distribution
+{
+  public:
+    DiscreteDist(std::vector<double> values, std::vector<double> weights);
+    double sample(Rng &rng) const override;
+    double mean() const override;
+    std::string describe() const override;
+
+    /** Index of the sampled value rather than the value itself. */
+    size_t sampleIndex(Rng &rng) const;
+
+    size_t size() const { return values_.size(); }
+    double probability(size_t i) const;
+
+  private:
+    std::vector<double> values_;
+    std::vector<double> cdf_;
+};
+
+/**
+ * Two-state Markov-modulated Bernoulli process: models bursty radio/sensor
+ * activity (quiet vs. busy regime). sample() advances the hidden regime and
+ * emits 0/1 with the regime's probability.
+ */
+class BurstyDist : public Distribution
+{
+  public:
+    /**
+     * @param p_quiet   P(event) while in the quiet regime
+     * @param p_busy    P(event) while in the busy regime
+     * @param p_enter   P(quiet -> busy) per draw
+     * @param p_exit    P(busy -> quiet) per draw
+     */
+    BurstyDist(double p_quiet, double p_busy, double p_enter, double p_exit);
+    double sample(Rng &rng) const override;
+    double mean() const override;
+    std::string describe() const override;
+
+  private:
+    double pQuiet_;
+    double pBusy_;
+    double pEnter_;
+    double pExit_;
+    mutable bool busy_ = false;
+};
+
+/** Helpers that return unique_ptr-wrapped distributions. */
+std::unique_ptr<Distribution> makeUniform(double lo, double hi);
+std::unique_ptr<Distribution> makeGaussian(double mean, double sigma);
+std::unique_ptr<Distribution> makeBernoulli(double p);
+std::unique_ptr<Distribution> makeBursty(double p_quiet, double p_busy,
+                                         double p_enter, double p_exit);
+
+} // namespace ct
+
+#endif // CT_STATS_DISTRIBUTIONS_HH

@@ -1,0 +1,124 @@
+#include "stats/histogram.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ct {
+
+void
+ExactHistogram::add(int64_t value, uint64_t count)
+{
+    cells_[value] += count;
+    total_ += count;
+}
+
+uint64_t
+ExactHistogram::count(int64_t value) const
+{
+    auto it = cells_.find(value);
+    return it == cells_.end() ? 0 : it->second;
+}
+
+double
+ExactHistogram::frequency(int64_t value) const
+{
+    return total_ == 0 ? 0.0 : double(count(value)) / double(total_);
+}
+
+std::vector<int64_t>
+ExactHistogram::values() const
+{
+    std::vector<int64_t> out;
+    out.reserve(cells_.size());
+    for (const auto &[value, count] : cells_)
+        out.push_back(value);
+    return out;
+}
+
+double
+ExactHistogram::mean() const
+{
+    if (total_ == 0)
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &[value, count] : cells_)
+        sum += double(value) * double(count);
+    return sum / double(total_);
+}
+
+double
+ExactHistogram::variance() const
+{
+    if (total_ == 0)
+        return 0.0;
+    double mu = mean();
+    double sum = 0.0;
+    for (const auto &[value, count] : cells_) {
+        double d = double(value) - mu;
+        sum += d * d * double(count);
+    }
+    return sum / double(total_);
+}
+
+int64_t
+ExactHistogram::mode() const
+{
+    CT_ASSERT(total_ > 0, "mode of empty histogram");
+    int64_t best = cells_.begin()->first;
+    uint64_t best_count = 0;
+    for (const auto &[value, count] : cells_) {
+        if (count > best_count) {
+            best = value;
+            best_count = count;
+        }
+    }
+    return best;
+}
+
+BinnedHistogram::BinnedHistogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / double(bins)), counts_(bins, 0)
+{
+    CT_ASSERT(hi > lo, "BinnedHistogram requires hi > lo");
+    CT_ASSERT(bins > 0, "BinnedHistogram requires bins > 0");
+}
+
+size_t
+BinnedHistogram::binOf(double value) const
+{
+    if (value <= lo_)
+        return 0;
+    if (value >= hi_)
+        return counts_.size() - 1;
+    size_t bin = size_t((value - lo_) / width_);
+    return bin >= counts_.size() ? counts_.size() - 1 : bin;
+}
+
+void
+BinnedHistogram::add(double value)
+{
+    ++counts_[binOf(value)];
+    ++total_;
+}
+
+uint64_t
+BinnedHistogram::count(size_t bin) const
+{
+    CT_ASSERT(bin < counts_.size(), "bin index out of range");
+    return counts_[bin];
+}
+
+double
+BinnedHistogram::frequency(size_t bin) const
+{
+    return total_ == 0 ? 0.0 : double(count(bin)) / double(total_);
+}
+
+double
+BinnedHistogram::binCenter(size_t bin) const
+{
+    CT_ASSERT(bin < counts_.size(), "bin index out of range");
+    return lo_ + (double(bin) + 0.5) * width_;
+}
+
+} // namespace ct

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Histograms over observed values.
+ *
+ * Two flavours are provided: an exact-value histogram (integral tick
+ * counts — the natural representation of quantized end-to-end timings)
+ * and a fixed-width binned histogram for continuous data.
+ */
+
+#ifndef CT_STATS_HISTOGRAM_HH
+#define CT_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ct {
+
+/** Exact histogram over integer-valued observations (e.g. timer ticks). */
+class ExactHistogram
+{
+  public:
+    /** Record one observation. */
+    void add(int64_t value, uint64_t count = 1);
+
+    /** Number of observations recorded. */
+    uint64_t total() const { return total_; }
+
+    /** Count recorded at exactly @p value. */
+    uint64_t count(int64_t value) const;
+
+    /** Empirical probability of @p value (0 if total()==0). */
+    double frequency(int64_t value) const;
+
+    /** Distinct observed values in ascending order. */
+    std::vector<int64_t> values() const;
+
+    /** Empirical mean. */
+    double mean() const;
+
+    /** Empirical (population) variance. */
+    double variance() const;
+
+    /** Mode (smallest value among ties); total() must be > 0. */
+    int64_t mode() const;
+
+    bool empty() const { return total_ == 0; }
+
+    /** Access to the underlying map for iteration. */
+    const std::map<int64_t, uint64_t> &cells() const { return cells_; }
+
+  private:
+    std::map<int64_t, uint64_t> cells_;
+    uint64_t total_ = 0;
+};
+
+/** Fixed-width binned histogram over doubles. */
+class BinnedHistogram
+{
+  public:
+    /**
+     * @param lo     lower edge of the first bin
+     * @param hi     upper edge of the last bin (must exceed lo)
+     * @param bins   number of bins (> 0)
+     * Out-of-range samples are clamped to the edge bins.
+     */
+    BinnedHistogram(double lo, double hi, size_t bins);
+
+    void add(double value);
+
+    size_t bins() const { return counts_.size(); }
+    uint64_t total() const { return total_; }
+    uint64_t count(size_t bin) const;
+    double frequency(size_t bin) const;
+
+    /** Centre of @p bin. */
+    double binCenter(size_t bin) const;
+
+    /** Bin index a value falls into (after clamping). */
+    size_t binOf(double value) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<uint64_t> counts_;
+    uint64_t total_ = 0;
+};
+
+} // namespace ct
+
+#endif // CT_STATS_HISTOGRAM_HH

@@ -1,0 +1,99 @@
+#include "stats/metrics.hh"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace ct {
+
+namespace {
+
+void
+checkSizes(const std::vector<double> &a, const std::vector<double> &b)
+{
+    CT_ASSERT(a.size() == b.size(), "metric input size mismatch: ", a.size(),
+              " vs ", b.size());
+    CT_ASSERT(!a.empty(), "metric inputs must be non-empty");
+}
+
+} // namespace
+
+double
+meanAbsoluteError(const std::vector<double> &estimate,
+                  const std::vector<double> &truth)
+{
+    checkSizes(estimate, truth);
+    double sum = 0.0;
+    for (size_t i = 0; i < estimate.size(); ++i)
+        sum += std::abs(estimate[i] - truth[i]);
+    return sum / double(estimate.size());
+}
+
+double
+rootMeanSquareError(const std::vector<double> &estimate,
+                    const std::vector<double> &truth)
+{
+    checkSizes(estimate, truth);
+    double sum = 0.0;
+    for (size_t i = 0; i < estimate.size(); ++i) {
+        double d = estimate[i] - truth[i];
+        sum += d * d;
+    }
+    return std::sqrt(sum / double(estimate.size()));
+}
+
+double
+maxAbsoluteError(const std::vector<double> &estimate,
+                 const std::vector<double> &truth)
+{
+    checkSizes(estimate, truth);
+    double worst = 0.0;
+    for (size_t i = 0; i < estimate.size(); ++i)
+        worst = std::max(worst, std::abs(estimate[i] - truth[i]));
+    return worst;
+}
+
+double
+klDivergence(const std::vector<double> &truth,
+             const std::vector<double> &estimate, double epsilon)
+{
+    checkSizes(truth, estimate);
+    double truth_total = std::accumulate(truth.begin(), truth.end(), 0.0);
+    double est_total = std::accumulate(estimate.begin(), estimate.end(), 0.0);
+    CT_ASSERT(truth_total > 0.0 && est_total > 0.0,
+              "klDivergence inputs must have positive mass");
+    double kl = 0.0;
+    for (size_t i = 0; i < truth.size(); ++i) {
+        double p = truth[i] / truth_total;
+        if (p <= 0.0)
+            continue;
+        double q = std::max(estimate[i] / est_total, epsilon);
+        kl += p * std::log(p / q);
+    }
+    return kl;
+}
+
+double
+pearsonCorrelation(const std::vector<double> &a, const std::vector<double> &b)
+{
+    checkSizes(a, b);
+    double n = double(a.size());
+    double mean_a = std::accumulate(a.begin(), a.end(), 0.0) / n;
+    double mean_b = std::accumulate(b.begin(), b.end(), 0.0) / n;
+    double cov = 0.0;
+    double var_a = 0.0;
+    double var_b = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        double da = a[i] - mean_a;
+        double db = b[i] - mean_b;
+        cov += da * db;
+        var_a += da * da;
+        var_b += db * db;
+    }
+    if (var_a <= 0.0 || var_b <= 0.0)
+        return 0.0;
+    return cov / std::sqrt(var_a * var_b);
+}
+
+} // namespace ct

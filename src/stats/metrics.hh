@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Error metrics comparing estimated against ground-truth quantities.
+ *
+ * The accuracy experiments (E2-E4, E8) score estimated branch
+ * probabilities / edge frequencies with these.
+ */
+
+#ifndef CT_STATS_METRICS_HH
+#define CT_STATS_METRICS_HH
+
+#include <vector>
+
+namespace ct {
+
+/** Mean absolute error between equally sized vectors. */
+double meanAbsoluteError(const std::vector<double> &estimate,
+                         const std::vector<double> &truth);
+
+/** Root-mean-square error. */
+double rootMeanSquareError(const std::vector<double> &estimate,
+                           const std::vector<double> &truth);
+
+/** Largest absolute per-element error. */
+double maxAbsoluteError(const std::vector<double> &estimate,
+                        const std::vector<double> &truth);
+
+/**
+ * KL divergence D(truth || estimate) between two discrete distributions.
+ * Inputs are normalized internally; estimate cells are floored at
+ * @p epsilon to keep the divergence finite.
+ */
+double klDivergence(const std::vector<double> &truth,
+                    const std::vector<double> &estimate,
+                    double epsilon = 1e-9);
+
+/** Pearson correlation coefficient; 0 when either side is constant. */
+double pearsonCorrelation(const std::vector<double> &a,
+                          const std::vector<double> &b);
+
+} // namespace ct
+
+#endif // CT_STATS_METRICS_HH

@@ -1,0 +1,168 @@
+#include "stats/rng.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ct {
+
+uint64_t
+splitmix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+namespace {
+
+inline uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitmix64(sm);
+    // xoshiro must not start in the all-zero state.
+    if (!(s_[0] | s_[1] | s_[2] | s_[3]))
+        s_[0] = 0x1ULL;
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+uint64_t
+Rng::below(uint64_t n)
+{
+    CT_ASSERT(n > 0, "Rng::below requires n > 0");
+    // Rejection sampling removes modulo bias.
+    uint64_t threshold = (~n + 1) % n; // == 2^64 mod n
+    while (true) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return r % n;
+    }
+}
+
+long
+Rng::range(long lo, long hi)
+{
+    CT_ASSERT(lo <= hi, "Rng::range requires lo <= hi");
+    return lo + long(below(uint64_t(hi - lo) + 1));
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+double
+Rng::gaussian()
+{
+    if (hasCachedGaussian_) {
+        hasCachedGaussian_ = false;
+        return cachedGaussian_;
+    }
+    double u1;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    double u2 = uniform();
+    double radius = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * M_PI * u2;
+    cachedGaussian_ = radius * std::sin(theta);
+    hasCachedGaussian_ = true;
+    return radius * std::cos(theta);
+}
+
+double
+Rng::gaussian(double mean, double sigma)
+{
+    return mean + sigma * gaussian();
+}
+
+uint64_t
+Rng::geometric(double p)
+{
+    CT_ASSERT(p > 0.0 && p <= 1.0, "geometric p out of range");
+    if (p >= 1.0)
+        return 0;
+    double u;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return uint64_t(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+uint64_t
+Rng::poisson(double lambda)
+{
+    CT_ASSERT(lambda >= 0.0, "poisson lambda must be >= 0");
+    if (lambda == 0.0)
+        return 0;
+    if (lambda < 30.0) {
+        double limit = std::exp(-lambda);
+        double product = uniform();
+        uint64_t count = 0;
+        while (product > limit) {
+            product *= uniform();
+            ++count;
+        }
+        return count;
+    }
+    // Normal approximation with continuity correction for large lambda.
+    double draw = gaussian(lambda, std::sqrt(lambda));
+    return draw < 0.0 ? 0 : uint64_t(draw + 0.5);
+}
+
+double
+Rng::exponential(double rate)
+{
+    CT_ASSERT(rate > 0.0, "exponential rate must be > 0");
+    double u;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return -std::log(u) / rate;
+}
+
+Rng
+Rng::fork(uint64_t tag)
+{
+    uint64_t mix = next() ^ (tag * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL);
+    return Rng(mix);
+}
+
+} // namespace ct

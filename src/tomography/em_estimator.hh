@@ -1,0 +1,36 @@
+/**
+ * @file
+ * EM estimator: the primary Code Tomography algorithm.
+ *
+ * Paths through the procedure are latent variables; each observed
+ * end-to-end duration is explained as a mixture over the bounded path
+ * set, with mixture priors parameterized by the branch probabilities
+ * theta. EM alternates computing path responsibilities (E) and
+ * re-estimating theta from expected branch-decision counts (M).
+ */
+
+#ifndef CT_TOMOGRAPHY_EM_ESTIMATOR_HH
+#define CT_TOMOGRAPHY_EM_ESTIMATOR_HH
+
+#include "tomography/estimator.hh"
+
+namespace ct::tomography {
+
+class EmPathEstimator : public Estimator
+{
+  public:
+    explicit EmPathEstimator(EstimatorOptions options);
+
+    const char *name() const override { return "em"; }
+
+    EstimateResult estimate(const TimingModel &model,
+                            const std::vector<int64_t> &durations)
+        const override;
+
+  private:
+    EstimatorOptions options_;
+};
+
+} // namespace ct::tomography
+
+#endif // CT_TOMOGRAPHY_EM_ESTIMATOR_HH

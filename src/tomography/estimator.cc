@@ -1,0 +1,119 @@
+#include "tomography/estimator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tomography/em_estimator.hh"
+#include "tomography/linear_estimator.hh"
+#include "tomography/moment_estimator.hh"
+#include "util/logging.hh"
+
+namespace ct::tomography {
+
+const char *
+estimatorName(EstimatorKind kind)
+{
+    switch (kind) {
+      case EstimatorKind::Linear: return "linear";
+      case EstimatorKind::Em: return "em";
+      case EstimatorKind::Moment: return "moment";
+    }
+    panic("estimatorName: bad kind");
+}
+
+std::unique_ptr<Estimator>
+makeEstimator(EstimatorKind kind, const EstimatorOptions &options)
+{
+    switch (kind) {
+      case EstimatorKind::Linear:
+        return std::make_unique<LinearTomographyEstimator>(options);
+      case EstimatorKind::Em:
+        return std::make_unique<EmPathEstimator>(options);
+      case EstimatorKind::Moment:
+        return std::make_unique<MomentEstimator>(options);
+    }
+    panic("makeEstimator: bad kind");
+}
+
+double
+PathFeatures::logProb(const std::vector<double> &theta) const
+{
+    CT_ASSERT(theta.size() == takenCount.size(),
+              "PathFeatures/theta size mismatch");
+    double lp = 0.0;
+    for (size_t b = 0; b < theta.size(); ++b) {
+        double p = std::clamp(theta[b], 1e-12, 1.0 - 1e-12);
+        if (takenCount[b] > 0)
+            lp += double(takenCount[b]) * std::log(p);
+        if (fallCount[b] > 0)
+            lp += double(fallCount[b]) * std::log1p(-p);
+    }
+    return lp;
+}
+
+PathFeatures
+extractFeatures(const TimingModel &model, const markov::Path &path)
+{
+    PathFeatures features;
+    features.takenCount.assign(model.paramCount(), 0);
+    features.fallCount.assign(model.paramCount(), 0);
+
+    // Map branch block -> parameter index.
+    // (Small procedures: a linear scan per step is fine.)
+    const auto &params = model.params();
+    for (size_t step = 0; step + 1 < path.states.size(); ++step) {
+        size_t from = path.states[step];
+        size_t to = path.states[step + 1];
+        for (size_t p = 0; p < params.size(); ++p) {
+            if (params[p].block != from)
+                continue;
+            if (params[p].takenTarget == ir::BlockId(to))
+                ++features.takenCount[p];
+            else if (params[p].fallTarget == ir::BlockId(to))
+                ++features.fallCount[p];
+            break;
+        }
+    }
+    // The final state may also be a branch block only if the walk exits
+    // there, which cannot happen (branch blocks have no exit mass), so
+    // no terminal handling is required.
+    return features;
+}
+
+ModuleEstimate
+estimateModule(const ir::Module &module, const sim::LoweredModule &lowered,
+               const sim::CostModel &costs, sim::PredictPolicy policy,
+               uint64_t cycles_per_tick, double nested_probe_cycles,
+               const trace::TimingTrace &trace, const Estimator &estimator)
+{
+    ModuleEstimate out;
+    out.profile.resize(module.procedureCount());
+    out.thetas.resize(module.procedureCount());
+    out.results.resize(module.procedureCount());
+    out.meanCycles.assign(module.procedureCount(), 0.0);
+    out.varCycles.assign(module.procedureCount(), 0.0);
+    for (ir::ProcId id : bottomUpOrder(module)) {
+        const auto &proc = module.procedure(id);
+        TimingModel model(proc, lowered.procs[id], costs, policy,
+                          cycles_per_tick, out.meanCycles,
+                          nested_probe_cycles, out.varCycles);
+
+        std::vector<double> theta(model.paramCount(), 0.5);
+        auto durations = trace.durations(id);
+        if (!durations.empty() && model.paramCount() > 0) {
+            out.results[id] = estimator.estimate(model, durations);
+            theta = out.results[id].theta;
+        } else if (!durations.empty()) {
+            // Branch-free procedure: nothing to estimate.
+            out.results[id] = EstimateResult{};
+        }
+
+        out.thetas[id] = theta;
+        out.meanCycles[id] = model.meanCycles(theta);
+        out.varCycles[id] = model.varianceCycles(theta);
+        out.profile[id] = model.profileFor(theta);
+    }
+    return out;
+}
+
+} // namespace ct::tomography

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Model self-checking without ground truth.
+ *
+ * On real motes there is no oracle profile to score an estimate
+ * against. What the sink *can* do is compare the duration histogram
+ * the fitted model predicts against the one it observed: if theta (or
+ * the timing model itself — wrong cost table, unmodelled preemption)
+ * is off, the distributions diverge. This module computes the
+ * predicted PMF over ticks and standard divergences against the
+ * empirical one.
+ */
+
+#ifndef CT_TOMOGRAPHY_FIT_QUALITY_HH
+#define CT_TOMOGRAPHY_FIT_QUALITY_HH
+
+#include <cstdint>
+#include <map>
+
+#include "tomography/estimator.hh"
+
+namespace ct::tomography {
+
+/** Outcome of a fit check. */
+struct FitQuality
+{
+    /** Total-variation distance in [0, 1]; 0 = perfect fit. */
+    double totalVariation = 1.0;
+    /** Mean observed log-likelihood per sample under the model. */
+    double meanLogLikelihood = 0.0;
+    /** Observed probability mass the model assigns (near-)zero
+     *  probability — outliers / unmodelled behaviour. */
+    double unexplainedMass = 0.0;
+    /** Predicted PMF over tick values (covers the model's support). */
+    std::map<int64_t, double> predicted;
+};
+
+/**
+ * Score how well @p theta's predicted duration distribution matches
+ * the observed @p durations. Uses the same bounded path enumeration
+ * and noise kernel as the estimators (@p options).
+ */
+FitQuality assessFit(const TimingModel &model,
+                     const std::vector<double> &theta,
+                     const std::vector<int64_t> &durations,
+                     const EstimatorOptions &options = {});
+
+} // namespace ct::tomography
+
+#endif // CT_TOMOGRAPHY_FIT_QUALITY_HH

@@ -1,0 +1,138 @@
+#include "tomography/linear_estimator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tomography/path_workspace.hh"
+#include "util/logging.hh"
+
+namespace ct::tomography {
+
+LinearTomographyEstimator::LinearTomographyEstimator(EstimatorOptions options)
+    : options_(std::move(options))
+{
+}
+
+EstimateResult
+LinearTomographyEstimator::estimate(
+    const TimingModel &model, const std::vector<int64_t> &durations) const
+{
+    EstimateResult result;
+    result.theta.assign(model.paramCount(), 0.5);
+    if (model.paramCount() == 0)
+        return result;
+
+    std::vector<double> uniform(model.paramCount(), 0.5);
+    auto ws = PathWorkspace::build(model, durations, options_, uniform);
+    auto classes = markov::groupByReward(ws.set, 1e-6);
+    const size_t n_classes = classes.size();
+
+    // Class-level kernel: P(obs | class reward), widened by the class's
+    // prior-weighted residual callee variance.
+    NoiseKernel noise(model.cyclesPerTick(), options_.jitterSigmaTicks);
+    std::vector<double> class_var(n_classes, 0.0);
+    for (size_t c = 0; c < n_classes; ++c) {
+        double mass = 0.0;
+        for (size_t member : classes[c].members) {
+            class_var[c] +=
+                ws.set.paths[member].prob * ws.extraVarTicks2[member];
+            mass += ws.set.paths[member].prob;
+        }
+        if (mass > 0.0)
+            class_var[c] /= mass;
+    }
+    std::vector<std::vector<double>> kernel(
+        ws.obsValues.size(), std::vector<double>(n_classes, 0.0));
+    for (size_t o = 0; o < ws.obsValues.size(); ++o)
+        for (size_t c = 0; c < n_classes; ++c)
+            kernel[o][c] = noise.prob(ws.obsValues[o], classes[c].reward,
+                                      class_var[c]);
+
+    // ML mixture weights over classes (uniform init — deliberately no
+    // Markov prior here).
+    std::vector<double> freq(n_classes, 1.0 / double(n_classes));
+    std::vector<double> next(n_classes, 0.0);
+    size_t iter = 0;
+    for (; iter < options_.maxIterations; ++iter) {
+        std::fill(next.begin(), next.end(), 0.0);
+        result.logLikelihood = 0.0;
+        for (size_t o = 0; o < ws.obsValues.size(); ++o) {
+            double denom = 0.0;
+            for (size_t c = 0; c < n_classes; ++c)
+                denom += freq[c] * kernel[o][c];
+            if (denom <= 0.0) {
+                result.logLikelihood +=
+                    ws.obsWeights[o] * NoiseKernel::logFloor();
+                continue;
+            }
+            result.logLikelihood += ws.obsWeights[o] * std::log(denom);
+            double scale = ws.obsWeights[o] / denom;
+            for (size_t c = 0; c < n_classes; ++c)
+                next[c] += freq[c] * kernel[o][c] * scale;
+        }
+        double total = 0.0;
+        for (double v : next)
+            total += v;
+        if (total <= 0.0)
+            break;
+        double max_delta = 0.0;
+        for (size_t c = 0; c < n_classes; ++c) {
+            double updated = next[c] / total;
+            max_delta = std::max(max_delta, std::abs(updated - freq[c]));
+            freq[c] = updated;
+        }
+        if (max_delta < options_.tolerance) {
+            ++iter;
+            break;
+        }
+    }
+
+    // Split each class's mass across its member paths proportionally to
+    // the agnostic enumeration prior, then read branch decisions. The
+    // weights are scaled back to observation counts so the smoothing
+    // pseudo-count stays negligible against real data.
+    std::vector<double> acc_taken(model.paramCount(), 0.0);
+    std::vector<double> acc_fall(model.paramCount(), 0.0);
+    for (size_t c = 0; c < n_classes; ++c) {
+        double member_total = 0.0;
+        for (size_t member : classes[c].members)
+            member_total += ws.set.paths[member].prob;
+        if (member_total <= 0.0)
+            continue;
+        for (size_t member : classes[c].members) {
+            double weight = ws.totalWeight * freq[c] *
+                            ws.set.paths[member].prob / member_total;
+            const auto &f = ws.features[member];
+            for (size_t b = 0; b < model.paramCount(); ++b) {
+                acc_taken[b] += weight * f.takenCount[b];
+                acc_fall[b] += weight * f.fallCount[b];
+            }
+        }
+    }
+    for (size_t b = 0; b < model.paramCount(); ++b) {
+        double total = acc_taken[b] + acc_fall[b];
+        result.theta[b] = (acc_taken[b] + options_.smoothing) /
+                          (total + 2.0 * options_.smoothing);
+    }
+
+    result.iterations = iter;
+    result.pathCount = ws.set.paths.size();
+    result.coveredPathMass = ws.set.coveredMass();
+    result.rewardClasses = n_classes;
+    double aliased = 0.0;
+    for (size_t c = 0; c < n_classes; ++c) {
+        bool mixed = false;
+        for (size_t m = 1; m < classes[c].members.size() && !mixed; ++m) {
+            const auto &a = ws.features[classes[c].members[0]];
+            const auto &b = ws.features[classes[c].members[m]];
+            mixed = a.takenCount != b.takenCount ||
+                    a.fallCount != b.fallCount;
+        }
+        if (mixed)
+            aliased += freq[c];
+    }
+    result.aliasedMass = aliased;
+    return result;
+}
+
+} // namespace ct::tomography

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Linear tomography estimator: histogram inversion over reward classes.
+ *
+ * This is the most literal reading of the "tomography" analogy: the
+ * observed duration histogram is a projection of the hidden path
+ * frequency vector through the known (path -> duration) map. The
+ * estimator first recovers reward-*class* frequencies by maximum
+ * likelihood (a plain mixture fit, no Markov coupling), then splits
+ * class mass uniformly-by-prior across aliased member paths, and reads
+ * branch probabilities off the resulting path weights.
+ *
+ * Compared to the EM estimator it ignores the Markov parameterization
+ * while fitting — faster and assumption-free, but it cannot use branch
+ * correlations to disambiguate aliased classes.
+ */
+
+#ifndef CT_TOMOGRAPHY_LINEAR_ESTIMATOR_HH
+#define CT_TOMOGRAPHY_LINEAR_ESTIMATOR_HH
+
+#include "tomography/estimator.hh"
+
+namespace ct::tomography {
+
+class LinearTomographyEstimator : public Estimator
+{
+  public:
+    explicit LinearTomographyEstimator(EstimatorOptions options);
+
+    const char *name() const override { return "linear"; }
+
+    EstimateResult estimate(const TimingModel &model,
+                            const std::vector<int64_t> &durations)
+        const override;
+
+  private:
+    EstimatorOptions options_;
+};
+
+} // namespace ct::tomography
+
+#endif // CT_TOMOGRAPHY_LINEAR_ESTIMATOR_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Moment-matching estimator: fit theta so the Markov chain's closed-form
+ * mean and variance of the end-to-end time match the sample moments.
+ *
+ * Needs no path enumeration, so it scales to arbitrarily loopy CFGs and
+ * is cheap — but with only two moments it is underdetermined whenever a
+ * procedure has more than two branch parameters, in which case the
+ * smoothing prior pulls the free directions toward 0.5. This is the
+ * trade-off the ablation experiment (E8) quantifies.
+ */
+
+#ifndef CT_TOMOGRAPHY_MOMENT_ESTIMATOR_HH
+#define CT_TOMOGRAPHY_MOMENT_ESTIMATOR_HH
+
+#include "tomography/estimator.hh"
+
+namespace ct::tomography {
+
+class MomentEstimator : public Estimator
+{
+  public:
+    explicit MomentEstimator(EstimatorOptions options);
+
+    const char *name() const override { return "moment"; }
+
+    EstimateResult estimate(const TimingModel &model,
+                            const std::vector<int64_t> &durations)
+        const override;
+
+  private:
+    /** Penalized moment-matching objective (lower is better). */
+    double objective(const TimingModel &model,
+                     const std::vector<double> &theta, double mean_cycles,
+                     double var_cycles) const;
+
+    EstimatorOptions options_;
+};
+
+} // namespace ct::tomography
+
+#endif // CT_TOMOGRAPHY_MOMENT_ESTIMATOR_HH

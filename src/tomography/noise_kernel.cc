@@ -1,0 +1,90 @@
+#include "tomography/noise_kernel.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ct::tomography {
+
+NoiseKernel::NoiseKernel(uint64_t cycles_per_tick, double jitter_sigma_ticks)
+    : cyclesPerTick_(cycles_per_tick), jitterSigma_(jitter_sigma_ticks),
+      durationSigma_(jitter_sigma_ticks * std::sqrt(2.0))
+{
+    CT_ASSERT(cycles_per_tick >= 1, "cycles_per_tick must be >= 1");
+    CT_ASSERT(jitter_sigma_ticks >= 0.0, "jitter sigma must be >= 0");
+}
+
+double
+NoiseKernel::effectiveSigma(double extra_var_ticks2) const
+{
+    CT_ASSERT(extra_var_ticks2 >= 0.0, "extra variance must be >= 0");
+    return std::sqrt(durationSigma_ * durationSigma_ + extra_var_ticks2);
+}
+
+double
+NoiseKernel::noiseMass(int64_t j, double sigma)
+{
+    if (sigma <= 0.0)
+        return j == 0 ? 1.0 : 0.0;
+    // Integrate the Gaussian over [j - 0.5, j + 0.5] (rounded noise).
+    auto phi = [sigma](double x) {
+        return 0.5 * std::erfc(-x / (sigma * std::sqrt(2.0)));
+    };
+    return phi(double(j) + 0.5) - phi(double(j) - 0.5);
+}
+
+double
+NoiseKernel::prob(int64_t observed_ticks, double true_cycles,
+                  double extra_var_ticks2) const
+{
+    if (true_cycles < 0.0)
+        return 0.0;
+    double ratio = true_cycles / double(cyclesPerTick_);
+    int64_t base = int64_t(std::floor(ratio));
+    double frac = ratio - double(base);
+    double sigma = effectiveSigma(extra_var_ticks2);
+    int64_t span = sigma > 0.0 ? int64_t(std::ceil(6.0 * sigma)) : 0;
+
+    // Quantization mass on {base, base + 1}, convolved with the noise.
+    double total = 0.0;
+    const int64_t quant_ticks[2] = {base, base + 1};
+    const double quant_mass[2] = {1.0 - frac, frac};
+    for (int q = 0; q < 2; ++q) {
+        if (quant_mass[q] <= 0.0)
+            continue;
+        int64_t j = observed_ticks - quant_ticks[q];
+        if (std::llabs(j) > span && span > 0)
+            continue;
+        total += quant_mass[q] * noiseMass(j, sigma);
+    }
+    return total;
+}
+
+double
+NoiseKernel::logProb(int64_t observed_ticks, double true_cycles,
+                     double extra_var_ticks2) const
+{
+    double p = prob(observed_ticks, true_cycles, extra_var_ticks2);
+    return p > 0.0 ? std::max(std::log(p), logFloor()) : logFloor();
+}
+
+std::pair<int64_t, int64_t>
+NoiseKernel::support(double true_cycles, double extra_var_ticks2) const
+{
+    double ratio = std::max(0.0, true_cycles) / double(cyclesPerTick_);
+    int64_t base = int64_t(std::floor(ratio));
+    double sigma = effectiveSigma(extra_var_ticks2);
+    int64_t span = sigma > 0.0 ? int64_t(std::ceil(6.0 * sigma)) : 0;
+    return {base - span, base + 1 + span};
+}
+
+double
+NoiseKernel::noiseVarianceTicks() const
+{
+    // Quantization of a duration with a uniform phase has variance
+    // frac * (1 - frac) <= 1/4; averaged over durations this is ~1/6.
+    return 1.0 / 6.0 + 2.0 * jitterSigma_ * jitterSigma_;
+}
+
+} // namespace ct::tomography

@@ -1,0 +1,58 @@
+#include "tomography/path_workspace.hh"
+
+#include <map>
+
+#include "util/logging.hh"
+
+namespace ct::tomography {
+
+PathWorkspace
+PathWorkspace::build(const TimingModel &model,
+                     const std::vector<int64_t> &durations,
+                     const EstimatorOptions &options,
+                     const std::vector<double> &enum_theta)
+{
+    CT_ASSERT(!durations.empty(), "PathWorkspace: no observations");
+
+    PathWorkspace ws;
+    auto chain = model.chainFor(enum_theta);
+    ws.set = markov::enumeratePaths(chain, model.proc().entry(),
+                                    options.pathEnum);
+    if (ws.set.paths.empty())
+        fatal("path enumeration produced no paths for '",
+              model.proc().name(),
+              "'; relax PathEnumOptions (minProb/maxVisitsPerState)");
+
+    const double tick = double(model.cyclesPerTick());
+    ws.features.reserve(ws.set.paths.size());
+    ws.rewards.reserve(ws.set.paths.size());
+    ws.extraVarTicks2.reserve(ws.set.paths.size());
+    for (const auto &path : ws.set.paths) {
+        ws.features.push_back(extractFeatures(model, path));
+        ws.rewards.push_back(path.reward);
+        ws.extraVarTicks2.push_back(
+            model.pathVarianceCycles(path.states) / (tick * tick));
+    }
+
+    std::map<int64_t, double> histogram;
+    for (int64_t d : durations)
+        histogram[d] += 1.0;
+    for (const auto &[value, weight] : histogram) {
+        ws.obsValues.push_back(value);
+        ws.obsWeights.push_back(weight);
+        ws.totalWeight += weight;
+    }
+
+    NoiseKernel noise(model.cyclesPerTick(), options.jitterSigmaTicks);
+    ws.kernel.assign(ws.obsValues.size(),
+                     std::vector<double>(ws.set.paths.size(), 0.0));
+    for (size_t o = 0; o < ws.obsValues.size(); ++o) {
+        for (size_t p = 0; p < ws.set.paths.size(); ++p) {
+            ws.kernel[o][p] = noise.prob(ws.obsValues[o], ws.rewards[p],
+                                         ws.extraVarTicks2[p]);
+        }
+    }
+    return ws;
+}
+
+} // namespace ct::tomography

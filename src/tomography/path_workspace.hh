@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Shared preparation for the path-based estimators (Linear, Em):
+ * bounded path enumeration, per-path branch-decision features, and the
+ * observation-likelihood matrix over the distinct measured durations.
+ */
+
+#ifndef CT_TOMOGRAPHY_PATH_WORKSPACE_HH
+#define CT_TOMOGRAPHY_PATH_WORKSPACE_HH
+
+#include <vector>
+
+#include "tomography/estimator.hh"
+#include "tomography/noise_kernel.hh"
+
+namespace ct::tomography {
+
+/** Precomputed quantities shared by one estimation run. */
+struct PathWorkspace
+{
+    markov::PathSet set;
+    std::vector<PathFeatures> features; //!< per path
+    std::vector<double> rewards;        //!< per path, cycles
+    /** Residual callee variance per path, in ticks^2. */
+    std::vector<double> extraVarTicks2;
+
+    std::vector<int64_t> obsValues; //!< distinct measured durations, ticks
+    std::vector<double> obsWeights; //!< multiplicity of each value
+    double totalWeight = 0.0;
+
+    /** kernel[o][p] = P(obsValues[o] | rewards[p]). */
+    std::vector<std::vector<double>> kernel;
+
+    /**
+     * Build: enumerate paths of @p model's chain under @p enum_theta,
+     * extract features, histogram @p durations, and fill the kernel.
+     */
+    static PathWorkspace build(const TimingModel &model,
+                               const std::vector<int64_t> &durations,
+                               const EstimatorOptions &options,
+                               const std::vector<double> &enum_theta);
+};
+
+} // namespace ct::tomography
+
+#endif // CT_TOMOGRAPHY_PATH_WORKSPACE_HH

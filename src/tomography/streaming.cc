@@ -1,0 +1,99 @@
+#include "tomography/streaming.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ct::tomography {
+
+StreamingEstimator::StreamingEstimator(const TimingModel &model,
+                                       const EstimatorOptions &options,
+                                       double step_exponent,
+                                       double forgetting)
+    : model_(model),
+      noise_(model.cyclesPerTick(), options.jitterSigmaTicks),
+      stepExponent_(step_exponent), forgetting_(forgetting),
+      smoothing_(options.smoothing)
+{
+    CT_ASSERT(step_exponent > 0.5 && step_exponent <= 1.0,
+              "step exponent must lie in (0.5, 1]");
+    CT_ASSERT(forgetting >= 0.0 && forgetting < 1.0,
+              "forgetting factor must lie in [0, 1)");
+
+    theta_.assign(model.paramCount(), 0.5);
+    statTaken_.assign(model.paramCount(), 0.0);
+    statFall_.assign(model.paramCount(), 0.0);
+
+    // Latent path set, enumerated once under the agnostic prior.
+    auto chain = model.chainFor(theta_);
+    auto set = markov::enumeratePaths(chain, model.proc().entry(),
+                                      options.pathEnum);
+    if (set.paths.empty())
+        fatal("streaming estimator: no paths enumerated for '",
+              model.proc().name(), "'");
+    const double tick = double(model.cyclesPerTick());
+    for (const auto &path : set.paths) {
+        features_.push_back(extractFeatures(model, path));
+        rewards_.push_back(path.reward);
+        extraVarTicks2_.push_back(model.pathVarianceCycles(path.states) /
+                                  (tick * tick));
+    }
+}
+
+void
+StreamingEstimator::observe(int64_t duration_ticks)
+{
+    if (theta_.empty()) {
+        ++count_;
+        return;
+    }
+
+    // E-step for this single observation.
+    const size_t paths = features_.size();
+    std::vector<double> resp(paths, 0.0);
+    double denom = 0.0;
+    for (size_t p = 0; p < paths; ++p) {
+        double prior = std::exp(features_[p].logProb(theta_));
+        resp[p] = prior * noise_.prob(duration_ticks, rewards_[p],
+                                      extraVarTicks2_[p]);
+        denom += resp[p];
+    }
+    ++count_;
+    if (denom <= 0.0) {
+        ++outliers_;
+        return;
+    }
+
+    // Stochastic-approximation blend of the sufficient statistics.
+    // Constant-step ("forgetting") mode tracks drifting environments.
+    double rho = forgetting_ > 0.0
+                     ? forgetting_
+                     : std::pow(double(count_), -stepExponent_);
+    for (size_t b = 0; b < theta_.size(); ++b) {
+        double taken = 0.0;
+        double fall = 0.0;
+        for (size_t p = 0; p < paths; ++p) {
+            double w = resp[p] / denom;
+            taken += w * features_[p].takenCount[b];
+            fall += w * features_[p].fallCount[b];
+        }
+        statTaken_[b] = (1.0 - rho) * statTaken_[b] + rho * taken;
+        statFall_[b] = (1.0 - rho) * statFall_[b] + rho * fall;
+
+        double total = statTaken_[b] + statFall_[b];
+        // The smoothing pseudo-count shrinks as evidence accumulates.
+        double s = smoothing_ / double(count_);
+        theta_[b] = (statTaken_[b] + s) / (total + 2.0 * s);
+        theta_[b] = std::clamp(theta_[b], 1e-6, 1.0 - 1e-6);
+    }
+}
+
+void
+StreamingEstimator::observeAll(const std::vector<int64_t> &durations)
+{
+    for (int64_t d : durations)
+        observe(d);
+}
+
+} // namespace ct::tomography

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Streaming Code Tomography: online EM over the bounded path set.
+ *
+ * The batch estimators need the full duration trace in memory. A sink
+ * node receiving one timestamp report per packet wants to fold each
+ * observation in as it arrives and keep only O(paths + branches) state.
+ * This estimator implements stochastic-approximation EM (Cappe &
+ * Moulines style): per observation it computes path responsibilities
+ * under the current theta and blends the resulting decision counts
+ * into exponentially-weighted sufficient statistics with a decaying
+ * step size, then re-normalizes theta.
+ */
+
+#ifndef CT_TOMOGRAPHY_STREAMING_HH
+#define CT_TOMOGRAPHY_STREAMING_HH
+
+#include "tomography/estimator.hh"
+#include "tomography/noise_kernel.hh"
+
+namespace ct::tomography {
+
+class StreamingEstimator
+{
+  public:
+    /**
+     * @param model   the procedure's timing model (must outlive this)
+     * @param options shared estimator knobs; pathEnum bounds the latent
+     *        path set (enumerated once, under the agnostic prior)
+     * @param step_exponent decay of the stochastic-EM step size
+     *        rho_t = t^-exponent; must lie in (0.5, 1].
+     * @param forgetting when > 0, overrides the decaying schedule with
+     *        a constant step (rho = forgetting): the estimator then
+     *        tracks *nonstationary* behaviour — a drifting environment
+     *        changes branch probabilities, and an exponentially
+     *        weighted window follows it at the cost of steady-state
+     *        variance. Must lie in (0, 1).
+     */
+    StreamingEstimator(const TimingModel &model,
+                       const EstimatorOptions &options = {},
+                       double step_exponent = 0.7,
+                       double forgetting = 0.0);
+
+    /** Fold one measured duration (ticks) in. */
+    void observe(int64_t duration_ticks);
+
+    /** Fold a whole sequence in, in order. */
+    void observeAll(const std::vector<int64_t> &durations);
+
+    /** Current estimate (params() order). */
+    const std::vector<double> &theta() const { return theta_; }
+
+    /** Observations processed so far. */
+    uint64_t observations() const { return count_; }
+
+    /** Observations that matched no path (likely outliers). */
+    uint64_t outliers() const { return outliers_; }
+
+    /** Size of the latent path set. */
+    size_t pathCount() const { return features_.size(); }
+
+  private:
+    const TimingModel &model_;
+    NoiseKernel noise_;
+    double stepExponent_;
+    double forgetting_;
+    double smoothing_;
+
+    std::vector<PathFeatures> features_; //!< per path
+    std::vector<double> rewards_;        //!< per path, cycles
+    std::vector<double> extraVarTicks2_; //!< per path
+
+    std::vector<double> theta_;
+    std::vector<double> statTaken_; //!< EW sufficient statistics
+    std::vector<double> statFall_;
+    uint64_t count_ = 0;
+    uint64_t outliers_ = 0;
+};
+
+} // namespace ct::tomography
+
+#endif // CT_TOMOGRAPHY_STREAMING_HH

@@ -1,0 +1,122 @@
+#include "trace/timing_trace.hh"
+
+#include <fstream>
+
+#include "util/logging.hh"
+#include "util/str.hh"
+
+namespace ct::trace {
+
+void
+TimingTrace::add(TimingRecord record)
+{
+    records_.push_back(record);
+}
+
+const TimingRecord &
+TimingTrace::operator[](size_t i) const
+{
+    CT_ASSERT(i < records_.size(), "trace index out of range");
+    return records_[i];
+}
+
+size_t
+TimingTrace::countFor(ir::ProcId proc) const
+{
+    size_t n = 0;
+    for (const auto &record : records_)
+        n += record.proc == proc;
+    return n;
+}
+
+std::vector<int64_t>
+TimingTrace::durations(ir::ProcId proc) const
+{
+    std::vector<int64_t> out;
+    for (const auto &record : records_) {
+        if (record.proc == proc)
+            out.push_back(record.durationTicks());
+    }
+    return out;
+}
+
+std::vector<uint64_t>
+TimingTrace::trueDurations(ir::ProcId proc) const
+{
+    std::vector<uint64_t> out;
+    for (const auto &record : records_) {
+        if (record.proc == proc)
+            out.push_back(record.trueCycles);
+    }
+    return out;
+}
+
+TimingTrace
+TimingTrace::truncated(ir::ProcId proc, size_t n) const
+{
+    TimingTrace out;
+    size_t kept = 0;
+    for (const auto &record : records_) {
+        if (record.proc == proc) {
+            if (kept >= n)
+                continue;
+            ++kept;
+        }
+        out.add(record);
+    }
+    return out;
+}
+
+void
+TimingTrace::saveCsv(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open '", path, "' for writing");
+    out << "proc,invocation,start_tick,end_tick,true_cycles\n";
+    for (const auto &r : records_) {
+        out << r.proc << ',' << r.invocation << ',' << r.startTick << ','
+            << r.endTick << ',' << r.trueCycles << '\n';
+    }
+}
+
+TimingTrace
+TimingTrace::loadCsv(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open '", path, "' for reading");
+    TimingTrace out;
+    std::string line;
+    bool first = true;
+    size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (first) {
+            first = false; // header
+            continue;
+        }
+        if (trim(line).empty())
+            continue;
+        auto fields = split(line, ',');
+        if (fields.size() != 5)
+            fatal(path, ":", lineno, ": expected 5 fields, got ",
+                  fields.size());
+        long proc, invocation, start, end, cycles;
+        if (!parseLong(fields[0], proc) || !parseLong(fields[1], invocation) ||
+            !parseLong(fields[2], start) || !parseLong(fields[3], end) ||
+            !parseLong(fields[4], cycles)) {
+            fatal(path, ":", lineno, ": malformed numeric field");
+        }
+        TimingRecord record;
+        record.proc = ir::ProcId(proc);
+        record.invocation = uint64_t(invocation);
+        record.startTick = start;
+        record.endTick = end;
+        record.trueCycles = uint64_t(cycles);
+        out.add(record);
+    }
+    return out;
+}
+
+} // namespace ct::trace

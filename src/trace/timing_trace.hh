@@ -1,0 +1,69 @@
+/**
+ * @file
+ * End-to-end timing traces: the only measurement Code Tomography sees.
+ *
+ * Each record is one procedure invocation with its start/end timestamps
+ * in timer ticks. The true cycle duration is carried alongside purely
+ * for evaluation (computing estimator error); no estimator reads it.
+ */
+
+#ifndef CT_TRACE_TIMING_TRACE_HH
+#define CT_TRACE_TIMING_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/types.hh"
+
+namespace ct::trace {
+
+/** One procedure invocation's boundary measurement. */
+struct TimingRecord
+{
+    ir::ProcId proc = ir::kNoProc;
+    uint64_t invocation = 0; //!< per-procedure invocation index
+    int64_t startTick = 0;   //!< quantized timestamp at entry
+    int64_t endTick = 0;     //!< quantized timestamp at exit
+    uint64_t trueCycles = 0; //!< oracle duration, for evaluation only
+
+    /** Measured duration in ticks — what the estimator consumes. */
+    int64_t durationTicks() const { return endTick - startTick; }
+};
+
+/** A sequence of timing records from one measurement campaign. */
+class TimingTrace
+{
+  public:
+    void add(TimingRecord record);
+
+    size_t size() const { return records_.size(); }
+    bool empty() const { return records_.empty(); }
+    const TimingRecord &operator[](size_t i) const;
+    const std::vector<TimingRecord> &records() const { return records_; }
+
+    /** Number of records for @p proc. */
+    size_t countFor(ir::ProcId proc) const;
+
+    /** Measured durations (ticks) of @p proc's invocations, in order. */
+    std::vector<int64_t> durations(ir::ProcId proc) const;
+
+    /** Oracle durations (cycles) of @p proc's invocations, in order. */
+    std::vector<uint64_t> trueDurations(ir::ProcId proc) const;
+
+    /** Keep only the first @p n records of @p proc (sample-size sweeps). */
+    TimingTrace truncated(ir::ProcId proc, size_t n) const;
+
+    /** Write as CSV (proc,invocation,start,end,true_cycles). */
+    void saveCsv(const std::string &path) const;
+
+    /** Read back a CSV produced by saveCsv; fatal() on malformed input. */
+    static TimingTrace loadCsv(const std::string &path);
+
+  private:
+    std::vector<TimingRecord> records_;
+};
+
+} // namespace ct::trace
+
+#endif // CT_TRACE_TIMING_TRACE_HH

@@ -1,0 +1,54 @@
+#include "trace/transforms.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ct::trace {
+
+TimingTrace
+addGaussianJitter(const TimingTrace &input, double sigma_ticks, Rng &rng)
+{
+    CT_ASSERT(sigma_ticks >= 0.0, "jitter sigma must be >= 0");
+    TimingTrace out;
+    for (const auto &record : input.records()) {
+        TimingRecord noisy = record;
+        noisy.startTick += int64_t(std::llround(rng.gaussian(0, sigma_ticks)));
+        noisy.endTick += int64_t(std::llround(rng.gaussian(0, sigma_ticks)));
+        if (noisy.endTick < noisy.startTick)
+            noisy.endTick = noisy.startTick;
+        out.add(noisy);
+    }
+    return out;
+}
+
+TimingTrace
+coarsen(const TimingTrace &input, int64_t factor)
+{
+    CT_ASSERT(factor >= 1, "coarsen factor must be >= 1");
+    TimingTrace out;
+    for (const auto &record : input.records()) {
+        TimingRecord coarse = record;
+        auto floorDiv = [factor](int64_t v) {
+            return v >= 0 ? v / factor : -((-v + factor - 1) / factor);
+        };
+        coarse.startTick = floorDiv(record.startTick);
+        coarse.endTick = floorDiv(record.endTick);
+        out.add(coarse);
+    }
+    return out;
+}
+
+TimingTrace
+dropRecords(const TimingTrace &input, double p, Rng &rng)
+{
+    CT_ASSERT(p >= 0.0 && p <= 1.0, "drop probability out of range");
+    TimingTrace out;
+    for (const auto &record : input.records()) {
+        if (!rng.bernoulli(p))
+            out.add(record);
+    }
+    return out;
+}
+
+} // namespace ct::trace

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Trace degradation transforms for the robustness experiments (E4).
+ *
+ * Real mote timers are coarse and jittery; these transforms degrade a
+ * clean trace so estimator robustness can be swept without re-running
+ * the simulator.
+ */
+
+#ifndef CT_TRACE_TRANSFORMS_HH
+#define CT_TRACE_TRANSFORMS_HH
+
+#include "stats/rng.hh"
+#include "trace/timing_trace.hh"
+
+namespace ct::trace {
+
+/**
+ * Add zero-mean Gaussian jitter (std @p sigma_ticks, in ticks) to each
+ * timestamp independently, rounding to integer ticks. Models interrupt
+ * latency and capture skew.
+ */
+TimingTrace addGaussianJitter(const TimingTrace &input, double sigma_ticks,
+                              Rng &rng);
+
+/**
+ * Re-quantize a trace to a coarser timer: timestamps are divided by
+ * @p factor (integer floor). Models sweeping the timer prescaler.
+ */
+TimingTrace coarsen(const TimingTrace &input, int64_t factor);
+
+/**
+ * Drop each record independently with probability @p p (lossy delivery
+ * of measurement reports over the radio).
+ */
+TimingTrace dropRecords(const TimingTrace &input, double p, Rng &rng);
+
+} // namespace ct::trace
+
+#endif // CT_TRACE_TRANSFORMS_HH

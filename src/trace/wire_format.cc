@@ -1,0 +1,100 @@
+#include "trace/wire_format.hh"
+
+#include "util/logging.hh"
+
+namespace ct::trace {
+
+void
+appendVarint(std::vector<uint8_t> &out, uint64_t value)
+{
+    while (value >= 0x80) {
+        out.push_back(uint8_t(value) | 0x80);
+        value >>= 7;
+    }
+    out.push_back(uint8_t(value));
+}
+
+bool
+readVarint(const std::vector<uint8_t> &in, size_t &cursor, uint64_t &value)
+{
+    value = 0;
+    int shift = 0;
+    while (cursor < in.size()) {
+        uint8_t byte = in[cursor++];
+        if (shift >= 64)
+            return false; // overlong
+        value |= uint64_t(byte & 0x7f) << shift;
+        if (!(byte & 0x80))
+            return true;
+        shift += 7;
+    }
+    return false; // truncated
+}
+
+uint64_t
+zigzagEncode(int64_t value)
+{
+    return (uint64_t(value) << 1) ^ uint64_t(value >> 63);
+}
+
+int64_t
+zigzagDecode(uint64_t value)
+{
+    return int64_t(value >> 1) ^ -int64_t(value & 1);
+}
+
+std::vector<uint8_t>
+encodeTrace(const TimingTrace &trace)
+{
+    std::vector<uint8_t> out;
+    int64_t prev_end = 0;
+    for (const auto &record : trace.records()) {
+        appendVarint(out, record.proc);
+        appendVarint(out, zigzagEncode(record.startTick - prev_end));
+        int64_t duration = record.durationTicks();
+        CT_ASSERT(duration >= 0, "wire format: negative duration");
+        appendVarint(out, uint64_t(duration));
+        prev_end = record.endTick;
+    }
+    return out;
+}
+
+bool
+decodeTrace(const std::vector<uint8_t> &bytes, TimingTrace &out)
+{
+    out = TimingTrace{};
+    size_t cursor = 0;
+    int64_t prev_end = 0;
+    std::vector<uint64_t> invocation_counters;
+
+    while (cursor < bytes.size()) {
+        uint64_t proc = 0, gap = 0, duration = 0;
+        if (!readVarint(bytes, cursor, proc) ||
+            !readVarint(bytes, cursor, gap) ||
+            !readVarint(bytes, cursor, duration)) {
+            out = TimingTrace{};
+            return false;
+        }
+        TimingRecord record;
+        record.proc = ir::ProcId(proc);
+        record.startTick = prev_end + zigzagDecode(gap);
+        record.endTick = record.startTick + int64_t(duration);
+        if (invocation_counters.size() <= proc)
+            invocation_counters.resize(proc + 1, 0);
+        record.invocation = invocation_counters[proc]++;
+        record.trueCycles = 0; // the oracle never crosses the air
+        prev_end = record.endTick;
+        out.add(record);
+    }
+    return true;
+}
+
+double
+bytesPerRecord(const TimingTrace &trace)
+{
+    if (trace.empty())
+        return 0.0;
+    return double(encodeTrace(trace).size()) / double(trace.size());
+}
+
+} // namespace ct::trace

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * On-air wire format for timing reports.
+ *
+ * A mote ships its boundary timestamps to the sink over the radio, so
+ * the bytes per record are part of Code Tomography's cost story (E7).
+ * The format is LEB128 varints with delta encoding: procedure ids are
+ * small, consecutive records are near each other in time, and
+ * durations are short — so records compress to a few bytes each.
+ *
+ * Layout per record:
+ *   varint proc_id
+ *   varint zigzag(start_tick - prev_end_tick)   (gap since last record)
+ *   varint duration_ticks
+ *
+ * The oracle field (trueCycles) is evaluation-only and never leaves
+ * the simulator; decoding yields records with trueCycles == 0.
+ */
+
+#ifndef CT_TRACE_WIRE_FORMAT_HH
+#define CT_TRACE_WIRE_FORMAT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/timing_trace.hh"
+
+namespace ct::trace {
+
+/// @name Varint primitives (exposed for tests)
+/// @{
+void appendVarint(std::vector<uint8_t> &out, uint64_t value);
+/** @retval false on truncated/overlong input. */
+bool readVarint(const std::vector<uint8_t> &in, size_t &cursor,
+                uint64_t &value);
+uint64_t zigzagEncode(int64_t value);
+int64_t zigzagDecode(uint64_t value);
+/// @}
+
+/** Encode a trace into the wire format. */
+std::vector<uint8_t> encodeTrace(const TimingTrace &trace);
+
+/**
+ * Decode a wire buffer back into a trace.
+ * @retval false (and clears @p out) on malformed input.
+ */
+bool decodeTrace(const std::vector<uint8_t> &bytes, TimingTrace &out);
+
+/** Average encoded bytes per record (0 for an empty trace). */
+double bytesPerRecord(const TimingTrace &trace);
+
+} // namespace ct::trace
+
+#endif // CT_TRACE_WIRE_FORMAT_HH

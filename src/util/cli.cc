@@ -1,0 +1,100 @@
+#include "util/cli.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/str.hh"
+
+namespace ct {
+
+CliArgs::CliArgs(int argc, const char *const *argv,
+                 const std::vector<std::string> &known)
+    : program_(argc > 0 ? argv[0] : "")
+{
+    auto isKnown = [&](const std::string &name) {
+        return std::find(known.begin(), known.end(), name) != known.end();
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (!startsWith(arg, "--")) {
+            positional_.push_back(arg);
+            continue;
+        }
+        std::string body = arg.substr(2);
+        std::string name;
+        std::string value;
+        size_t eq = body.find('=');
+        if (eq != std::string::npos) {
+            name = body.substr(0, eq);
+            value = body.substr(eq + 1);
+        } else {
+            name = body;
+            // "--name value" form: consume the next token if it is not
+            // itself an option.
+            if (i + 1 < argc && !startsWith(argv[i + 1], "--")) {
+                value = argv[++i];
+            } else {
+                value = "true";
+            }
+        }
+        if (!isKnown(name))
+            fatal("unknown option '--", name, "' (see ", program_, " source ",
+                  "for accepted options)");
+        values_[name] = value;
+    }
+}
+
+bool
+CliArgs::has(const std::string &name) const
+{
+    return values_.count(name) > 0;
+}
+
+std::string
+CliArgs::get(const std::string &name, const std::string &fallback) const
+{
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+}
+
+long
+CliArgs::getLong(const std::string &name, long fallback) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return fallback;
+    long out = 0;
+    if (!parseLong(it->second, out))
+        fatal("option --", name, " expects an integer, got '", it->second,
+              "'");
+    return out;
+}
+
+double
+CliArgs::getDouble(const std::string &name, double fallback) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return fallback;
+    double out = 0;
+    if (!parseDouble(it->second, out))
+        fatal("option --", name, " expects a number, got '", it->second, "'");
+    return out;
+}
+
+bool
+CliArgs::getBool(const std::string &name, bool fallback) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return fallback;
+    std::string v = toLower(it->second);
+    if (v == "1" || v == "true" || v == "yes" || v == "on")
+        return true;
+    if (v == "0" || v == "false" || v == "no" || v == "off")
+        return false;
+    fatal("option --", name, " expects a boolean, got '", it->second, "'");
+}
+
+} // namespace ct

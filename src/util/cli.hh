@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Minimal command-line option parser for example and bench binaries.
+ *
+ * Supports "--name=value", "--name value" and boolean "--flag" options.
+ * Unknown options are a fatal() user error so that experiment invocations
+ * never silently ignore a misspelled parameter.
+ */
+
+#ifndef CT_UTIL_CLI_HH
+#define CT_UTIL_CLI_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ct {
+
+/** Parsed command line with typed accessors and defaults. */
+class CliArgs
+{
+  public:
+    /**
+     * Parse argv. @p known lists the accepted option names (without the
+     * leading dashes); anything else is rejected.
+     */
+    CliArgs(int argc, const char *const *argv,
+            const std::vector<std::string> &known);
+
+    /** True if --name was present (with or without a value). */
+    bool has(const std::string &name) const;
+
+    /** Value of --name, or @p fallback when absent. */
+    std::string get(const std::string &name,
+                    const std::string &fallback) const;
+    long getLong(const std::string &name, long fallback) const;
+    double getDouble(const std::string &name, double fallback) const;
+    bool getBool(const std::string &name, bool fallback) const;
+
+    /** Positional (non-option) arguments in order. */
+    const std::vector<std::string> &positional() const { return positional_; }
+
+    /** Name of the binary (argv[0]). */
+    const std::string &program() const { return program_; }
+
+  private:
+    std::string program_;
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace ct
+
+#endif // CT_UTIL_CLI_HH

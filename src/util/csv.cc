@@ -1,0 +1,121 @@
+#include "util/csv.hh"
+
+#include <algorithm>
+#include <iostream>
+
+#include "util/logging.hh"
+#include "util/str.hh"
+
+namespace ct {
+
+CsvWriter::CsvWriter(const std::string &path)
+    : path_(path), out_(path)
+{
+    if (!out_)
+        fatal("cannot open CSV output file '", path, "'");
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &fields)
+{
+    for (size_t i = 0; i < fields.size(); ++i) {
+        if (i > 0)
+            out_ << ',';
+        out_ << escape(fields[i]);
+    }
+    out_ << '\n';
+    ++rowCount_;
+}
+
+std::string
+CsvWriter::stringify(double v)
+{
+    return formatDouble(v, 6);
+}
+
+std::string
+CsvWriter::escape(const std::string &field)
+{
+    if (field.find_first_of(",\"\n") == std::string::npos)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+TablePrinter::TablePrinter(std::string title)
+    : title_(std::move(title))
+{
+}
+
+void
+TablePrinter::setHeader(const std::vector<std::string> &header)
+{
+    header_ = header;
+}
+
+void
+TablePrinter::addRow(const std::vector<std::string> &row)
+{
+    if (!header_.empty() && row.size() != header_.size())
+        panic("TablePrinter row width ", row.size(), " != header width ",
+              header_.size());
+    rows_.push_back(row);
+}
+
+std::string
+TablePrinter::field(double v)
+{
+    return formatDouble(v, 4);
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    std::vector<size_t> width(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string> &row) {
+        if (width.size() < row.size())
+            width.resize(row.size(), 0);
+        for (size_t i = 0; i < row.size(); ++i)
+            width[i] = std::max(width[i], row[i].size());
+    };
+    widen(header_);
+    for (const auto &row : rows_)
+        widen(row);
+
+    os << "== " << title_ << " ==\n";
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t i = 0; i < row.size(); ++i) {
+            os << (i ? "  " : "");
+            os << row[i];
+            os << std::string(width[i] - row[i].size(), ' ');
+        }
+        os << '\n';
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        size_t total = 0;
+        for (size_t w : width)
+            total += w + 2;
+        os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+    }
+    for (const auto &row : rows_)
+        emit(row);
+    os.flush();
+}
+
+void
+TablePrinter::writeCsv(CsvWriter &csv) const
+{
+    if (!header_.empty())
+        csv.writeRow(header_);
+    for (const auto &row : rows_)
+        csv.writeRow(row);
+}
+
+} // namespace ct

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * CSV emission and aligned-table console output.
+ *
+ * Every experiment binary writes its rows both as a CSV file (for plotting)
+ * and as an aligned text table on stdout (the "figure/table" the harness
+ * regenerates).
+ */
+
+#ifndef CT_UTIL_CSV_HH
+#define CT_UTIL_CSV_HH
+
+#include <fstream>
+#include <type_traits>
+#include <string>
+#include <vector>
+
+namespace ct {
+
+/**
+ * Streaming CSV writer. Fields containing separators or quotes are quoted
+ * per RFC 4180.
+ */
+class CsvWriter
+{
+  public:
+    /** Open @p path for writing; fatal() on failure. */
+    explicit CsvWriter(const std::string &path);
+
+    /** Write one row of already-stringified fields. */
+    void writeRow(const std::vector<std::string> &fields);
+
+    /** Convenience: stringify arithmetic/string fields and write a row. */
+    template <typename... Fields>
+    void
+    row(Fields &&...fields)
+    {
+        std::vector<std::string> out;
+        (out.push_back(stringify(std::forward<Fields>(fields))), ...);
+        writeRow(out);
+    }
+
+    /** Number of rows written so far (including the header). */
+    size_t rowCount() const { return rowCount_; }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    static std::string stringify(const std::string &s) { return s; }
+    static std::string stringify(const char *s) { return s; }
+    static std::string stringify(double v);
+    template <typename T>
+        requires std::is_integral_v<T>
+    static std::string
+    stringify(T v)
+    {
+        return std::to_string(v);
+    }
+    static std::string escape(const std::string &field);
+
+    std::string path_;
+    std::ofstream out_;
+    size_t rowCount_ = 0;
+};
+
+/**
+ * Collects rows and prints them as an aligned, human-readable table.
+ * Used by the bench harness to render the reproduced tables/figure series.
+ */
+class TablePrinter
+{
+  public:
+    /** @param title caption printed above the table. */
+    explicit TablePrinter(std::string title);
+
+    /** Set the column headers (defines the column count). */
+    void setHeader(const std::vector<std::string> &header);
+
+    /** Append one row; must match the header width. */
+    void addRow(const std::vector<std::string> &row);
+
+    /** Convenience mirror of CsvWriter::row(). */
+    template <typename... Fields>
+    void
+    row(Fields &&...fields)
+    {
+        std::vector<std::string> out;
+        (out.push_back(field(std::forward<Fields>(fields))), ...);
+        addRow(out);
+    }
+
+    /** Render the table to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Render the collected rows to a CsvWriter as well. */
+    void writeCsv(CsvWriter &csv) const;
+
+    size_t rowCount() const { return rows_.size(); }
+
+  private:
+    static std::string field(const std::string &s) { return s; }
+    static std::string field(const char *s) { return s; }
+    static std::string field(double v);
+    template <typename T>
+    static std::string
+    field(T v)
+    {
+        return std::to_string(v);
+    }
+
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace ct
+
+#endif // CT_UTIL_CSV_HH

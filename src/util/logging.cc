@@ -1,0 +1,34 @@
+#include "util/logging.hh"
+
+namespace ct {
+
+namespace detail {
+
+LogLevel &
+logLevelRef()
+{
+    static LogLevel level = LogLevel::Normal;
+    return level;
+}
+
+void
+emit(const char *tag, const std::string &msg)
+{
+    std::cerr << tag << ": " << msg << "\n";
+}
+
+} // namespace detail
+
+void
+setLogLevel(LogLevel level)
+{
+    detail::logLevelRef() = level;
+}
+
+LogLevel
+logLevel()
+{
+    return detail::logLevelRef();
+}
+
+} // namespace ct

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Status and error reporting for the Code Tomography library.
+ *
+ * Follows the gem5 convention: inform()/warn() report conditions the user
+ * should know about without stopping; fatal() terminates on user error
+ * (bad configuration, invalid arguments); panic() aborts on internal
+ * invariant violations (library bugs).
+ */
+
+#ifndef CT_UTIL_LOGGING_HH
+#define CT_UTIL_LOGGING_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace ct {
+
+/** Verbosity levels accepted by setLogLevel(). */
+enum class LogLevel {
+    Quiet,   //!< suppress inform() output
+    Normal,  //!< default: inform() and warn() printed
+    Debug,   //!< also print debugLog() output
+};
+
+namespace detail {
+
+/** Process-wide log level; not thread-safe by design (single-threaded lib). */
+LogLevel &logLevelRef();
+
+/** Concatenate a parameter pack into one string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+void emit(const char *tag, const std::string &msg);
+
+} // namespace detail
+
+/** Set the process-wide verbosity. */
+void setLogLevel(LogLevel level);
+
+/** Get the process-wide verbosity. */
+LogLevel logLevel();
+
+/** Print an informational status message (suppressed when Quiet). */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    if (logLevel() != LogLevel::Quiet)
+        detail::emit("info", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Print a warning: something suspicious but not fatal. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emit("warn", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Print a debug message (only when LogLevel::Debug). */
+template <typename... Args>
+void
+debugLog(Args &&...args)
+{
+    if (logLevel() == LogLevel::Debug)
+        detail::emit("debug", detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Terminate because of a user-caused error (bad config, bad arguments).
+ * Exits with status 1; does not dump core.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::emit("fatal", detail::concat(std::forward<Args>(args)...));
+    std::exit(1);
+}
+
+/**
+ * Terminate because of an internal library bug (broken invariant).
+ * Calls abort() so a core/backtrace is available.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::emit("panic", detail::concat(std::forward<Args>(args)...));
+    std::abort();
+}
+
+/** panic() unless the invariant holds. */
+#define CT_ASSERT(cond, ...)                                                  \
+    do {                                                                      \
+        if (!(cond))                                                          \
+            ::ct::panic("assertion failed: ", #cond, " ",                     \
+                        ::ct::detail::concat("" __VA_ARGS__));                \
+    } while (0)
+
+} // namespace ct
+
+#endif // CT_UTIL_LOGGING_HH

@@ -1,0 +1,111 @@
+#include "util/str.hh"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ct {
+
+std::vector<std::string>
+split(std::string_view text, char sep)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (true) {
+        size_t pos = text.find(sep, start);
+        if (pos == std::string_view::npos) {
+            out.emplace_back(text.substr(start));
+            break;
+        }
+        out.emplace_back(text.substr(start, pos - start));
+        start = pos + 1;
+    }
+    return out;
+}
+
+std::string
+join(const std::vector<std::string> &parts, std::string_view sep)
+{
+    std::string out;
+    for (size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0)
+            out.append(sep);
+        out.append(parts[i]);
+    }
+    return out;
+}
+
+std::string
+trim(std::string_view text)
+{
+    size_t begin = 0;
+    size_t end = text.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(text[begin])))
+        ++begin;
+    while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1])))
+        --end;
+    return std::string(text.substr(begin, end - begin));
+}
+
+bool
+startsWith(std::string_view text, std::string_view prefix)
+{
+    return text.size() >= prefix.size() &&
+           text.substr(0, prefix.size()) == prefix;
+}
+
+bool
+endsWith(std::string_view text, std::string_view suffix)
+{
+    return text.size() >= suffix.size() &&
+           text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string
+toLower(std::string_view text)
+{
+    std::string out(text);
+    for (char &c : out)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+std::string
+formatDouble(double value, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+    std::string out(buf);
+    if (out.find('.') != std::string::npos) {
+        size_t last = out.find_last_not_of('0');
+        if (out[last] == '.')
+            --last;
+        out.erase(last + 1);
+    }
+    return out;
+}
+
+bool
+parseDouble(std::string_view text, double &out)
+{
+    std::string owned = trim(text);
+    if (owned.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtod(owned.c_str(), &end);
+    return end == owned.c_str() + owned.size();
+}
+
+bool
+parseLong(std::string_view text, long &out)
+{
+    std::string owned = trim(text);
+    if (owned.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtol(owned.c_str(), &end, 10);
+    return end == owned.c_str() + owned.size();
+}
+
+} // namespace ct

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * alarm_threshold: hysteresis alarm (fire/intrusion detection pattern).
+ * The state branch's probability is the *stationary* alarm occupancy —
+ * an emergent quantity of the two-threshold dynamics, not a direct
+ * input parameter — making this the suite's Markov-modulated case.
+ */
+
+#include "ir/builder.hh"
+#include "workloads/workload.hh"
+
+namespace ct::workloads {
+
+namespace {
+
+constexpr ir::Word kAlarmState = 30;
+constexpr ir::Word kHighThreshold = 560;
+constexpr ir::Word kLowThreshold = 440;
+
+} // namespace
+
+Workload
+makeAlarmThreshold()
+{
+    using ir::CondCode;
+    auto module = std::make_shared<ir::Module>("alarm_threshold");
+
+    ir::ProcedureBuilder b(*module, "alarm_check");
+    auto in_alarm = b.newBlock("in_alarm");
+    auto normal = b.newBlock("normal");
+    auto raise = b.newBlock("raise_alarm");
+    auto stay = b.newBlock("stay_normal");
+    auto clear = b.newBlock("clear_alarm");
+    auto hold = b.newBlock("hold_alarm");
+    auto done = b.newBlock("done");
+
+    // entry: sample and branch on the persisted alarm state.
+    b.setBlock(0);
+    b.sense(1, 0)
+        .li(2, kAlarmState)
+        .ld(3, 2, 0)
+        .li(4, 1);
+    b.br(CondCode::Eq, 3, 4, in_alarm, normal);
+
+    // Normal regime: raise when the sample crosses the high threshold.
+    b.setBlock(normal);
+    b.li(5, kHighThreshold);
+    b.br(CondCode::Ge, 1, 5, raise, stay);
+
+    b.setBlock(raise);
+    b.li(6, 1)
+        .st(2, 0, 6)
+        .radioTx(1); // alert the sink
+    b.jmp(done);
+
+    b.setBlock(stay);
+    b.sleep(2);
+    b.jmp(done);
+
+    // Alarm regime: clear only when the sample falls below the low
+    // threshold (hysteresis band keeps the alarm from chattering).
+    b.setBlock(in_alarm);
+    b.li(5, kLowThreshold);
+    b.br(CondCode::Lt, 1, 5, clear, hold);
+
+    b.setBlock(clear);
+    b.li(6, 0)
+        .st(2, 0, 6)
+        .radioTx(6); // all-clear message
+    b.jmp(done);
+
+    b.setBlock(hold);
+    b.sleep(3);
+    b.jmp(done);
+
+    b.setBlock(done);
+    b.ret();
+
+    Workload w;
+    w.name = "alarm_threshold";
+    w.description = "two-threshold hysteresis alarm; state-driven branches";
+    w.module = module;
+    w.entry = b.finish();
+    w.makeInputs = [](uint64_t seed) {
+        auto inputs = std::make_unique<sim::ScriptedInputs>(seed);
+        inputs->setChannel(0, makeGaussian(500.0, 70.0));
+        return inputs;
+    };
+    w.inputNotes = "ch0 ~ Normal(500, 70); thresholds 560 / 440";
+    return w;
+}
+
+} // namespace ct::workloads

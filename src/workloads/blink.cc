@@ -1,0 +1,70 @@
+/**
+ * @file
+ * blink: the "hello world" of TinyOS. Each timer event toggles the LED
+ * state held in RAM. The single branch alternates deterministically —
+ * a deliberate stress on the Markov assumption (the marginal taken
+ * probability is exactly 0.5, but consecutive outcomes are perfectly
+ * anti-correlated).
+ */
+
+#include "ir/builder.hh"
+#include "workloads/workload.hh"
+
+namespace ct::workloads {
+
+namespace {
+
+/** RAM address of the LED state word. */
+constexpr ir::Word kLedState = 0;
+
+} // namespace
+
+Workload
+makeBlink()
+{
+    using ir::CondCode;
+    auto module = std::make_shared<ir::Module>("blink");
+
+    ir::ProcedureBuilder b(*module, "blink_fired");
+    auto on_block = b.newBlock("turn_on");
+    auto off_block = b.newBlock("turn_off");
+    auto done = b.newBlock("done");
+
+    // entry: read state, branch on it.
+    b.setBlock(0);
+    b.li(1, kLedState)
+        .ld(2, 1, 0)
+        .li(3, 0);
+    b.br(CondCode::Eq, 2, 3, on_block, off_block);
+
+    // LED was off: switch it on (slightly longer path: settle delay).
+    b.setBlock(on_block);
+    b.li(4, 1)
+        .st(1, 0, 4)
+        .sleep(5);
+    b.jmp(done);
+
+    // LED was on: switch it off.
+    b.setBlock(off_block);
+    b.li(4, 0)
+        .st(1, 0, 4)
+        .sleep(3);
+    b.jmp(done);
+
+    b.setBlock(done);
+    b.ret();
+
+    Workload w;
+    w.name = "blink";
+    w.description = "LED toggle; one deterministic-alternating branch";
+    w.module = module;
+    w.entry = b.finish();
+    w.makeInputs = [](uint64_t seed) {
+        // No sensor or radio input.
+        return std::make_unique<sim::ScriptedInputs>(seed);
+    };
+    w.inputNotes = "none (state-driven)";
+    return w;
+}
+
+} // namespace ct::workloads

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * collection_tree: a CTP-flavoured collection protocol slice with a
+ * six-procedure call graph — the suite's subject for procedure-level
+ * placement. Each event dispatches an inbound frame: data frames are
+ * forwarded through a bounded send queue (enqueue + carrier-sensed
+ * send), beacons update the routing metric (adopt-better-parent
+ * logic), everything else is dropped.
+ *
+ * Call graph (weights under the default inputs):
+ *   ctp_dispatch -> forward_data   (~0.70 / event)
+ *                -> handle_beacon  (~0.25 / event)
+ *   forward_data -> enqueue_data   (1 per forward)
+ *                -> send_data      (1 per forward)
+ *   handle_beacon -> update_etx    (1 per beacon)
+ */
+
+#include "ir/builder.hh"
+#include "workloads/workload.hh"
+
+namespace ct::workloads {
+
+namespace {
+
+constexpr ir::Word kEtx = 40;      //!< current route metric (0 = none)
+constexpr ir::Word kQueueLen = 42;
+constexpr ir::Word kDropped = 43;
+constexpr ir::Word kQueueMax = 5;
+
+} // namespace
+
+Workload
+makeCollectionTree()
+{
+    using ir::CondCode;
+    auto module = std::make_shared<ir::Module>("collection_tree");
+
+    // update_etx: adopt the beacon's metric when better (or when we
+    // have no route yet).
+    {
+        ir::ProcedureBuilder b(*module, "update_etx");
+        auto have_route = b.newBlock("have_route");
+        auto adopt = b.newBlock("adopt");
+        auto keep = b.newBlock("keep");
+
+        b.setBlock(0);
+        b.sense(1, 0) // candidate metric from the beacon
+            .li(2, kEtx)
+            .ld(3, 2, 0)
+            .li(4, 0);
+        b.br(CondCode::Eq, 3, 4, adopt, have_route);
+
+        b.setBlock(have_route);
+        b.nop();
+        b.br(CondCode::Lt, 1, 3, adopt, keep);
+
+        b.setBlock(adopt);
+        b.st(2, 0, 1);
+        b.ret();
+
+        b.setBlock(keep);
+        b.sleep(2);
+        b.ret();
+        b.finish();
+    }
+
+    // enqueue_data: bump the queue length.
+    {
+        ir::ProcedureBuilder b(*module, "enqueue_data");
+        b.setBlock(0);
+        b.li(1, kQueueLen)
+            .ld(2, 1, 0)
+            .addi(2, 2, 1)
+            .st(1, 0, 2);
+        b.ret();
+        b.finish();
+    }
+
+    // send_data: transmit head-of-queue when the channel is clear.
+    {
+        ir::ProcedureBuilder b(*module, "send_data");
+        auto send = b.newBlock("send");
+        auto busy = b.newBlock("busy");
+
+        b.setBlock(0);
+        b.sense(1, 1) // carrier sense
+            .li(2, 1);
+        b.br(CondCode::Eq, 1, 2, send, busy);
+
+        b.setBlock(send);
+        b.li(3, kQueueLen)
+            .ld(4, 3, 0)
+            .addi(4, 4, -1)
+            .st(3, 0, 4)
+            .radioTx(4);
+        b.ret();
+
+        b.setBlock(busy);
+        b.sleep(5);
+        b.ret();
+        b.finish();
+    }
+
+    // forward_data: enqueue, drop-flush on overflow, else try to send.
+    {
+        ir::ProcedureBuilder b(*module, "forward_data");
+        auto drop = b.newBlock("drop");
+        auto try_send = b.newBlock("try_send");
+        auto done = b.newBlock("done");
+
+        b.setBlock(0);
+        b.call("enqueue_data")
+            .li(1, kQueueLen)
+            .ld(2, 1, 0)
+            .li(3, kQueueMax);
+        b.br(CondCode::Ge, 2, 3, drop, try_send);
+
+        b.setBlock(drop);
+        b.li(2, 2)
+            .st(1, 0, 2)
+            .li(4, kDropped)
+            .ld(5, 4, 0)
+            .addi(5, 5, 1)
+            .st(4, 0, 5);
+        b.jmp(done);
+
+        b.setBlock(try_send);
+        b.call("send_data");
+        b.jmp(done);
+
+        b.setBlock(done);
+        b.ret();
+        b.finish();
+    }
+
+    // handle_beacon: note the beacon and refresh the route metric.
+    {
+        ir::ProcedureBuilder b(*module, "handle_beacon");
+        b.setBlock(0);
+        b.radioRx(1) // beacon origin field (value unused)
+            .call("update_etx");
+        b.ret();
+        b.finish();
+    }
+
+    // ctp_dispatch: entry — classify the inbound frame.
+    ir::ProcedureBuilder b(*module, "ctp_dispatch");
+    auto data = b.newBlock("data_frame");
+    auto not_data = b.newBlock("not_data");
+    auto beacon = b.newBlock("beacon_frame");
+    auto other = b.newBlock("other_frame");
+    auto done = b.newBlock("done");
+
+    b.setBlock(0);
+    b.radioRx(1)
+        .li(2, 0);
+    b.br(CondCode::Eq, 1, 2, data, not_data);
+
+    b.setBlock(data);
+    b.call("forward_data");
+    b.jmp(done);
+
+    b.setBlock(not_data);
+    b.li(2, 1);
+    b.br(CondCode::Eq, 1, 2, beacon, other);
+
+    b.setBlock(beacon);
+    b.call("handle_beacon");
+    b.jmp(done);
+
+    b.setBlock(other);
+    b.li(3, kDropped)
+        .ld(4, 3, 0)
+        .addi(4, 4, 1)
+        .st(3, 0, 4);
+    b.jmp(done);
+
+    b.setBlock(done);
+    b.ret();
+
+    Workload w;
+    w.name = "collection_tree";
+    w.description =
+        "CTP slice: 6-procedure dispatch/forward/beacon call graph";
+    w.module = module;
+    w.entry = b.finish();
+    w.makeInputs = [](uint64_t seed) {
+        auto inputs = std::make_unique<sim::ScriptedInputs>(seed);
+        // Frame type stream: data .70, beacon .25, other .05.
+        inputs->setRadio(std::make_unique<DiscreteDist>(
+            std::vector<double>{0.0, 1.0, 2.0},
+            std::vector<double>{0.70, 0.25, 0.05}));
+        inputs->setChannel(0, makeGaussian(100.0, 30.0)); // beacon metric
+        inputs->setChannel(1, makeBernoulli(0.75));       // carrier clear
+        return inputs;
+    };
+    w.inputNotes =
+        "frame ~ {data .7, beacon .25, other .05}; metric ~ N(100,30); "
+        "carrier clear p=.75";
+    return w;
+}
+
+} // namespace ct::workloads

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * data_aggregate: in-network aggregation — accumulate eight samples,
+ * then flush the average over the radio (with an extra alert when the
+ * average is high). The flush branch is deterministic-periodic (1/8),
+ * and the alert branch inside the callee is data-dependent and rare.
+ */
+
+#include "ir/builder.hh"
+#include "workloads/workload.hh"
+
+namespace ct::workloads {
+
+namespace {
+
+constexpr ir::Word kSum = 32;
+constexpr ir::Word kCount = 33;
+constexpr ir::Word kBatch = 8;
+constexpr ir::Word kAlertLevel = 540;
+
+} // namespace
+
+Workload
+makeDataAggregate()
+{
+    using ir::CondCode;
+    auto module = std::make_shared<ir::Module>("data_aggregate");
+
+    // flush: average, transmit, alert on high average, reset.
+    {
+        ir::ProcedureBuilder f(*module, "flush");
+        auto alert = f.newBlock("alert");
+        auto reset = f.newBlock("reset");
+
+        f.setBlock(0);
+        f.li(1, kSum)
+            .ld(2, 1, 0)
+            .shri(2, 2, 3) // / kBatch
+            .radioTx(2)
+            .li(3, kAlertLevel);
+        f.br(CondCode::Ge, 2, 3, alert, reset);
+
+        f.setBlock(alert);
+        f.li(4, 0x7F)
+            .radioTx(4);
+        f.jmp(reset);
+
+        f.setBlock(reset);
+        f.li(5, 0)
+            .st(1, 0, 5)
+            .li(6, kCount)
+            .st(6, 0, 5);
+        f.ret();
+        f.finish();
+    }
+
+    ir::ProcedureBuilder b(*module, "aggregate_sample");
+    auto flush_path = b.newBlock("flush_path");
+    auto done = b.newBlock("done");
+
+    // entry: fold the sample into the running sum and count.
+    b.setBlock(0);
+    b.sense(1, 0)
+        .li(2, kSum)
+        .ld(3, 2, 0)
+        .add(3, 3, 1)
+        .st(2, 0, 3)
+        .li(4, kCount)
+        .ld(5, 4, 0)
+        .addi(5, 5, 1)
+        .st(4, 0, 5)
+        .li(6, kBatch);
+    b.br(CondCode::Ge, 5, 6, flush_path, done);
+
+    b.setBlock(flush_path);
+    b.call("flush");
+    b.jmp(done);
+
+    b.setBlock(done);
+    b.ret();
+
+    Workload w;
+    w.name = "data_aggregate";
+    w.description =
+        "8-sample aggregation with periodic flush callee and rare alert";
+    w.module = module;
+    w.entry = b.finish();
+    w.makeInputs = [](uint64_t seed) {
+        auto inputs = std::make_unique<sim::ScriptedInputs>(seed);
+        inputs->setChannel(0, makeGaussian(512.0, 48.0));
+        return inputs;
+    };
+    w.inputNotes = "ch0 ~ Normal(512, 48); flush every 8th event";
+    return w;
+}
+
+} // namespace ct::workloads

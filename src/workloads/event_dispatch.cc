@@ -1,0 +1,86 @@
+/**
+ * @file
+ * event_dispatch: the event-driven core of every TinyOS app — a two-
+ * level dispatch over the inbound message type, with handlers of very
+ * different weights. Branch probabilities follow directly from the
+ * message-type distribution, so the ground truth is known analytically.
+ */
+
+#include "ir/builder.hh"
+#include "workloads/workload.hh"
+
+namespace ct::workloads {
+
+namespace {
+
+constexpr ir::Word kDataCount = 28;  //!< handled data messages
+constexpr ir::Word kCtrlState = 29;  //!< last control payload
+
+} // namespace
+
+Workload
+makeEventDispatch()
+{
+    using ir::CondCode;
+    auto module = std::make_shared<ir::Module>("event_dispatch");
+
+    ir::ProcedureBuilder b(*module, "dispatch");
+    auto h_data = b.newBlock("handle_data");
+    auto t_ctrl = b.newBlock("test_ctrl");
+    auto h_ctrl = b.newBlock("handle_ctrl");
+    auto h_beacon = b.newBlock("handle_beacon");
+    auto done = b.newBlock("done");
+
+    // entry: type 0 = data (common), 1 = control, 2 = beacon (rare).
+    b.setBlock(0);
+    b.radioRx(1)
+        .li(2, 0);
+    b.br(CondCode::Eq, 1, 2, h_data, t_ctrl);
+
+    // Cheap hot path: bump the data counter.
+    b.setBlock(h_data);
+    b.li(3, kDataCount)
+        .ld(4, 3, 0)
+        .addi(4, 4, 1)
+        .st(3, 0, 4);
+    b.jmp(done);
+
+    b.setBlock(t_ctrl);
+    b.li(2, 1);
+    b.br(CondCode::Eq, 1, 2, h_ctrl, h_beacon);
+
+    // Medium path: read the control payload and store it.
+    b.setBlock(h_ctrl);
+    b.radioRx(5)
+        .li(6, kCtrlState)
+        .st(6, 0, 5)
+        .sleep(4);
+    b.jmp(done);
+
+    // Expensive cold path: answer the beacon.
+    b.setBlock(h_beacon);
+    b.li(7, 0x55)
+        .radioTx(7)
+        .sleep(10);
+    b.jmp(done);
+
+    b.setBlock(done);
+    b.ret();
+
+    Workload w;
+    w.name = "event_dispatch";
+    w.description = "two-level message dispatch; handlers of uneven weight";
+    w.module = module;
+    w.entry = b.finish();
+    w.makeInputs = [](uint64_t seed) {
+        auto inputs = std::make_unique<sim::ScriptedInputs>(seed);
+        inputs->setRadio(std::make_unique<DiscreteDist>(
+            std::vector<double>{0.0, 1.0, 2.0},
+            std::vector<double>{0.60, 0.30, 0.10}));
+        return inputs;
+    };
+    w.inputNotes = "type ~ {data .6, ctrl .3, beacon .1}";
+    return w;
+}
+
+} // namespace ct::workloads

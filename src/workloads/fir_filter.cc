@@ -1,0 +1,77 @@
+/**
+ * @file
+ * fir_filter: 4-tap FIR over a RAM-resident delay line, with a rare
+ * saturation branch. The multiply-heavy body dominates the time budget,
+ * so the estimation problem is telling a 3-cycle penalty apart on top
+ * of a ~100-cycle body — the realistic regime for DSP-ish handlers.
+ */
+
+#include "ir/builder.hh"
+#include "workloads/workload.hh"
+
+namespace ct::workloads {
+
+namespace {
+
+/** Delay line lives at RAM words [8, 12); output at 12. */
+constexpr ir::Word kLine = 8;
+constexpr ir::Word kOut = 12;
+constexpr ir::Word kSatLimit = 120'000;
+
+} // namespace
+
+Workload
+makeFirFilter()
+{
+    using ir::CondCode;
+    auto module = std::make_shared<ir::Module>("fir_filter");
+
+    ir::ProcedureBuilder b(*module, "fir_fired");
+    auto saturate = b.newBlock("saturate");
+    auto store = b.newBlock("store");
+
+    // entry: shift the delay line, take the new sample, compute the
+    // weighted sum with taps {5, 9, 9, 5} (symmetric low-pass).
+    b.setBlock(0);
+    b.li(1, kLine);
+    // line[3] = line[2]; line[2] = line[1]; line[1] = line[0].
+    b.ld(2, 1, 2).st(1, 3, 2);
+    b.ld(2, 1, 1).st(1, 2, 2);
+    b.ld(2, 1, 0).st(1, 1, 2);
+    b.sense(2, 0).st(1, 0, 2);
+    // Weighted sum into r7.
+    b.li(7, 0);
+    b.ld(3, 1, 0).li(4, 5).mul(5, 3, 4).add(7, 7, 5);
+    b.ld(3, 1, 1).li(4, 9).mul(5, 3, 4).add(7, 7, 5);
+    b.ld(3, 1, 2).li(4, 9).mul(5, 3, 4).add(7, 7, 5);
+    b.ld(3, 1, 3).li(4, 5).mul(5, 3, 4).add(7, 7, 5);
+    b.li(8, kSatLimit);
+    b.br(CondCode::Ge, 7, 8, saturate, store);
+
+    b.setBlock(saturate);
+    b.mov(7, 8);
+    b.jmp(store);
+
+    b.setBlock(store);
+    b.li(9, kOut)
+        .st(9, 0, 7);
+    b.ret();
+
+    Workload w;
+    w.name = "fir_filter";
+    w.description = "4-tap FIR with delay line and rare saturation branch";
+    w.module = module;
+    w.entry = b.finish();
+    w.makeInputs = [](uint64_t seed) {
+        auto inputs = std::make_unique<sim::ScriptedInputs>(seed);
+        // Mostly mid-scale, occasional large spikes that saturate.
+        inputs->setChannel(0, std::make_unique<DiscreteDist>(
+                                  std::vector<double>{2000.0, 3500.0, 6000.0},
+                                  std::vector<double>{0.70, 0.22, 0.08}));
+        return inputs;
+    };
+    w.inputNotes = "ch0 in {2000 (70%), 3500 (22%), 6000 (8%)}";
+    return w;
+}
+
+} // namespace ct::workloads

@@ -1,0 +1,136 @@
+#include "workloads/input_spec.hh"
+
+#include "util/logging.hh"
+#include "util/str.hh"
+
+namespace ct::workloads {
+
+namespace {
+
+bool
+numbers(const std::vector<std::string> &fields, size_t expected,
+        std::vector<double> &out, std::string &error)
+{
+    if (fields.size() != expected) {
+        error = "expected " + std::to_string(expected) + " fields, got " +
+                std::to_string(fields.size());
+        return false;
+    }
+    out.clear();
+    for (const auto &field : fields) {
+        double value = 0;
+        if (!parseDouble(field, value)) {
+            error = "bad number '" + field + "'";
+            return false;
+        }
+        out.push_back(value);
+    }
+    return true;
+}
+
+} // namespace
+
+std::unique_ptr<Distribution>
+parseInputSpec(const std::string &spec, std::string &error)
+{
+    size_t colon = spec.find(':');
+    if (colon == std::string::npos) {
+        error = "missing '<kind>:' prefix";
+        return nullptr;
+    }
+    std::string kind = toLower(trim(spec.substr(0, colon)));
+    auto fields = split(spec.substr(colon + 1), ',');
+    std::vector<double> nums;
+
+    if (kind == "gauss") {
+        if (!numbers(fields, 2, nums, error))
+            return nullptr;
+        if (nums[1] < 0.0) {
+            error = "sigma must be >= 0";
+            return nullptr;
+        }
+        return makeGaussian(nums[0], nums[1]);
+    }
+    if (kind == "uniform") {
+        if (!numbers(fields, 2, nums, error))
+            return nullptr;
+        if (nums[0] > nums[1]) {
+            error = "lo must be <= hi";
+            return nullptr;
+        }
+        return makeUniform(nums[0], nums[1]);
+    }
+    if (kind == "bern") {
+        if (!numbers(fields, 1, nums, error))
+            return nullptr;
+        if (nums[0] < 0.0 || nums[0] > 1.0) {
+            error = "p must lie in [0, 1]";
+            return nullptr;
+        }
+        return makeBernoulli(nums[0]);
+    }
+    if (kind == "bursty") {
+        if (!numbers(fields, 4, nums, error))
+            return nullptr;
+        for (double p : nums) {
+            if (p < 0.0 || p > 1.0) {
+                error = "bursty probabilities must lie in [0, 1]";
+                return nullptr;
+            }
+        }
+        return makeBursty(nums[0], nums[1], nums[2], nums[3]);
+    }
+    if (kind == "discrete") {
+        std::vector<double> values;
+        std::vector<double> weights;
+        for (const auto &field : fields) {
+            auto parts = split(field, '=');
+            double value = 0, weight = 0;
+            if (parts.size() != 2 || !parseDouble(parts[0], value) ||
+                !parseDouble(parts[1], weight)) {
+                error = "discrete entries are value=weight";
+                return nullptr;
+            }
+            if (weight < 0.0) {
+                error = "weights must be >= 0";
+                return nullptr;
+            }
+            values.push_back(value);
+            weights.push_back(weight);
+        }
+        if (values.empty()) {
+            error = "discrete needs at least one value=weight";
+            return nullptr;
+        }
+        double total = 0.0;
+        for (double w : weights)
+            total += w;
+        if (total <= 0.0) {
+            error = "discrete weights must sum to > 0";
+            return nullptr;
+        }
+        return std::make_unique<DiscreteDist>(values, weights);
+    }
+    error = "unknown kind '" + kind + "'";
+    return nullptr;
+}
+
+std::unique_ptr<Distribution>
+parseInputSpecOrDie(const std::string &spec)
+{
+    std::string error;
+    auto dist = parseInputSpec(spec, error);
+    if (!dist)
+        fatal("bad input spec '", spec, "': ", error, "\n",
+              inputSpecGrammar());
+    return dist;
+}
+
+std::string
+inputSpecGrammar()
+{
+    return "input specs: gauss:<mean>,<sigma> | uniform:<lo>,<hi> | "
+           "bern:<p> | discrete:v=w,... | bursty:<pq>,<pb>,<pe>,<px>";
+}
+
+} // namespace ct::workloads

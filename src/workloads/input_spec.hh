@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Textual input-stream specifications.
+ *
+ * Experiments and tools describe sensor/radio streams as compact
+ * strings ("gauss:500,80"), so input models can live on command lines
+ * and in config files next to textual IR. Grammar:
+ *
+ *   gauss:<mean>,<sigma>        Gaussian
+ *   uniform:<lo>,<hi>           Uniform [lo, hi)
+ *   bern:<p>                    Bernoulli {0, 1}
+ *   discrete:v=w,v=w,...        finite distribution (weights renormalized)
+ *   bursty:<pq>,<pb>,<pe>,<px>  Markov-modulated Bernoulli
+ */
+
+#ifndef CT_WORKLOADS_INPUT_SPEC_HH
+#define CT_WORKLOADS_INPUT_SPEC_HH
+
+#include <memory>
+#include <string>
+
+#include "stats/distributions.hh"
+
+namespace ct::workloads {
+
+/**
+ * Parse one spec. @retval nullptr with @p error filled on failure;
+ * otherwise the distribution.
+ */
+std::unique_ptr<Distribution> parseInputSpec(const std::string &spec,
+                                             std::string &error);
+
+/** Parse or fatal() with a user-facing message. */
+std::unique_ptr<Distribution> parseInputSpecOrDie(const std::string &spec);
+
+/** Render a short grammar reminder (for CLI usage text). */
+std::string inputSpecGrammar();
+
+} // namespace ct::workloads
+
+#endif // CT_WORKLOADS_INPUT_SPEC_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * median_filter: median-of-three spike rejection, the classic sensor
+ * denoising step. A comparison network of five data-dependent branches;
+ * several leaves are time-symmetric, making this the suite's hardest
+ * aliasing case for boundary-timing estimation.
+ */
+
+#include "ir/builder.hh"
+#include "workloads/workload.hh"
+
+namespace ct::workloads {
+
+namespace {
+
+/** RAM address the filtered output is stored to. */
+constexpr ir::Word kOut = 4;
+
+} // namespace
+
+Workload
+makeMedianFilter()
+{
+    using ir::CondCode;
+    auto module = std::make_shared<ir::Module>("median_filter");
+
+    ir::ProcedureBuilder b(*module, "median_fired");
+    auto a_lt_b = b.newBlock("a_lt_b");
+    auto a_ge_b = b.newBlock("a_ge_b");
+    auto med_b = b.newBlock("med_is_b");
+    auto l_check = b.newBlock("left_check");
+    auto med_a1 = b.newBlock("med_is_a_1");
+    auto med_c1 = b.newBlock("med_is_c_1");
+    auto med_a2 = b.newBlock("med_is_a_2");
+    auto r_check = b.newBlock("right_check");
+    auto med_c2 = b.newBlock("med_is_c_2");
+    auto med_b2 = b.newBlock("med_is_b_2");
+    auto out = b.newBlock("out");
+
+    // entry: read the three samples.
+    b.setBlock(0);
+    b.sense(1, 0)  // a
+        .sense(2, 0)  // b
+        .sense(3, 0); // c
+    b.br(CondCode::Lt, 1, 2, a_lt_b, a_ge_b);
+
+    // a < b: median is min(b, max(a, c)).
+    b.setBlock(a_lt_b);
+    b.nop();
+    b.br(CondCode::Lt, 2, 3, med_b, l_check);
+
+    b.setBlock(med_b);
+    b.mov(4, 2);
+    b.jmp(out);
+
+    b.setBlock(l_check);
+    b.nop();
+    b.br(CondCode::Lt, 1, 3, med_c1, med_a1);
+
+    b.setBlock(med_c1);
+    b.mov(4, 3);
+    b.jmp(out);
+
+    b.setBlock(med_a1);
+    b.mov(4, 1);
+    b.jmp(out);
+
+    // a >= b: median is min(a, max(b, c)).
+    b.setBlock(a_ge_b);
+    b.nop();
+    b.br(CondCode::Lt, 1, 3, med_a2, r_check);
+
+    b.setBlock(med_a2);
+    b.mov(4, 1);
+    b.jmp(out);
+
+    b.setBlock(r_check);
+    b.nop();
+    b.br(CondCode::Lt, 2, 3, med_c2, med_b2);
+
+    b.setBlock(med_c2);
+    b.mov(4, 3);
+    b.jmp(out);
+
+    b.setBlock(med_b2);
+    b.mov(4, 2);
+    b.jmp(out);
+
+    b.setBlock(out);
+    b.li(5, kOut)
+        .st(5, 0, 4);
+    b.ret();
+
+    Workload w;
+    w.name = "median_filter";
+    w.description = "median-of-3 comparison network; 5 correlated branches";
+    w.module = module;
+    w.entry = b.finish();
+    w.makeInputs = [](uint64_t seed) {
+        auto inputs = std::make_unique<sim::ScriptedInputs>(seed);
+        inputs->setChannel(0, makeGaussian(512.0, 64.0));
+        return inputs;
+    };
+    w.inputNotes = "ch0 ~ Normal(512, 64), three iid reads per event";
+    return w;
+}
+
+} // namespace ct::workloads

@@ -1,0 +1,47 @@
+#include "workloads/workload.hh"
+
+#include "util/logging.hh"
+
+namespace ct::workloads {
+
+std::vector<Workload>
+allWorkloads()
+{
+    std::vector<Workload> suite;
+    suite.push_back(makeBlink());
+    suite.push_back(makeSenseAndSend());
+    suite.push_back(makeMedianFilter());
+    suite.push_back(makeFirFilter());
+    suite.push_back(makeCrc16());
+    suite.push_back(makeSurgeRoute());
+    suite.push_back(makeTrickle());
+    suite.push_back(makeEventDispatch());
+    suite.push_back(makeAlarmThreshold());
+    suite.push_back(makeDataAggregate());
+    suite.push_back(makeCollectionTree());
+    return suite;
+}
+
+Workload
+workloadByName(const std::string &name)
+{
+    for (auto &workload : allWorkloads()) {
+        if (workload.name == name)
+            return workload;
+    }
+    std::string known;
+    for (const auto &n : workloadNames())
+        known += " " + n;
+    fatal("unknown workload '", name, "'; known:", known);
+}
+
+std::vector<std::string>
+workloadNames()
+{
+    std::vector<std::string> names;
+    for (const auto &workload : allWorkloads())
+        names.push_back(workload.name);
+    return names;
+}
+
+} // namespace ct::workloads

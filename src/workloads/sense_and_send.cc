@@ -1,0 +1,74 @@
+/**
+ * @file
+ * sense_and_send: the Oscilloscope pattern. Sample the ADC; if the
+ * reading exceeds a threshold, average four more samples and transmit,
+ * otherwise sleep. One rare-ish threshold branch plus a fixed-trip
+ * averaging loop.
+ */
+
+#include "ir/builder.hh"
+#include "workloads/workload.hh"
+
+namespace ct::workloads {
+
+Workload
+makeSenseAndSend()
+{
+    using ir::CondCode;
+    auto module = std::make_shared<ir::Module>("sense_and_send");
+
+    ir::ProcedureBuilder b(*module, "sense_fired");
+    auto above = b.newBlock("above_threshold");
+    auto loop = b.newBlock("avg_loop");
+    auto send = b.newBlock("send");
+    auto below = b.newBlock("below_threshold");
+    auto done = b.newBlock("done");
+
+    // entry: one sample vs threshold. Normal(500, 80) vs 560:
+    // P(taken=below) = P(x < 560) ~ 0.77.
+    b.setBlock(0);
+    b.sense(1, 0)
+        .li(2, 560);
+    b.br(CondCode::Lt, 1, 2, below, above);
+
+    // above: set up the 4-sample averaging loop.
+    b.setBlock(above);
+    b.li(3, 0)  // sum
+        .li(4, 0)  // i
+        .li(5, 4); // trip count
+    b.jmp(loop);
+
+    b.setBlock(loop);
+    b.sense(6, 0)
+        .add(3, 3, 6)
+        .addi(4, 4, 1);
+    b.br(CondCode::Lt, 4, 5, loop, send);
+
+    b.setBlock(send);
+    b.shri(3, 3, 2)
+        .radioTx(3);
+    b.jmp(done);
+
+    b.setBlock(below);
+    b.sleep(8);
+    b.jmp(done);
+
+    b.setBlock(done);
+    b.ret();
+
+    Workload w;
+    w.name = "sense_and_send";
+    w.description =
+        "threshold-gated sampling with a 4-sample averaging loop and tx";
+    w.module = module;
+    w.entry = b.finish();
+    w.makeInputs = [](uint64_t seed) {
+        auto inputs = std::make_unique<sim::ScriptedInputs>(seed);
+        inputs->setChannel(0, makeGaussian(500.0, 80.0));
+        return inputs;
+    };
+    w.inputNotes = "ch0 ~ Normal(500, 80); threshold 560";
+    return w;
+}
+
+} // namespace ct::workloads

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * surge_route: the Surge multihop routing decision. Each inbound packet
+ * is either delivered locally (destination == this node) or forwarded;
+ * forwarding enqueues into a bounded send queue and drops on overflow.
+ * Exercises a callee (enqueue) and a *stateful* drop branch whose
+ * probability emerges from the queue dynamics.
+ */
+
+#include "ir/builder.hh"
+#include "workloads/workload.hh"
+
+namespace ct::workloads {
+
+namespace {
+
+constexpr ir::Word kSelfAddr = 7;
+constexpr ir::Word kQueueLen = 20;  //!< RAM slot of the queue length
+constexpr ir::Word kDelivered = 21; //!< RAM slot: delivered packet count
+constexpr ir::Word kDropped = 22;   //!< RAM slot: dropped packet count
+constexpr ir::Word kQueueMax = 4;
+
+} // namespace
+
+Workload
+makeSurgeRoute()
+{
+    using ir::CondCode;
+    auto module = std::make_shared<ir::Module>("surge_route");
+
+    // Callee first (the builder resolves calls by name).
+    {
+        ir::ProcedureBuilder e(*module, "enqueue");
+        e.setBlock(0);
+        e.li(1, kQueueLen)
+            .ld(2, 1, 0)
+            .addi(2, 2, 1)
+            .st(1, 0, 2);
+        e.ret();
+        e.finish();
+    }
+
+    ir::ProcedureBuilder b(*module, "route_packet");
+    auto deliver = b.newBlock("deliver");
+    auto forward = b.newBlock("forward");
+    auto carrier = b.newBlock("carrier_sense");
+    auto send = b.newBlock("send");
+    auto drop = b.newBlock("drop");
+    auto done = b.newBlock("done");
+
+    // entry: read the destination field, compare with our address.
+    b.setBlock(0);
+    b.radioRx(1)
+        .li(2, kSelfAddr);
+    b.br(CondCode::Eq, 1, 2, deliver, forward);
+
+    b.setBlock(deliver);
+    b.li(3, kDelivered)
+        .ld(4, 3, 0)
+        .addi(4, 4, 1)
+        .st(3, 0, 4);
+    b.jmp(done);
+
+    b.setBlock(forward);
+    b.call("enqueue")
+        .li(3, kQueueLen)
+        .ld(4, 3, 0)
+        .li(5, kQueueMax);
+    b.br(CondCode::Ge, 4, 5, drop, carrier);
+
+    // Carrier sense: transmit only when the channel is clear, otherwise
+    // the packet stays queued — this is what makes the queue (and the
+    // drop branch) genuinely stochastic.
+    b.setBlock(carrier);
+    b.sense(8, 1)
+        .li(9, 1);
+    b.br(CondCode::Eq, 8, 9, send, done);
+
+    b.setBlock(send);
+    // Transmit and dequeue.
+    b.radioTx(1)
+        .addi(4, 4, -1)
+        .st(3, 0, 4);
+    b.jmp(done);
+
+    b.setBlock(drop);
+    // Overflow: flush half the queue and count the drop.
+    b.li(4, 2)
+        .st(3, 0, 4)
+        .li(6, kDropped)
+        .ld(7, 6, 0)
+        .addi(7, 7, 1)
+        .st(6, 0, 7);
+    b.jmp(done);
+
+    b.setBlock(done);
+    b.ret();
+
+    Workload w;
+    w.name = "surge_route";
+    w.description =
+        "multihop forwarding with bounded queue; callee + stateful branch";
+    w.module = module;
+    w.entry = b.finish();
+    w.makeInputs = [](uint64_t seed) {
+        auto inputs = std::make_unique<sim::ScriptedInputs>(seed);
+        // Destination field: us 15% of the time, someone else otherwise.
+        inputs->setRadio(std::make_unique<DiscreteDist>(
+            std::vector<double>{double(kSelfAddr), 3.0, 11.0},
+            std::vector<double>{0.15, 0.45, 0.40}));
+        // Carrier-sense channel: clear (1) 70% of the time.
+        inputs->setChannel(1, makeBernoulli(0.7));
+        return inputs;
+    };
+    w.inputNotes =
+        "dest == self p=0.15; carrier clear p=0.7; queue cap 4, "
+        "drop flushes to 2";
+    return w;
+}
+
+} // namespace ct::workloads

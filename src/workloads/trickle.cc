@@ -1,0 +1,103 @@
+/**
+ * @file
+ * trickle: the Trickle dissemination timer maintenance step. Each event
+ * notes whether a consistent transmission was overheard, suppresses its
+ * own transmission when enough neighbours already spoke (counter >= k),
+ * and doubles the interval up to a cap. Three branches with distinctly
+ * different probabilities (one input-driven, two state-driven).
+ */
+
+#include "ir/builder.hh"
+#include "workloads/workload.hh"
+
+namespace ct::workloads {
+
+namespace {
+
+constexpr ir::Word kCounter = 24;  //!< consistent-messages-heard counter
+constexpr ir::Word kInterval = 25; //!< current interval length
+constexpr ir::Word kRedundancyK = 3;
+constexpr ir::Word kIntervalMax = 64;
+constexpr ir::Word kIntervalMin = 4;
+
+} // namespace
+
+Workload
+makeTrickle()
+{
+    using ir::CondCode;
+    auto module = std::make_shared<ir::Module>("trickle");
+
+    ir::ProcedureBuilder b(*module, "trickle_timer");
+    auto heard = b.newBlock("heard_consistent");
+    auto check = b.newBlock("suppression_check");
+    auto transmit = b.newBlock("transmit");
+    auto suppress = b.newBlock("suppress");
+    auto grow = b.newBlock("grow_interval");
+    auto cap = b.newBlock("cap_interval");
+    auto done = b.newBlock("done");
+
+    // entry: did we overhear a consistent message this round?
+    b.setBlock(0);
+    b.radioRx(1)
+        .li(2, 1)
+        .li(3, kCounter)
+        .ld(4, 3, 0);
+    b.br(CondCode::Eq, 1, 2, heard, check);
+
+    b.setBlock(heard);
+    b.addi(4, 4, 1)
+        .st(3, 0, 4);
+    b.jmp(check);
+
+    // Suppression: transmit only when fewer than k neighbours spoke.
+    b.setBlock(check);
+    b.li(5, kRedundancyK);
+    b.br(CondCode::Lt, 4, 5, transmit, suppress);
+
+    b.setBlock(transmit);
+    b.radioTx(4);
+    b.jmp(grow);
+
+    b.setBlock(suppress);
+    b.sleep(6);
+    b.jmp(grow);
+
+    // Interval maintenance: double (+1 so the zero-initialized state
+    // starts growing); when the cap is reached, begin a fresh round at
+    // the minimum interval and clear the heard counter.
+    b.setBlock(grow);
+    b.li(6, kInterval)
+        .ld(7, 6, 0)
+        .add(7, 7, 7)
+        .addi(7, 7, 1)
+        .li(8, kIntervalMax);
+    b.br(CondCode::Ge, 7, 8, cap, done);
+
+    b.setBlock(cap);
+    b.li(7, kIntervalMin)
+        .li(9, 0)
+        .st(3, 0, 9); // counter reset
+    b.jmp(done);
+
+    b.setBlock(done);
+    b.st(6, 0, 7);
+    b.ret();
+
+    Workload w;
+    w.name = "trickle";
+    w.description =
+        "Trickle timer maintenance: suppression + interval doubling";
+    w.module = module;
+    w.entry = b.finish();
+    w.makeInputs = [](uint64_t seed) {
+        auto inputs = std::make_unique<sim::ScriptedInputs>(seed);
+        // Bursty neighbourhood: quiet periods heard-rate 0.25, busy 0.9.
+        inputs->setRadio(makeBursty(0.25, 0.9, 0.08, 0.2));
+        return inputs;
+    };
+    w.inputNotes = "consistent-heard ~ Bursty(quiet .25, busy .9)";
+    return w;
+}
+
+} // namespace ct::workloads

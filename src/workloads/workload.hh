@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Workload suite interface.
+ *
+ * Each workload is a self-contained sensor-network program: an IR module
+ * modelled on a canonical TinyOS application, an entry procedure invoked
+ * once per event (timer fire / packet arrival), and a factory for the
+ * stochastic input streams that make its branches nondeterministic.
+ *
+ * Register convention: workloads use r0-r12 only; r14/r15 are reserved
+ * for the instrumentation profiler, r13 is kept free as spare scratch.
+ *
+ * RAM convention: workload globals live in words [0, 64); edge counters
+ * (when instrumenting) are placed at the top of RAM by the experiment
+ * harness.
+ */
+
+#ifndef CT_WORKLOADS_WORKLOAD_HH
+#define CT_WORKLOADS_WORKLOAD_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/module.hh"
+#include "sim/devices.hh"
+
+namespace ct::workloads {
+
+/** One benchmark program plus its input model. */
+struct Workload
+{
+    std::string name;
+    std::string description;
+    std::shared_ptr<ir::Module> module;
+    ir::ProcId entry = ir::kNoProc;
+    /** Build the input streams; distinct seeds give distinct runs. */
+    std::function<std::unique_ptr<sim::ScriptedInputs>(uint64_t seed)>
+        makeInputs;
+    /** Human note about the input distributions. */
+    std::string inputNotes;
+
+    const ir::Procedure &entryProc() const
+    {
+        return module->procedure(entry);
+    }
+};
+
+/// @name Individual workload constructors (one translation unit each)
+/// @{
+Workload makeBlink();
+Workload makeSenseAndSend();
+Workload makeMedianFilter();
+Workload makeFirFilter();
+Workload makeCrc16();
+Workload makeSurgeRoute();
+Workload makeTrickle();
+Workload makeEventDispatch();
+Workload makeAlarmThreshold();
+Workload makeDataAggregate();
+Workload makeCollectionTree();
+/// @}
+
+/** The full suite, in canonical (Table 1) order. */
+std::vector<Workload> allWorkloads();
+
+/** Lookup by name; fatal() on unknown names. */
+Workload workloadByName(const std::string &name);
+
+/** Names in canonical order (for CLI help). */
+std::vector<std::string> workloadNames();
+
+} // namespace ct::workloads
+
+#endif // CT_WORKLOADS_WORKLOAD_HH

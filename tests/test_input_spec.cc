@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the textual input-stream spec parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hh"
+#include "workloads/input_spec.hh"
+
+using namespace ct;
+using namespace ct::workloads;
+
+namespace {
+
+std::unique_ptr<Distribution>
+mustParse(const std::string &spec)
+{
+    std::string error;
+    auto dist = parseInputSpec(spec, error);
+    EXPECT_NE(dist, nullptr) << spec << ": " << error;
+    return dist;
+}
+
+void
+mustFail(const std::string &spec, const std::string &needle)
+{
+    std::string error;
+    auto dist = parseInputSpec(spec, error);
+    EXPECT_EQ(dist, nullptr) << spec;
+    EXPECT_NE(error.find(needle), std::string::npos)
+        << spec << " -> " << error;
+}
+
+} // namespace
+
+TEST(InputSpec, GaussRoundTrip)
+{
+    auto dist = mustParse("gauss:500,80");
+    ASSERT_NE(dist, nullptr);
+    EXPECT_DOUBLE_EQ(dist->mean(), 500.0);
+}
+
+TEST(InputSpec, UniformRoundTrip)
+{
+    auto dist = mustParse("uniform:10,30");
+    ASSERT_NE(dist, nullptr);
+    EXPECT_DOUBLE_EQ(dist->mean(), 20.0);
+}
+
+TEST(InputSpec, BernoulliRoundTrip)
+{
+    auto dist = mustParse("bern:0.25");
+    ASSERT_NE(dist, nullptr);
+    EXPECT_DOUBLE_EQ(dist->mean(), 0.25);
+}
+
+TEST(InputSpec, DiscreteRoundTrip)
+{
+    auto dist = mustParse("discrete:0=0.6,1=0.3,2=0.1");
+    ASSERT_NE(dist, nullptr);
+    EXPECT_NEAR(dist->mean(), 0.3 + 0.2, 1e-12);
+}
+
+TEST(InputSpec, BurstyRoundTrip)
+{
+    auto dist = mustParse("bursty:0.1,0.9,0.2,0.3");
+    ASSERT_NE(dist, nullptr);
+    EXPECT_NEAR(dist->mean(), 0.42, 1e-12);
+}
+
+TEST(InputSpec, CaseAndWhitespaceTolerant)
+{
+    EXPECT_NE(mustParse("GAUSS:1,2"), nullptr);
+    EXPECT_NE(mustParse(" gauss :1,2"), nullptr);
+}
+
+TEST(InputSpec, SamplesAreUsable)
+{
+    Rng rng(3);
+    auto dist = mustParse("uniform:0,10");
+    for (int i = 0; i < 100; ++i) {
+        double sample = dist->sample(rng);
+        EXPECT_GE(sample, 0.0);
+        EXPECT_LT(sample, 10.0);
+    }
+}
+
+TEST(InputSpec, Errors)
+{
+    mustFail("gauss", "prefix");
+    mustFail("gauss:1", "fields");
+    mustFail("gauss:1,x", "bad number");
+    mustFail("gauss:1,-2", "sigma");
+    mustFail("uniform:5,1", "lo must be <= hi");
+    mustFail("bern:1.5", "[0, 1]");
+    mustFail("bursty:0.1,0.2,0.3", "fields");
+    mustFail("bursty:0.1,0.2,0.3,2.0", "[0, 1]");
+    mustFail("discrete:", "value=weight");
+    mustFail("discrete:1=0,2=0", "sum to > 0");
+    mustFail("discrete:1=-1,2=2", ">= 0");
+    mustFail("zipf:2", "unknown kind");
+}
+
+TEST(InputSpecDeathTest, OrDieIsFatalWithGrammar)
+{
+    EXPECT_EXIT(parseInputSpecOrDie("nope"), testing::ExitedWithCode(1),
+                "input specs:");
+}
+
+TEST(InputSpec, GrammarMentionsEveryKind)
+{
+    auto grammar = inputSpecGrammar();
+    for (const char *kind :
+         {"gauss", "uniform", "bern", "discrete", "bursty"}) {
+        EXPECT_NE(grammar.find(kind), std::string::npos) << kind;
+    }
+}

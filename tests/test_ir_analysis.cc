@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Tests for CFG analyses: orders, dominators, loops, path counting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ir/analysis.hh"
+#include "ir/builder.hh"
+
+using namespace ct;
+using namespace ct::ir;
+
+namespace {
+
+/** entry -> loop(header -> body -> header) -> exit. */
+ProcId
+buildLoop(Module &module)
+{
+    ProcedureBuilder b(module, "loop");
+    auto header = b.newBlock("header");
+    auto body = b.newBlock("body");
+    auto exit_b = b.newBlock("exit");
+    b.setBlock(0);
+    b.li(1, 0).li(2, 4);
+    b.jmp(header);
+    b.setBlock(header);
+    b.nop();
+    b.br(CondCode::Lt, 1, 2, body, exit_b);
+    b.setBlock(body);
+    b.addi(1, 1, 1);
+    b.jmp(header);
+    b.setBlock(exit_b);
+    b.ret();
+    return b.finish();
+}
+
+ProcId
+buildDiamond(Module &module)
+{
+    ProcedureBuilder b(module, "diamond");
+    auto t = b.newBlock("t");
+    auto f = b.newBlock("f");
+    auto j = b.newBlock("join");
+    b.setBlock(0);
+    b.br(CondCode::Eq, 0, 1, t, f);
+    b.setBlock(t);
+    b.jmp(j);
+    b.setBlock(f);
+    b.jmp(j);
+    b.setBlock(j);
+    b.ret();
+    return b.finish();
+}
+
+/** Nested loops: outer header 1, inner header 3. */
+ProcId
+buildNestedLoops(Module &module)
+{
+    ProcedureBuilder b(module, "nested");
+    auto outer = b.newBlock("outer_header");
+    auto inner_pre = b.newBlock("inner_pre");
+    auto inner = b.newBlock("inner_header");
+    auto inner_body = b.newBlock("inner_body");
+    auto outer_latch = b.newBlock("outer_latch");
+    auto exit_b = b.newBlock("exit");
+    b.setBlock(0);
+    b.li(1, 0).li(2, 3).li(4, 3);
+    b.jmp(outer);
+    b.setBlock(outer);
+    b.nop();
+    b.br(CondCode::Lt, 1, 2, inner_pre, exit_b);
+    b.setBlock(inner_pre);
+    b.li(3, 0);
+    b.jmp(inner);
+    b.setBlock(inner);
+    b.nop();
+    b.br(CondCode::Lt, 3, 4, inner_body, outer_latch);
+    b.setBlock(inner_body);
+    b.addi(3, 3, 1);
+    b.jmp(inner);
+    b.setBlock(outer_latch);
+    b.addi(1, 1, 1);
+    b.jmp(outer);
+    b.setBlock(exit_b);
+    b.ret();
+    return b.finish();
+}
+
+} // namespace
+
+TEST(Orders, DfsPreorderStartsAtEntryTakenFirst)
+{
+    Module module("m");
+    ProcId id = buildDiamond(module);
+    auto order = dfsPreorder(module.procedure(id));
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order[0], 0u);
+    // Taken successor (block 1) explored before fallthrough (block 2).
+    EXPECT_EQ(order[1], 1u);
+}
+
+TEST(Orders, RpoPlacesPredecessorsFirstInDags)
+{
+    Module module("m");
+    ProcId id = buildDiamond(module);
+    const auto &proc = module.procedure(id);
+    auto rpo = reversePostOrder(proc);
+    std::vector<size_t> position(proc.blockCount());
+    for (size_t i = 0; i < rpo.size(); ++i)
+        position[rpo[i]] = i;
+    // In a DAG every edge goes forward in RPO.
+    for (const Edge &edge : proc.edges())
+        EXPECT_LT(position[edge.from], position[edge.to]);
+}
+
+TEST(Orders, CoverAllReachableExactlyOnce)
+{
+    Module module("m");
+    ProcId id = buildNestedLoops(module);
+    auto dfs = dfsPreorder(module.procedure(id));
+    auto rpo = reversePostOrder(module.procedure(id));
+    EXPECT_EQ(dfs.size(), module.procedure(id).blockCount());
+    EXPECT_EQ(rpo.size(), module.procedure(id).blockCount());
+    auto sorted = dfs;
+    std::sort(sorted.begin(), sorted.end());
+    for (BlockId i = 0; i < sorted.size(); ++i)
+        EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Dominators, DiamondJoinDominatedOnlyByEntry)
+{
+    Module module("m");
+    ProcId id = buildDiamond(module);
+    auto idom = immediateDominators(module.procedure(id));
+    EXPECT_EQ(idom[0], 0u);
+    EXPECT_EQ(idom[1], 0u);
+    EXPECT_EQ(idom[2], 0u);
+    EXPECT_EQ(idom[3], 0u); // join's idom is the entry, not a side
+    EXPECT_TRUE(dominates(idom, 0, 3));
+    EXPECT_FALSE(dominates(idom, 1, 3));
+    EXPECT_TRUE(dominates(idom, 3, 3));
+}
+
+TEST(Dominators, LoopHeaderDominatesBody)
+{
+    Module module("m");
+    ProcId id = buildLoop(module);
+    const auto &proc = module.procedure(id);
+    auto idom = immediateDominators(proc);
+    BlockId header = 1, body = 2, exit_b = 3;
+    EXPECT_TRUE(dominates(idom, header, body));
+    EXPECT_TRUE(dominates(idom, header, exit_b));
+    EXPECT_FALSE(dominates(idom, body, header));
+}
+
+TEST(Loops, SimpleLoopDetected)
+{
+    Module module("m");
+    ProcId id = buildLoop(module);
+    auto loops = findNaturalLoops(module.procedure(id));
+    ASSERT_EQ(loops.size(), 1u);
+    EXPECT_EQ(loops[0].header, 1u);
+    ASSERT_EQ(loops[0].latches.size(), 1u);
+    EXPECT_EQ(loops[0].latches[0], 2u);
+    EXPECT_TRUE(loops[0].contains(1));
+    EXPECT_TRUE(loops[0].contains(2));
+    EXPECT_FALSE(loops[0].contains(0));
+    EXPECT_FALSE(loops[0].contains(3));
+}
+
+TEST(Loops, BackEdgesMatchLoops)
+{
+    Module module("m");
+    ProcId id = buildLoop(module);
+    auto back = backEdges(module.procedure(id));
+    ASSERT_EQ(back.size(), 1u);
+    EXPECT_EQ(back[0].from, 2u);
+    EXPECT_EQ(back[0].to, 1u);
+}
+
+TEST(Loops, NestedLoopsBothFound)
+{
+    Module module("m");
+    ProcId id = buildNestedLoops(module);
+    auto loops = findNaturalLoops(module.procedure(id));
+    ASSERT_EQ(loops.size(), 2u);
+    // Sorted by header id: outer (1) then inner (3).
+    EXPECT_EQ(loops[0].header, 1u);
+    EXPECT_EQ(loops[1].header, 3u);
+    // Inner loop body is a strict subset of the outer body.
+    for (BlockId block : loops[1].body)
+        EXPECT_TRUE(loops[0].contains(block));
+    EXPECT_GT(loops[0].body.size(), loops[1].body.size());
+}
+
+TEST(Loops, DiamondHasNone)
+{
+    Module module("m");
+    ProcId id = buildDiamond(module);
+    EXPECT_TRUE(findNaturalLoops(module.procedure(id)).empty());
+    EXPECT_TRUE(backEdges(module.procedure(id)).empty());
+}
+
+TEST(Paths, DiamondHasTwo)
+{
+    Module module("m");
+    ProcId id = buildDiamond(module);
+    EXPECT_EQ(countAcyclicPaths(module.procedure(id)), 2u);
+}
+
+TEST(Paths, LoopCountsBackEdgeFree)
+{
+    Module module("m");
+    ProcId id = buildLoop(module);
+    // entry -> header -> {body (dead-ends without its back edge), exit}.
+    EXPECT_EQ(countAcyclicPaths(module.procedure(id)), 1u);
+}
+
+TEST(Paths, SequentialBranchesMultiply)
+{
+    Module module("m");
+    ProcedureBuilder b(module, "seq");
+    // Three sequential diamonds -> 8 paths.
+    BlockId prev_join = 0;
+    for (int d = 0; d < 3; ++d) {
+        auto t = b.newBlock();
+        auto f = b.newBlock();
+        auto j = b.newBlock();
+        b.setBlock(prev_join);
+        b.br(CondCode::Eq, 0, 1, t, f);
+        b.setBlock(t);
+        b.jmp(j);
+        b.setBlock(f);
+        b.jmp(j);
+        prev_join = j;
+    }
+    b.setBlock(prev_join);
+    b.ret();
+    ProcId id = b.finish();
+    EXPECT_EQ(countAcyclicPaths(module.procedure(id)), 8u);
+}
+
+TEST(Paths, SaturationCap)
+{
+    Module module("m");
+    ProcedureBuilder b(module, "big");
+    BlockId prev_join = 0;
+    for (int d = 0; d < 12; ++d) {
+        auto t = b.newBlock();
+        auto f = b.newBlock();
+        auto j = b.newBlock();
+        b.setBlock(prev_join);
+        b.br(CondCode::Eq, 0, 1, t, f);
+        b.setBlock(t);
+        b.jmp(j);
+        b.setBlock(f);
+        b.jmp(j);
+        prev_join = j;
+    }
+    b.setBlock(prev_join);
+    b.ret();
+    ProcId id = b.finish();
+    // 2^12 = 4096 paths; cap at 100 saturates.
+    EXPECT_EQ(countAcyclicPaths(module.procedure(id), 100), 100u);
+}

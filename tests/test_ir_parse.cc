@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests for the IR text parser: hand-written inputs, error reporting,
+ * and dump/parse round-trips over the whole workload suite and random
+ * CFGs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "cfg_fuzz.hh"
+#include "ir/dump.hh"
+#include "ir/parse.hh"
+#include "workloads/workload.hh"
+
+using namespace ct;
+using namespace ct::ir;
+
+namespace {
+
+const char *kTinyModule = R"(
+module tiny
+proc main {
+  bb0 (entry):
+    li r1, 5
+    sense r2, ch0
+    br.lt r2, r1 -> bb1 else bb2
+  bb1 (then):
+    radio_tx r2
+    jmp bb3
+  bb2 (else):
+    sleep 8
+    jmp bb3
+  bb3 (exit):
+    ret
+}
+)";
+
+/** Structural equality of two modules (names, blocks, insts, terms). */
+void
+expectModulesEqual(const Module &a, const Module &b)
+{
+    ASSERT_EQ(a.procedureCount(), b.procedureCount());
+    for (ProcId id = 0; id < a.procedureCount(); ++id) {
+        const auto &pa = a.procedure(id);
+        const auto &pb = b.procedure(id);
+        EXPECT_EQ(pa.name(), pb.name());
+        ASSERT_EQ(pa.blockCount(), pb.blockCount());
+        for (BlockId block = 0; block < pa.blockCount(); ++block) {
+            const auto &ba = pa.block(block);
+            const auto &bb = pb.block(block);
+            ASSERT_EQ(ba.insts.size(), bb.insts.size())
+                << pa.name() << "/bb" << block;
+            for (size_t i = 0; i < ba.insts.size(); ++i)
+                EXPECT_EQ(ba.insts[i].toString(), bb.insts[i].toString());
+            EXPECT_EQ(ba.term.toString(), bb.term.toString());
+        }
+    }
+}
+
+} // namespace
+
+TEST(Parse, TinyModule)
+{
+    auto result = parseModule(kTinyModule);
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.module.name(), "tiny");
+    ASSERT_EQ(result.module.procedureCount(), 1u);
+    const auto &proc = result.module.procedure(0);
+    EXPECT_EQ(proc.name(), "main");
+    EXPECT_EQ(proc.blockCount(), 4u);
+    EXPECT_TRUE(proc.block(0).term.isBranch());
+    EXPECT_EQ(proc.block(0).term.cond, CondCode::Lt);
+    EXPECT_EQ(proc.block(0).term.taken, 1u);
+    EXPECT_EQ(proc.block(0).term.fallthrough, 2u);
+    EXPECT_EQ(proc.block(1).insts[0].op, Opcode::RadioTx);
+    EXPECT_TRUE(proc.block(3).term.isReturn());
+}
+
+TEST(Parse, CommentsAndBlankLinesIgnored)
+{
+    std::string text = "; leading comment\nmodule m\n\nproc p {\n"
+                       "  bb0 (entry):  ; trailing comment\n"
+                       "    nop\n    ret\n}\n";
+    auto result = parseModule(text);
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.module.procedure(0).block(0).insts.size(), 1u);
+}
+
+TEST(Parse, ReportsLineNumbersOnErrors)
+{
+    std::string text = "module m\nproc p {\n  bb0 (entry):\n    bogus r1\n";
+    auto result = parseModule(text);
+    ASSERT_FALSE(result.ok);
+    EXPECT_NE(result.error.find("line 4"), std::string::npos);
+    EXPECT_NE(result.error.find("bogus"), std::string::npos);
+}
+
+TEST(Parse, RejectsMalformedOperands)
+{
+    for (const char *body :
+         {"li r99, 5", "add r1, r2", "ld r1, r2", "br.xx r1, r2 -> bb0",
+          "sense r1, 3", "sleep -4", "jmp b1"}) {
+        std::string text = std::string("module m\nproc p {\n  bb0 (e):\n    ") +
+                           body + "\n    ret\n}\n";
+        auto result = parseModule(text);
+        EXPECT_FALSE(result.ok) << body;
+    }
+}
+
+TEST(Parse, RejectsNonSequentialBlocks)
+{
+    std::string text = "module m\nproc p {\n  bb1 (entry):\n    ret\n}\n";
+    auto result = parseModule(text);
+    ASSERT_FALSE(result.ok);
+    EXPECT_NE(result.error.find("sequential"), std::string::npos);
+}
+
+TEST(Parse, RejectsUnterminatedProc)
+{
+    auto result = parseModule("module m\nproc p {\n  bb0 (e):\n    ret\n");
+    ASSERT_FALSE(result.ok);
+    EXPECT_NE(result.error.find("unterminated"), std::string::npos);
+}
+
+TEST(Parse, RejectsDuplicateProc)
+{
+    auto result = parseModule(
+        "module m\nproc p {\n  bb0 (e):\n    ret\n}\n"
+        "proc p {\n  bb0 (e):\n    ret\n}\n");
+    ASSERT_FALSE(result.ok);
+    EXPECT_NE(result.error.find("duplicate"), std::string::npos);
+}
+
+TEST(Parse, RunsVerifierOnResult)
+{
+    // Branch to an out-of-range block parses but fails verification.
+    auto result = parseModule(
+        "module m\nproc p {\n  bb0 (e):\n    jmp bb7\n}\n");
+    ASSERT_FALSE(result.ok);
+    EXPECT_NE(result.error.find("verification"), std::string::npos);
+}
+
+TEST(Parse, ModuleMustComeFirst)
+{
+    auto result = parseModule(
+        "proc p {\n  bb0 (e):\n    ret\n}\nmodule late\n");
+    ASSERT_FALSE(result.ok);
+}
+
+TEST(Parse, FileRoundTrip)
+{
+    auto workload = workloads::makeSurgeRoute();
+    std::string path = testing::TempDir() + "/ct_parse_roundtrip.ir";
+    {
+        std::ofstream out(path);
+        out << dumpModule(*workload.module);
+    }
+    auto result = parseModuleFile(path);
+    ASSERT_TRUE(result.ok) << result.error;
+    expectModulesEqual(*workload.module, result.module);
+}
+
+class ParseRoundTrip : public testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ParseRoundTrip, WorkloadSurvivesDumpParse)
+{
+    auto workload = workloads::workloadByName(GetParam());
+    auto result = parseModule(dumpModule(*workload.module));
+    ASSERT_TRUE(result.ok) << result.error;
+    expectModulesEqual(*workload.module, result.module);
+    // And the re-parsed module dumps identically (fixed point).
+    EXPECT_EQ(dumpModule(*workload.module), dumpModule(result.module));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, ParseRoundTrip,
+    testing::ValuesIn(workloads::workloadNames()),
+    [](const testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+TEST(ParseRoundTripFuzz, RandomCfgsSurvive)
+{
+    for (uint64_t seed = 0; seed < 30; ++seed) {
+        Rng rng(seed * 131 + 7);
+        auto program = testutil::makeFuzzProgram(rng);
+        auto result = parseModule(dumpModule(*program.module));
+        ASSERT_TRUE(result.ok) << "seed " << seed << ": " << result.error;
+        expectModulesEqual(*program.module, result.module);
+    }
+}

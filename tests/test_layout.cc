@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Tests for code placement: chain merging, baseline orders, and the
+ * static evaluator's agreement with the simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hh"
+#include "layout/evaluator.hh"
+#include "layout/placement.hh"
+#include "sim/machine.hh"
+#include "workloads/workload.hh"
+
+using namespace ct;
+using namespace ct::ir;
+using namespace ct::layout;
+
+namespace {
+
+/**
+ * Diamond whose hot side is the *taken* successor, authored with the
+ * cold block physically first — so the natural layout (after the
+ * lowering's automatic polarity adjustment) makes the *cold* side the
+ * fallthrough, and a profile-guided reorder has something to win.
+ * Block ids: 0 entry, 1 cold, 2 hot, 3 join.
+ */
+ProcId
+buildHotTakenDiamond(Module &module)
+{
+    ProcedureBuilder b(module, "hot_taken");
+    auto cold = b.newBlock("cold");
+    auto hot = b.newBlock("hot");
+    auto join = b.newBlock("join");
+    b.setBlock(0);
+    b.sense(1, 0).li(2, 500);
+    b.br(CondCode::Lt, 1, 2, hot, cold); // taken -> hot
+    b.setBlock(cold);
+    b.nop();
+    b.jmp(join);
+    b.setBlock(hot);
+    b.nop();
+    b.jmp(join);
+    b.setBlock(join);
+    b.ret();
+    return b.finish();
+}
+
+EdgeProfile
+hotTakenProfile(double hot_weight)
+{
+    EdgeProfile profile;
+    profile.addInvocations(100);
+    profile.addEdge(0, 2, hot_weight);        // entry -> hot (taken)
+    profile.addEdge(0, 1, 100 - hot_weight);  // entry -> cold
+    profile.addEdge(2, 3, hot_weight);
+    profile.addEdge(1, 3, 100 - hot_weight);
+    return profile;
+}
+
+} // namespace
+
+TEST(Placement, ProfileGuidedMakesHotSuccessorAdjacent)
+{
+    Module module("m");
+    ProcId id = buildHotTakenDiamond(module);
+    const auto &proc = module.procedure(id);
+    Rng rng(1);
+    auto order =
+        computeOrder(proc, hotTakenProfile(90), LayoutKind::ProfileGuided,
+                     rng);
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order[0], 0u);
+    EXPECT_EQ(order[1], 2u); // hot block physically next
+    EXPECT_EQ(order[2], 3u); // then the join (hot chain continues)
+}
+
+TEST(Placement, ColdHotFlipsWithWeights)
+{
+    Module module("m");
+    ProcId id = buildHotTakenDiamond(module);
+    const auto &proc = module.procedure(id);
+    Rng rng(1);
+    auto order =
+        computeOrder(proc, hotTakenProfile(10), LayoutKind::ProfileGuided,
+                     rng);
+    EXPECT_EQ(order[1], 1u); // cold side is now the hot chain
+}
+
+TEST(Placement, NaturalIsIdentity)
+{
+    Module module("m");
+    ProcId id = buildHotTakenDiamond(module);
+    Rng rng(1);
+    auto order = computeOrder(module.procedure(id), EdgeProfile{},
+                              LayoutKind::Natural, rng);
+    for (BlockId i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(Placement, RandomIsPermutationWithEntryFirst)
+{
+    auto workload = workloads::makeMedianFilter();
+    const auto &proc = workload.entryProc();
+    Rng rng(7);
+    auto order = computeOrder(proc, EdgeProfile{}, LayoutKind::Random, rng);
+    EXPECT_EQ(order[0], proc.entry());
+    auto sorted = order;
+    std::sort(sorted.begin(), sorted.end());
+    for (BlockId i = 0; i < sorted.size(); ++i)
+        EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Placement, DfsCoversAll)
+{
+    auto workload = workloads::makeTrickle();
+    const auto &proc = workload.entryProc();
+    Rng rng(7);
+    auto order = computeOrder(proc, EdgeProfile{}, LayoutKind::Dfs, rng);
+    EXPECT_EQ(order.size(), proc.blockCount());
+    EXPECT_EQ(order[0], proc.entry());
+}
+
+TEST(Placement, PettisHansenZeroWeightsFallsBackGracefully)
+{
+    Module module("m");
+    ProcId id = buildHotTakenDiamond(module);
+    const auto &proc = module.procedure(id);
+    std::vector<double> zeros(proc.edges().size(), 0.0);
+    auto order = pettisHansenOrder(proc, zeros);
+    EXPECT_EQ(order.size(), proc.blockCount());
+    EXPECT_EQ(order[0], proc.entry());
+}
+
+TEST(Placement, LoopBodyStaysContiguous)
+{
+    auto workload = workloads::makeCrc16();
+    const auto &proc = workload.entryProc();
+    // Weight edges with a plausible hot-loop profile.
+    EdgeProfile profile;
+    profile.addInvocations(100);
+    for (const Edge &edge : proc.edges())
+        profile.addEdge(edge.from, edge.to, 100);
+    // Loop back edge much hotter.
+    for (const Edge &edge : proc.edges()) {
+        if (edge.to == 1 && edge.from != 0)
+            profile.addEdge(edge.from, edge.to, 700);
+    }
+    Rng rng(3);
+    auto order =
+        computeOrder(proc, profile, LayoutKind::ProfileGuided, rng);
+    EXPECT_EQ(order.size(), proc.blockCount());
+    EXPECT_EQ(order[0], proc.entry());
+}
+
+TEST(Placement, ModuleOrdersCoverEveryProc)
+{
+    auto workload = workloads::makeSurgeRoute();
+    ModuleProfile profile(workload.module->procedureCount());
+    Rng rng(4);
+    auto orders = computeModuleOrders(*workload.module, profile,
+                                      LayoutKind::Dfs, rng);
+    ASSERT_EQ(orders.size(), workload.module->procedureCount());
+    for (ProcId id = 0; id < orders.size(); ++id)
+        EXPECT_EQ(orders[id].size(),
+                  workload.module->procedure(id).blockCount());
+}
+
+TEST(Placement, Names)
+{
+    EXPECT_STREQ(layoutName(LayoutKind::Natural), "natural");
+    EXPECT_STREQ(layoutName(LayoutKind::Dfs), "dfs");
+    EXPECT_STREQ(layoutName(LayoutKind::Random), "random");
+    EXPECT_STREQ(layoutName(LayoutKind::ProfileGuided), "profile");
+}
+
+TEST(Evaluator, HotFallthroughBeatsHotTaken)
+{
+    Module module("m");
+    ProcId id = buildHotTakenDiamond(module);
+    const auto &proc = module.procedure(id);
+    auto profile = hotTakenProfile(90);
+    auto costs = sim::telosCostModel();
+
+    auto natural = sim::naturalOrder(proc);
+    Rng rng(1);
+    auto optimized =
+        computeOrder(proc, profile, LayoutKind::ProfileGuided, rng);
+
+    auto cost_nat = evaluatePlacement(proc, natural, profile, costs,
+                                      sim::PredictPolicy::NotTaken);
+    auto cost_opt = evaluatePlacement(proc, optimized, profile, costs,
+                                      sim::PredictPolicy::NotTaken);
+    EXPECT_LT(cost_opt.mispredictions, cost_nat.mispredictions);
+    EXPECT_LT(cost_opt.transferCycles, cost_nat.transferCycles);
+    EXPECT_LT(cost_opt.mispredictRate(), cost_nat.mispredictRate());
+}
+
+/**
+ * Integration: the static evaluator's expected misprediction count must
+ * match the simulator's measured count under the true profile.
+ */
+class EvaluatorVsSimulator : public testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(EvaluatorVsSimulator, ExpectedMatchesMeasured)
+{
+    auto workload = workloads::workloadByName(GetParam());
+    sim::SimConfig config;
+    config.timingProbes = false;
+    config.maxGapCycles = 0;
+    auto inputs = workload.makeInputs(55);
+    sim::Simulator simulator(*workload.module,
+                             sim::lowerModule(*workload.module), config,
+                             *inputs, 5);
+    size_t invocations = 2000;
+    auto run = simulator.run(workload.entry, invocations);
+
+    double expected_mis = 0.0;
+    double expected_exec = 0.0;
+    for (ProcId id = 0; id < workload.module->procedureCount(); ++id) {
+        const auto &proc = workload.module->procedure(id);
+        auto cost = evaluatePlacement(proc, sim::naturalOrder(proc),
+                                      run.profile[id], config.costs,
+                                      config.policy);
+        expected_mis += cost.mispredictions * run.profile[id].invocations();
+        expected_exec +=
+            cost.branchesExecuted * run.profile[id].invocations();
+    }
+    EXPECT_NEAR(expected_mis, double(run.branches.mispredicted),
+                1e-6 * std::max(1.0, expected_mis));
+    EXPECT_NEAR(expected_exec, double(run.branches.executed),
+                1e-6 * std::max(1.0, expected_exec));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, EvaluatorVsSimulator,
+    testing::ValuesIn(workloads::workloadNames()),
+    [](const testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+TEST(Evaluator, ModuleAggregationWeighsByInvocations)
+{
+    auto workload = workloads::makeDataAggregate();
+    sim::SimConfig config;
+    config.timingProbes = false;
+    config.maxGapCycles = 0;
+    auto inputs = workload.makeInputs(66);
+    sim::Simulator simulator(*workload.module,
+                             sim::lowerModule(*workload.module), config,
+                             *inputs, 6);
+    auto run = simulator.run(workload.entry, 800);
+
+    std::vector<sim::BlockOrder> orders;
+    for (const auto &proc : workload.module->procedures())
+        orders.push_back(sim::naturalOrder(proc));
+    auto total = evaluateModulePlacement(*workload.module, orders,
+                                         run.profile, config.costs,
+                                         config.policy);
+    EXPECT_NEAR(total.mispredictions, double(run.branches.mispredicted),
+                1e-6 * std::max(1.0, total.mispredictions));
+}
+
+TEST(OptimalLayout, MatchesGreedyOnEasyDiamond)
+{
+    Module module("m");
+    ProcId id = buildHotTakenDiamond(module);
+    const auto &proc = module.procedure(id);
+    auto profile = hotTakenProfile(90);
+    auto costs = sim::telosCostModel();
+    auto policy = sim::PredictPolicy::NotTaken;
+
+    auto best = optimalOrder(proc, profile, costs, policy);
+    Rng rng(1);
+    auto greedy = computeOrder(proc, profile, LayoutKind::ProfileGuided, rng);
+    double c_best =
+        evaluatePlacement(proc, best, profile, costs, policy).transferCycles;
+    double c_greedy = evaluatePlacement(proc, greedy, profile, costs, policy)
+                          .transferCycles;
+    EXPECT_NEAR(c_best, c_greedy, 1e-9);
+}
+
+TEST(OptimalLayout, NeverWorseThanAnyBaseline)
+{
+    for (const char *name : {"blink", "crc16", "event_dispatch",
+                             "sense_and_send", "fir_filter"}) {
+        auto workload = workloads::workloadByName(name);
+        sim::SimConfig config;
+        config.timingProbes = false;
+        config.maxGapCycles = 0;
+        auto inputs = workload.makeInputs(12);
+        sim::Simulator simulator(*workload.module,
+                                 sim::lowerModule(*workload.module), config,
+                                 *inputs, 13);
+        auto run = simulator.run(workload.entry, 800);
+        const auto &proc = workload.entryProc();
+        if (proc.blockCount() > 9)
+            continue;
+        const auto &profile = run.profile[workload.entry];
+        auto costs = sim::telosCostModel();
+        auto policy = sim::PredictPolicy::NotTaken;
+        auto best = optimalOrder(proc, profile, costs, policy);
+        double c_best = evaluatePlacement(proc, best, profile, costs, policy)
+                            .transferCycles;
+        Rng rng(5);
+        for (auto kind : {LayoutKind::Natural, LayoutKind::Dfs,
+                          LayoutKind::Random, LayoutKind::ProfileGuided}) {
+            auto order = computeOrder(proc, profile, kind, rng);
+            double cost = evaluatePlacement(proc, order, profile, costs,
+                                            policy).transferCycles;
+            EXPECT_LE(c_best, cost + 1e-9)
+                << name << " vs " << layoutName(kind);
+        }
+    }
+}
+
+TEST(OptimalLayoutDeathTest, RefusesLargeProcedures)
+{
+    auto workload = workloads::makeMedianFilter(); // 12 blocks
+    EXPECT_EXIT(optimalOrder(workload.entryProc(), EdgeProfile{},
+                             sim::telosCostModel(),
+                             sim::PredictPolicy::NotTaken),
+                testing::ExitedWithCode(1), "exhaustive");
+}

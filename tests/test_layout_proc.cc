@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests for procedure placement: call-edge weights, greedy chaining,
+ * the far-call cost in the simulator, and the end-to-end cycle win.
+ */
+
+#include <gtest/gtest.h>
+
+#include "layout/proc_placement.hh"
+#include "sim/machine.hh"
+#include "workloads/workload.hh"
+
+using namespace ct;
+using namespace ct::ir;
+using namespace ct::layout;
+
+namespace {
+
+sim::RunResult
+runWithOrder(const workloads::Workload &workload,
+             const std::vector<ProcId> &proc_order, sim::CostModel costs,
+             size_t invocations = 1500, uint64_t seed = 9)
+{
+    sim::SimConfig config;
+    config.costs = costs;
+    config.timingProbes = false;
+    config.maxGapCycles = 0;
+    auto lowered = sim::lowerModule(*workload.module);
+    if (!proc_order.empty())
+        lowered.setProcOrder(proc_order);
+    auto inputs = workload.makeInputs(seed);
+    sim::Simulator simulator(*workload.module, std::move(lowered), config,
+                             *inputs, seed ^ 0x77);
+    return simulator.run(workload.entry, invocations);
+}
+
+std::vector<ProcId>
+identityOrder(const workloads::Workload &workload)
+{
+    std::vector<ProcId> order(workload.module->procedureCount());
+    for (ProcId id = 0; id < order.size(); ++id)
+        order[id] = id;
+    return order;
+}
+
+} // namespace
+
+TEST(CallEdges, WeightsMatchProfiledExecutions)
+{
+    auto workload = workloads::makeCollectionTree();
+    auto run = runWithOrder(workload, {}, sim::telosCostModel(), 2000);
+    auto edges = callEdgeWeights(*workload.module, run.profile);
+
+    // Every callee's invocation count must equal its inbound call
+    // weight (all calls come from within the module).
+    for (ProcId id = 0; id < workload.module->procedureCount(); ++id) {
+        if (id == workload.entry)
+            continue;
+        double inbound = 0.0;
+        for (const auto &edge : edges) {
+            if (edge.callee == id)
+                inbound += edge.weight;
+        }
+        EXPECT_NEAR(inbound, double(run.invocations[id]), 1e-6)
+            << workload.module->procedure(id).name();
+    }
+}
+
+TEST(ProcOrder, IsPermutation)
+{
+    auto workload = workloads::makeCollectionTree();
+    auto run = runWithOrder(workload, {}, sim::telosCostModel(), 500);
+    auto order = procedureOrder(*workload.module, run.profile);
+    ASSERT_EQ(order.size(), workload.module->procedureCount());
+    std::vector<bool> seen(order.size(), false);
+    for (ProcId id : order) {
+        ASSERT_LT(id, seen.size());
+        EXPECT_FALSE(seen[id]);
+        seen[id] = true;
+    }
+}
+
+TEST(ProcOrder, HotPairsAdjacent)
+{
+    auto workload = workloads::makeCollectionTree();
+    auto run = runWithOrder(workload, {}, sim::telosCostModel(), 2000);
+    auto order = procedureOrder(*workload.module, run.profile);
+
+    std::vector<size_t> position(order.size());
+    for (size_t pos = 0; pos < order.size(); ++pos)
+        position[order[pos]] = pos;
+
+    // The hottest edge (dispatch -> forward_data, ~0.7/event) must end
+    // up adjacent.
+    ProcId dispatch = workload.module->findProcedure("ctp_dispatch");
+    ProcId forward = workload.module->findProcedure("forward_data");
+    size_t distance = position[dispatch] > position[forward]
+                          ? position[dispatch] - position[forward]
+                          : position[forward] - position[dispatch];
+    EXPECT_EQ(distance, 1u);
+}
+
+TEST(ProcOrder, ReducesExpectedFarCalls)
+{
+    auto workload = workloads::makeCollectionTree();
+    auto run = runWithOrder(workload, {}, sim::telosCostModel(), 2000);
+    auto optimized = procedureOrder(*workload.module, run.profile);
+
+    double natural = expectedFarCalls(*workload.module, run.profile,
+                                      identityOrder(workload), 1);
+    double placed = expectedFarCalls(*workload.module, run.profile,
+                                     optimized, 1);
+    EXPECT_LE(placed, natural);
+    EXPECT_GT(natural, 0.0); // natural order actually pays far calls
+}
+
+TEST(FarCalls, ZeroExtraMeansZeroCost)
+{
+    auto workload = workloads::makeCollectionTree();
+    auto costs = sim::telosCostModel();
+    EXPECT_EQ(costs.farCallExtra, 0u); // default off
+    auto run = runWithOrder(workload, {}, costs);
+    EXPECT_EQ(run.farCalls, 0u);
+}
+
+TEST(FarCalls, ChargedPerDistantCall)
+{
+    auto workload = workloads::makeCollectionTree();
+    auto costs = sim::telosCostModel();
+    costs.farCallExtra = 6;
+    costs.nearCallWindow = 1;
+
+    auto base_costs = sim::telosCostModel();
+    auto base = runWithOrder(workload, {}, base_costs);
+    auto far = runWithOrder(workload, {}, costs);
+
+    EXPECT_GT(far.farCalls, 0u);
+    EXPECT_EQ(far.totalCycles, base.totalCycles + 6 * far.farCalls);
+}
+
+TEST(FarCalls, OptimizedOrderCheaperThanNatural)
+{
+    auto workload = workloads::makeCollectionTree();
+    auto costs = sim::telosCostModel();
+    costs.farCallExtra = 6;
+    costs.nearCallWindow = 1;
+
+    auto profile_run = runWithOrder(workload, {}, sim::telosCostModel());
+    auto order = procedureOrder(*workload.module, profile_run.profile);
+
+    auto natural = runWithOrder(workload, identityOrder(workload), costs);
+    auto placed = runWithOrder(workload, order, costs);
+    EXPECT_LT(placed.farCalls, natural.farCalls);
+    EXPECT_LT(placed.totalCycles, natural.totalCycles);
+}
+
+TEST(FarCalls, MeasuredMatchesExpectedFarCalls)
+{
+    auto workload = workloads::makeCollectionTree();
+    auto costs = sim::telosCostModel();
+    costs.farCallExtra = 3;
+    costs.nearCallWindow = 1;
+    auto run = runWithOrder(workload, identityOrder(workload), costs, 1200);
+    double expected = expectedFarCalls(*workload.module, run.profile,
+                                       identityOrder(workload), 1);
+    EXPECT_NEAR(expected, double(run.farCalls), 1e-6);
+}
+
+TEST(ProcOrderDeathTest, SetProcOrderRejectsNonPermutation)
+{
+    auto workload = workloads::makeCollectionTree();
+    auto lowered = sim::lowerModule(*workload.module);
+    std::vector<ProcId> bad(workload.module->procedureCount(), 0);
+    EXPECT_DEATH(lowered.setProcOrder(bad), "permutation");
+}
+
+TEST(ProcOrder, SingleProcModuleTrivial)
+{
+    auto workload = workloads::makeBlink();
+    ir::ModuleProfile profile(1);
+    auto order = procedureOrder(*workload.module, profile);
+    ASSERT_EQ(order.size(), 1u);
+    EXPECT_EQ(order[0], 0u);
+}

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests for absorbing chains: closed-form visits, reward moments
+ * (validated against analytic formulas and Monte Carlo), sampling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "markov/chain.hh"
+
+using namespace ct;
+using namespace ct::markov;
+
+namespace {
+
+/**
+ * Single state looping on itself with probability p: a geometric number
+ * of visits with mean 1/(1-p).
+ */
+AbsorbingChain
+geometricChain(double p, double reward)
+{
+    AbsorbingChain chain(1);
+    chain.setTransition(0, 0, p);
+    chain.setStateReward(0, reward);
+    return chain;
+}
+
+/** Branch chain: 0 -> 1 w.p. p (reward a), 0 -> 2 w.p. 1-p (reward b). */
+AbsorbingChain
+branchChain(double p, double a, double b)
+{
+    AbsorbingChain chain(3);
+    chain.setTransition(0, 1, p);
+    chain.setTransition(0, 2, 1.0 - p);
+    chain.setStateReward(1, a);
+    chain.setStateReward(2, b);
+    return chain;
+}
+
+} // namespace
+
+TEST(Chain, ValidAndInvalid)
+{
+    AbsorbingChain chain(2);
+    chain.setTransition(0, 1, 0.6);
+    EXPECT_TRUE(chain.valid());
+    chain.setTransition(0, 0, 0.6); // row sums to 1.2
+    EXPECT_FALSE(chain.valid());
+}
+
+TEST(Chain, ExitProb)
+{
+    AbsorbingChain chain(2);
+    chain.setTransition(0, 1, 0.3);
+    EXPECT_NEAR(chain.exitProb(0), 0.7, 1e-12);
+    EXPECT_NEAR(chain.exitProb(1), 1.0, 1e-12);
+}
+
+TEST(Chain, GeometricVisits)
+{
+    auto chain = geometricChain(0.75, 1.0);
+    auto visits = chain.expectedVisits(0);
+    EXPECT_NEAR(visits[0], 4.0, 1e-9); // 1/(1-0.75)
+}
+
+TEST(Chain, GeometricMeanAndVariance)
+{
+    double p = 0.5;
+    auto chain = geometricChain(p, 2.0);
+    // Visits ~ Geometric with mean 1/(1-p)=2, var p/(1-p)^2=2.
+    EXPECT_NEAR(chain.meanReward(0), 2.0 * 2.0, 1e-9);
+    EXPECT_NEAR(chain.varianceReward(0), 4.0 * 2.0, 1e-9);
+}
+
+TEST(Chain, BranchMeanAndVariance)
+{
+    double p = 0.3, a = 10.0, b = 4.0;
+    auto chain = branchChain(p, a, b);
+    double mean = p * a + (1 - p) * b;
+    double var = p * a * a + (1 - p) * b * b - mean * mean;
+    EXPECT_NEAR(chain.meanReward(0), mean, 1e-9);
+    EXPECT_NEAR(chain.varianceReward(0), var, 1e-9);
+}
+
+TEST(Chain, EdgeAndExitRewardsCounted)
+{
+    AbsorbingChain chain(2);
+    chain.setTransition(0, 1, 1.0);
+    chain.setStateReward(0, 5.0);
+    chain.setStateReward(1, 7.0);
+    chain.setEdgeReward(0, 1, 2.0);
+    chain.setExitReward(1, 3.0);
+    // Deterministic walk: 5 + 2 + 7 + 3 = 17.
+    EXPECT_NEAR(chain.meanReward(0), 17.0, 1e-9);
+    EXPECT_NEAR(chain.varianceReward(0), 0.0, 1e-9);
+}
+
+TEST(Chain, ExpectedEdgeTraversals)
+{
+    auto chain = branchChain(0.25, 0, 0);
+    EXPECT_NEAR(chain.expectedEdgeTraversals(0, 0, 1), 0.25, 1e-9);
+    EXPECT_NEAR(chain.expectedEdgeTraversals(0, 0, 2), 0.75, 1e-9);
+}
+
+TEST(Chain, FundamentalMatrixKnownTwoState)
+{
+    // 0 -> 1 w.p. 0.5; 1 -> 0 w.p. 0.5; both exit otherwise.
+    AbsorbingChain chain(2);
+    chain.setTransition(0, 1, 0.5);
+    chain.setTransition(1, 0, 0.5);
+    Matrix n = chain.fundamentalMatrix();
+    // N = (I - Q)^-1 with Q = [[0,.5],[.5,0]] -> N = 1/.75 [[1,.5],[.5,1]].
+    EXPECT_NEAR(n.at(0, 0), 4.0 / 3.0, 1e-9);
+    EXPECT_NEAR(n.at(0, 1), 2.0 / 3.0, 1e-9);
+    EXPECT_NEAR(n.at(1, 0), 2.0 / 3.0, 1e-9);
+    EXPECT_NEAR(n.at(1, 1), 4.0 / 3.0, 1e-9);
+}
+
+TEST(Chain, AbsorbingDetection)
+{
+    auto good = geometricChain(0.9, 1.0);
+    EXPECT_TRUE(good.absorbing());
+
+    AbsorbingChain trapped(2);
+    trapped.setTransition(0, 1, 1.0);
+    trapped.setTransition(1, 0, 1.0); // closed cycle, never absorbs
+    EXPECT_FALSE(trapped.absorbing());
+}
+
+TEST(Chain, MonteCarloAgreesWithClosedForms)
+{
+    AbsorbingChain chain(3);
+    chain.setTransition(0, 1, 0.4);
+    chain.setTransition(0, 2, 0.6);
+    chain.setTransition(1, 1, 0.3); // self loop
+    chain.setStateReward(0, 3.0);
+    chain.setStateReward(1, 5.0);
+    chain.setStateReward(2, 1.0);
+    chain.setEdgeReward(0, 1, 2.0);
+
+    Rng rng(99);
+    double sum = 0, sq = 0;
+    const int n = 200'000;
+    for (int i = 0; i < n; ++i) {
+        auto walk = chain.sample(rng, 0);
+        sum += walk.reward;
+        sq += walk.reward * walk.reward;
+    }
+    double mc_mean = sum / n;
+    double mc_var = sq / n - mc_mean * mc_mean;
+    EXPECT_NEAR(mc_mean, chain.meanReward(0), 0.05);
+    EXPECT_NEAR(mc_var, chain.varianceReward(0), 0.5);
+}
+
+TEST(Chain, SampleWalkStartsAtStart)
+{
+    auto chain = branchChain(0.5, 0, 0);
+    Rng rng(1);
+    for (int i = 0; i < 20; ++i) {
+        auto walk = chain.sample(rng, 0);
+        ASSERT_GE(walk.states.size(), 2u);
+        EXPECT_EQ(walk.states[0], 0u);
+        EXPECT_TRUE(walk.states[1] == 1u || walk.states[1] == 2u);
+    }
+}
+
+TEST(Chain, MeanRewardVectorPerStart)
+{
+    auto chain = branchChain(0.5, 6.0, 2.0);
+    auto means = chain.meanRewardVector();
+    EXPECT_NEAR(means[0], 4.0, 1e-9);
+    EXPECT_NEAR(means[1], 6.0, 1e-9);
+    EXPECT_NEAR(means[2], 2.0, 1e-9);
+}
+
+TEST(ChainDeathTest, BadStateAccessPanics)
+{
+    AbsorbingChain chain(2);
+    EXPECT_DEATH(chain.setTransition(2, 0, 0.5), "out of range");
+    EXPECT_DEATH(chain.stateReward(9), "out of range");
+}
+
+TEST(ChainDeathTest, NonAbsorbingMeanPanics)
+{
+    AbsorbingChain trapped(1);
+    trapped.setTransition(0, 0, 1.0);
+    EXPECT_DEATH(trapped.meanReward(0), "not absorbing");
+}

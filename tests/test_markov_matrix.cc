@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for the dense matrix kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "markov/matrix.hh"
+
+using namespace ct::markov;
+
+TEST(Matrix, IdentityProperties)
+{
+    Matrix eye = Matrix::identity(3);
+    EXPECT_DOUBLE_EQ(eye.at(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(eye.at(0, 1), 0.0);
+
+    Matrix m(3, 3);
+    m.at(0, 1) = 2.0;
+    m.at(2, 2) = -1.5;
+    EXPECT_NEAR((eye * m).maxDiff(m), 0.0, 1e-12);
+    EXPECT_NEAR((m * eye).maxDiff(m), 0.0, 1e-12);
+}
+
+TEST(Matrix, AddSubtract)
+{
+    Matrix a(2, 2), b(2, 2);
+    a.at(0, 0) = 1;
+    a.at(1, 1) = 2;
+    b.at(0, 0) = 3;
+    b.at(0, 1) = 4;
+    Matrix sum = a + b;
+    EXPECT_DOUBLE_EQ(sum.at(0, 0), 4);
+    EXPECT_DOUBLE_EQ(sum.at(0, 1), 4);
+    EXPECT_DOUBLE_EQ(sum.at(1, 1), 2);
+    Matrix diff = sum - b;
+    EXPECT_NEAR(diff.maxDiff(a), 0.0, 1e-12);
+}
+
+TEST(Matrix, MultiplyKnown)
+{
+    Matrix a(2, 3), b(3, 2);
+    // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12].
+    int v = 1;
+    for (size_t i = 0; i < 2; ++i)
+        for (size_t j = 0; j < 3; ++j)
+            a.at(i, j) = v++;
+    v = 7;
+    for (size_t i = 0; i < 3; ++i)
+        for (size_t j = 0; j < 2; ++j)
+            b.at(i, j) = v++;
+    Matrix c = a * b;
+    EXPECT_DOUBLE_EQ(c.at(0, 0), 58);
+    EXPECT_DOUBLE_EQ(c.at(0, 1), 64);
+    EXPECT_DOUBLE_EQ(c.at(1, 0), 139);
+    EXPECT_DOUBLE_EQ(c.at(1, 1), 154);
+}
+
+TEST(Matrix, ScalarMultiply)
+{
+    Matrix m(1, 2);
+    m.at(0, 0) = 3;
+    m.at(0, 1) = -1;
+    Matrix scaled = m * 2.0;
+    EXPECT_DOUBLE_EQ(scaled.at(0, 0), 6);
+    EXPECT_DOUBLE_EQ(scaled.at(0, 1), -2);
+}
+
+TEST(Matrix, ApplyVector)
+{
+    Matrix m(2, 2);
+    m.at(0, 0) = 1;
+    m.at(0, 1) = 2;
+    m.at(1, 0) = 3;
+    m.at(1, 1) = 4;
+    auto out = m.apply({1.0, 1.0});
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_DOUBLE_EQ(out[0], 3.0);
+    EXPECT_DOUBLE_EQ(out[1], 7.0);
+}
+
+TEST(Matrix, TransposeRoundTrip)
+{
+    Matrix m(2, 3);
+    m.at(0, 2) = 5;
+    m.at(1, 0) = -2;
+    Matrix t = m.transposed();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 2u);
+    EXPECT_DOUBLE_EQ(t.at(2, 0), 5);
+    EXPECT_DOUBLE_EQ(t.at(0, 1), -2);
+    EXPECT_NEAR(t.transposed().maxDiff(m), 0.0, 1e-12);
+}
+
+TEST(Matrix, SolveKnownSystem)
+{
+    // [2 1; 1 3] x = [5; 10] -> x = [1; 3].
+    Matrix m(2, 2);
+    m.at(0, 0) = 2;
+    m.at(0, 1) = 1;
+    m.at(1, 0) = 1;
+    m.at(1, 1) = 3;
+    std::vector<double> x;
+    ASSERT_TRUE(m.solve({5.0, 10.0}, x));
+    EXPECT_NEAR(x[0], 1.0, 1e-9);
+    EXPECT_NEAR(x[1], 3.0, 1e-9);
+}
+
+TEST(Matrix, SolveNeedsPivoting)
+{
+    // Leading zero forces a row swap.
+    Matrix m(2, 2);
+    m.at(0, 0) = 0;
+    m.at(0, 1) = 1;
+    m.at(1, 0) = 1;
+    m.at(1, 1) = 0;
+    std::vector<double> x;
+    ASSERT_TRUE(m.solve({2.0, 3.0}, x));
+    EXPECT_NEAR(x[0], 3.0, 1e-12);
+    EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Matrix, SingularDetected)
+{
+    Matrix m(2, 2);
+    m.at(0, 0) = 1;
+    m.at(0, 1) = 2;
+    m.at(1, 0) = 2;
+    m.at(1, 1) = 4;
+    std::vector<double> x;
+    EXPECT_FALSE(m.solve({1.0, 2.0}, x));
+    Matrix inv;
+    EXPECT_FALSE(m.inverse(inv));
+}
+
+TEST(Matrix, InverseRoundTrip)
+{
+    Matrix m(3, 3);
+    m.at(0, 0) = 4;
+    m.at(0, 1) = 7;
+    m.at(1, 1) = 6;
+    m.at(1, 2) = 1;
+    m.at(2, 0) = 2;
+    m.at(2, 2) = 5;
+    Matrix inv;
+    ASSERT_TRUE(m.inverse(inv));
+    EXPECT_NEAR((m * inv).maxDiff(Matrix::identity(3)), 0.0, 1e-9);
+    EXPECT_NEAR((inv * m).maxDiff(Matrix::identity(3)), 0.0, 1e-9);
+}
+
+TEST(MatrixDeathTest, ShapeChecks)
+{
+    Matrix a(2, 2), b(3, 3);
+    EXPECT_DEATH(a + b, "shape mismatch");
+    EXPECT_DEATH(a * b, "shape mismatch");
+    EXPECT_DEATH(a.at(5, 0), "out of range");
+    std::vector<double> x;
+    Matrix rect(2, 3);
+    EXPECT_DEATH(rect.solve({1, 2}, x), "square");
+}

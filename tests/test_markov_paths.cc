@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for bounded path enumeration and reward-class grouping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "markov/paths.hh"
+
+using namespace ct::markov;
+
+namespace {
+
+/** 0 branches to {1, 2}; both exit. */
+AbsorbingChain
+twoPathChain(double p)
+{
+    AbsorbingChain chain(3);
+    chain.setTransition(0, 1, p);
+    chain.setTransition(0, 2, 1.0 - p);
+    chain.setStateReward(0, 1.0);
+    chain.setStateReward(1, 10.0);
+    chain.setStateReward(2, 20.0);
+    return chain;
+}
+
+AbsorbingChain
+loopChain(double p_continue)
+{
+    AbsorbingChain chain(1);
+    chain.setTransition(0, 0, p_continue);
+    chain.setStateReward(0, 2.0);
+    return chain;
+}
+
+} // namespace
+
+TEST(Paths, EnumeratesBothBranchPaths)
+{
+    auto set = enumeratePaths(twoPathChain(0.3), 0);
+    ASSERT_EQ(set.paths.size(), 2u);
+    // Sorted by probability descending.
+    EXPECT_NEAR(set.paths[0].prob, 0.7, 1e-12);
+    EXPECT_NEAR(set.paths[1].prob, 0.3, 1e-12);
+    EXPECT_NEAR(set.coveredMass(), 1.0, 1e-12);
+    EXPECT_NEAR(set.droppedMass, 0.0, 1e-12);
+}
+
+TEST(Paths, RewardsAreWalkTotals)
+{
+    auto set = enumeratePaths(twoPathChain(0.3), 0);
+    for (const auto &path : set.paths) {
+        if (path.states.back() == 1)
+            EXPECT_NEAR(path.reward, 11.0, 1e-12);
+        else
+            EXPECT_NEAR(path.reward, 21.0, 1e-12);
+    }
+}
+
+TEST(Paths, LoopTruncatedByVisitCap)
+{
+    PathEnumOptions options;
+    options.maxVisitsPerState = 4;
+    options.minProb = 0.0 + 1e-12;
+    auto set = enumeratePaths(loopChain(0.5), 0, options);
+    // Paths: exit after 1..4 visits.
+    ASSERT_EQ(set.paths.size(), 4u);
+    EXPECT_NEAR(set.coveredMass(), 1.0 - std::pow(0.5, 4), 1e-9);
+    EXPECT_NEAR(set.droppedMass, std::pow(0.5, 4), 1e-9);
+}
+
+TEST(Paths, MinProbPrunes)
+{
+    PathEnumOptions options;
+    options.maxVisitsPerState = 64;
+    options.minProb = 0.1;
+    auto set = enumeratePaths(loopChain(0.5), 0, options);
+    // 0.5^k >= 0.1 for k <= 3 expansions.
+    EXPECT_LE(set.paths.size(), 4u);
+    for (const auto &path : set.paths)
+        EXPECT_GE(path.prob, 0.1);
+    EXPECT_NEAR(set.coveredMass() + set.droppedMass, 1.0, 1e-9);
+}
+
+TEST(Paths, MaxPathsCapRespected)
+{
+    PathEnumOptions options;
+    options.maxVisitsPerState = 40;
+    options.minProb = 1e-15;
+    options.maxPaths = 5;
+    auto set = enumeratePaths(loopChain(0.9), 0, options);
+    EXPECT_LE(set.paths.size(), 5u);
+    EXPECT_GT(set.droppedMass, 0.0);
+}
+
+TEST(Paths, EdgeRewardIncluded)
+{
+    AbsorbingChain chain(2);
+    chain.setTransition(0, 1, 1.0);
+    chain.setStateReward(0, 1.0);
+    chain.setStateReward(1, 1.0);
+    chain.setEdgeReward(0, 1, 5.0);
+    chain.setExitReward(1, 3.0);
+    auto set = enumeratePaths(chain, 0);
+    ASSERT_EQ(set.paths.size(), 1u);
+    EXPECT_NEAR(set.paths[0].reward, 1 + 5 + 1 + 3, 1e-12);
+}
+
+TEST(RewardClasses, GroupsEqualRewards)
+{
+    // Two distinct paths with equal reward alias into one class.
+    AbsorbingChain chain(3);
+    chain.setTransition(0, 1, 0.5);
+    chain.setTransition(0, 2, 0.5);
+    chain.setStateReward(1, 7.0);
+    chain.setStateReward(2, 7.0);
+    auto set = enumeratePaths(chain, 0);
+    auto classes = groupByReward(set);
+    ASSERT_EQ(classes.size(), 1u);
+    EXPECT_EQ(classes[0].members.size(), 2u);
+    EXPECT_NEAR(classes[0].prob, 1.0, 1e-12);
+    EXPECT_NEAR(classes[0].reward, 7.0, 1e-12);
+}
+
+TEST(RewardClasses, SortedByReward)
+{
+    auto set = enumeratePaths(twoPathChain(0.5), 0);
+    auto classes = groupByReward(set);
+    ASSERT_EQ(classes.size(), 2u);
+    EXPECT_LT(classes[0].reward, classes[1].reward);
+}
+
+TEST(RewardClasses, ToleranceMerges)
+{
+    PathSet set;
+    Path a;
+    a.reward = 1.0;
+    a.prob = 0.5;
+    Path b;
+    b.reward = 1.0 + 1e-12;
+    b.prob = 0.5;
+    set.paths = {a, b};
+    EXPECT_EQ(groupByReward(set, 1e-9).size(), 1u);
+    EXPECT_EQ(groupByReward(set, 1e-15).size(), 2u);
+}
+
+TEST(PathsDeathTest, BadStartPanics)
+{
+    auto chain = loopChain(0.5);
+    EXPECT_DEATH(enumeratePaths(chain, 7), "bad start");
+}

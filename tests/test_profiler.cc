@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Tests for the instrumented-profiling baseline: counter planning,
+ * IR rewriting, execution of instrumented binaries, and profile
+ * reconstruction by flow conservation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ir/verify.hh"
+#include "profiler/instrument.hh"
+#include "profiler/plan.hh"
+#include "profiler/reconstruct.hh"
+#include "sim/machine.hh"
+#include "workloads/workload.hh"
+
+using namespace ct;
+using namespace ct::ir;
+using namespace ct::profiler;
+
+namespace {
+
+constexpr Word kCounterBase = 512;
+
+sim::RunResult
+runInstrumented(const workloads::Workload &workload, const ModulePlan &plan,
+                size_t invocations = 400)
+{
+    auto program = instrumentModule(*workload.module, plan);
+    sim::SimConfig config;
+    config.timingProbes = false;
+    config.maxGapCycles = 0;
+    auto inputs = workload.makeInputs(1234);
+    sim::Simulator simulator(program.module, sim::lowerModule(program.module),
+                             config, *inputs, 77);
+    return simulator.run(workload.entry, invocations);
+}
+
+sim::RunResult
+runClean(const workloads::Workload &workload, size_t invocations = 400)
+{
+    sim::SimConfig config;
+    config.timingProbes = false;
+    config.maxGapCycles = 0;
+    auto inputs = workload.makeInputs(1234);
+    sim::Simulator simulator(*workload.module,
+                             sim::lowerModule(*workload.module), config,
+                             *inputs, 77);
+    return simulator.run(workload.entry, invocations);
+}
+
+} // namespace
+
+TEST(Plan, AllEdgesCountsEveryEdge)
+{
+    auto workload = workloads::makeSenseAndSend();
+    const auto &proc = workload.entryProc();
+    auto plan = planProcedure(proc, ProfilerMode::AllEdges);
+    EXPECT_EQ(plan.counted.size(), proc.edges().size());
+    EXPECT_TRUE(plan.derived.empty());
+}
+
+TEST(Plan, SpanningTreeUsesMinimalCounters)
+{
+    // Knuth: counters needed = E - (V - 1) on the connected closed graph
+    // (the cyclomatic number). Closing edges (ret->EXIT per exit block,
+    // EXIT->entry) are free since the invocation count is known, so the
+    // physical count is the cyclomatic number of the closed graph.
+    for (const auto &workload : workloads::allWorkloads()) {
+        for (const auto &proc : workload.module->procedures()) {
+            auto plan = planProcedure(proc, ProfilerMode::SpanningTree);
+            size_t e_real = proc.edges().size();
+            // Distinct virtual (undirected) edges: one per exit block
+            // plus EXIT->entry unless the entry is itself an exit (a
+            // single-block procedure), where the pair collapses.
+            auto exits = proc.exitBlocks();
+            bool entry_is_exit =
+                std::find(exits.begin(), exits.end(), proc.entry()) !=
+                exits.end();
+            size_t e_virtual = exits.size() + (entry_is_exit ? 0 : 1);
+            size_t vertices = proc.blockCount() + 1;
+            size_t expected = e_real + e_virtual - (vertices - 1);
+            EXPECT_EQ(plan.counted.size(), expected)
+                << workload.name << "/" << proc.name();
+            EXPECT_EQ(plan.counted.size() + plan.derived.size(), e_real);
+        }
+    }
+}
+
+TEST(Plan, SpanningTreeNeverExceedsAllEdges)
+{
+    for (const auto &workload : workloads::allWorkloads()) {
+        auto all = planModule(*workload.module, ProfilerMode::AllEdges,
+                              kCounterBase);
+        auto tree = planModule(*workload.module, ProfilerMode::SpanningTree,
+                               kCounterBase);
+        EXPECT_LE(tree.counterCount(), all.counterCount()) << workload.name;
+        EXPECT_EQ(tree.counterBytes(), tree.counterCount() * 2);
+    }
+}
+
+TEST(Plan, SlotAddressesAreDenseFromBase)
+{
+    auto workload = workloads::makeSurgeRoute();
+    auto plan = planModule(*workload.module, ProfilerMode::AllEdges,
+                           kCounterBase);
+    std::vector<Word> addresses;
+    for (ProcId id = 0; id < workload.module->procedureCount(); ++id)
+        for (size_t k = 0; k < plan.procs[id].counted.size(); ++k)
+            addresses.push_back(plan.slotAddress(id, k));
+    for (size_t i = 0; i < addresses.size(); ++i)
+        EXPECT_EQ(addresses[i], kCounterBase + Word(i));
+}
+
+TEST(Instrument, RewrittenModuleVerifies)
+{
+    for (const auto &workload : workloads::allWorkloads()) {
+        auto plan = planModule(*workload.module, ProfilerMode::SpanningTree,
+                               kCounterBase);
+        auto program = instrumentModule(*workload.module, plan);
+        EXPECT_TRUE(verifyModule(program.module).ok()) << workload.name;
+    }
+}
+
+TEST(Instrument, AddsCodeOnlyForCountedEdges)
+{
+    auto workload = workloads::makeEventDispatch();
+    auto all = planModule(*workload.module, ProfilerMode::AllEdges,
+                          kCounterBase);
+    auto tree = planModule(*workload.module, ProfilerMode::SpanningTree,
+                           kCounterBase);
+    auto p_all = instrumentModule(*workload.module, all);
+    auto p_tree = instrumentModule(*workload.module, tree);
+    size_t base = workload.module->totalInsts();
+    EXPECT_GT(p_all.module.totalInsts(), base);
+    EXPECT_GT(p_tree.module.totalInsts(), base);
+    EXPECT_LT(p_tree.module.totalInsts(), p_all.module.totalInsts());
+}
+
+TEST(Instrument, CountersMatchGroundTruthAllEdges)
+{
+    auto workload = workloads::makeCrc16();
+    auto plan = planModule(*workload.module, ProfilerMode::AllEdges,
+                           kCounterBase);
+    auto clean = runClean(workload);
+    auto run = runInstrumented(workload, plan);
+
+    // Same input seed => identical control flow; each physical counter
+    // must equal the clean run's ground-truth edge count.
+    for (ProcId id = 0; id < workload.module->procedureCount(); ++id) {
+        auto counters = readCounters(run.finalRam, plan, id);
+        for (size_t k = 0; k < plan.procs[id].counted.size(); ++k) {
+            const Edge &edge = plan.procs[id].counted[k];
+            EXPECT_DOUBLE_EQ(counters[k],
+                             clean.profile[id].edgeCount(edge.from, edge.to))
+                << "edge " << edge.from << "->" << edge.to;
+        }
+    }
+}
+
+TEST(Instrument, OverheadIsPositiveAndTreeIsCheaper)
+{
+    auto workload = workloads::makeMedianFilter();
+    auto clean = runClean(workload);
+    auto all = runInstrumented(
+        workload,
+        planModule(*workload.module, ProfilerMode::AllEdges, kCounterBase));
+    auto tree = runInstrumented(
+        workload, planModule(*workload.module, ProfilerMode::SpanningTree,
+                             kCounterBase));
+    EXPECT_GT(all.totalCycles, clean.totalCycles);
+    EXPECT_GT(tree.totalCycles, clean.totalCycles);
+    EXPECT_LT(tree.totalCycles, all.totalCycles);
+}
+
+TEST(Reconstruct, RecoversFullProfileFromTreeCounters)
+{
+    for (const auto &workload : workloads::allWorkloads()) {
+        auto plan = planModule(*workload.module, ProfilerMode::SpanningTree,
+                               kCounterBase);
+        auto clean = runClean(workload, 300);
+        auto run = runInstrumented(workload, plan, 300);
+
+        std::vector<double> invocations;
+        for (uint64_t n : run.invocations)
+            invocations.push_back(double(n));
+        auto rebuilt = reconstructModuleProfile(*workload.module, plan,
+                                                run.finalRam, invocations);
+
+        for (ProcId id = 0; id < workload.module->procedureCount(); ++id) {
+            const auto &proc = workload.module->procedure(id);
+            for (const Edge &edge : proc.edges()) {
+                EXPECT_NEAR(rebuilt[id].edgeCount(edge.from, edge.to),
+                            clean.profile[id].edgeCount(edge.from, edge.to),
+                            1e-6)
+                    << workload.name << " " << proc.name() << " "
+                    << edge.from << "->" << edge.to;
+            }
+        }
+    }
+}
+
+TEST(Reconstruct, BranchProbabilitiesMatchTruth)
+{
+    auto workload = workloads::makeTrickle();
+    auto plan = planModule(*workload.module, ProfilerMode::SpanningTree,
+                           kCounterBase);
+    auto clean = runClean(workload, 500);
+    auto run = runInstrumented(workload, plan, 500);
+
+    std::vector<double> invocations;
+    for (uint64_t n : run.invocations)
+        invocations.push_back(double(n));
+    auto rebuilt = reconstructModuleProfile(*workload.module, plan,
+                                            run.finalRam, invocations);
+    const auto &proc = workload.entryProc();
+    auto truth = clean.profile[workload.entry].branchProbabilities(proc);
+    auto rec = rebuilt[workload.entry].branchProbabilities(proc);
+    ASSERT_EQ(truth.size(), rec.size());
+    for (size_t i = 0; i < truth.size(); ++i)
+        EXPECT_NEAR(rec[i], truth[i], 1e-9);
+}
+
+TEST(Reconstruct, HandlesZeroInvocations)
+{
+    auto workload = workloads::makeBlink();
+    const auto &proc = workload.entryProc();
+    auto plan = planProcedure(proc, ProfilerMode::SpanningTree);
+    std::vector<double> zeros(plan.counted.size(), 0.0);
+    auto profile = reconstructProfile(proc, plan, zeros, 0.0);
+    for (const Edge &edge : proc.edges())
+        EXPECT_DOUBLE_EQ(profile.edgeCount(edge.from, edge.to), 0.0);
+}
+
+TEST(ProfilerDeathTest, MismatchedCounterVectorPanics)
+{
+    auto workload = workloads::makeBlink();
+    const auto &proc = workload.entryProc();
+    auto plan = planProcedure(proc, ProfilerMode::SpanningTree);
+    std::vector<double> wrong(plan.counted.size() + 1, 0.0);
+    EXPECT_DEATH(reconstructProfile(proc, plan, wrong, 0.0), "mismatch");
+}
+
+TEST(Plan, ModeNames)
+{
+    EXPECT_STREQ(profilerModeName(ProfilerMode::AllEdges), "all-edges");
+    EXPECT_STREQ(profilerModeName(ProfilerMode::SpanningTree),
+                 "spanning-tree");
+}

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests for activity classification and the energy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hh"
+#include "sim/machine.hh"
+#include "workloads/workload.hh"
+
+using namespace ct;
+using namespace ct::ir;
+using namespace ct::sim;
+
+namespace {
+
+RunResult
+runProgram(const Module &module, ProcId entry, InputSource &inputs,
+           SimConfig config, size_t count = 1)
+{
+    Simulator simulator(module, lowerModule(module), config, inputs, 11);
+    return simulator.run(entry, count);
+}
+
+} // namespace
+
+TEST(Energy, ActivityCyclesSumToTotal)
+{
+    auto workload = workloads::makeSenseAndSend();
+    SimConfig config;
+    auto inputs = workload.makeInputs(3);
+    auto result = runProgram(*workload.module, workload.entry, *inputs,
+                             config, 200);
+    EXPECT_EQ(result.activity.total(), result.totalCycles);
+}
+
+TEST(Energy, ClassificationByOpcode)
+{
+    Module module("m");
+    ProcedureBuilder b(module, "p");
+    b.setBlock(0);
+    b.sense(1, 0)     // 12 cycles Sense
+        .radioTx(1)   // 32 cycles RadioTx
+        .radioRx(2)   // 24 cycles RadioRx
+        .sleep(50)    // 50 cycles Sleep
+        .nop();       // 1 cycle CpuActive
+    b.ret();          // 4 cycles CpuActive
+    ProcId id = b.finish();
+
+    SimConfig config;
+    config.timingProbes = false;
+    config.maxGapCycles = 0;
+    ScriptedInputs inputs(1);
+    inputs.setChannel(0, makeGaussian(0, 1));
+    inputs.setRadio(makeGaussian(0, 1));
+    auto result = runProgram(module, id, inputs, config);
+
+    CostModel costs = telosCostModel();
+    EXPECT_EQ(result.activity[Activity::Sense], costs.sense);
+    EXPECT_EQ(result.activity[Activity::RadioTx], costs.radioTx);
+    EXPECT_EQ(result.activity[Activity::RadioRx], costs.radioRx);
+    EXPECT_EQ(result.activity[Activity::Sleep], 50u);
+    EXPECT_EQ(result.activity[Activity::CpuActive],
+              costs.nop + costs.retOverhead);
+    EXPECT_EQ(result.activity[Activity::Idle], 0u);
+}
+
+TEST(Energy, GapCyclesAreIdle)
+{
+    Module module("m");
+    ProcedureBuilder b(module, "p");
+    b.setBlock(0);
+    b.nop();
+    b.ret();
+    ProcId id = b.finish();
+
+    SimConfig config;
+    config.timingProbes = false;
+    config.maxGapCycles = 40;
+    ScriptedInputs inputs(1);
+    auto result = runProgram(module, id, inputs, config, 100);
+    EXPECT_GT(result.activity[Activity::Idle], 0u);
+    EXPECT_EQ(result.activity.total(), result.totalCycles);
+}
+
+TEST(Energy, MicrojoulesScaleWithRadioUse)
+{
+    // Same cycle count, but radio cycles must cost far more energy.
+    EnergyModel model = telosEnergyModel();
+    ActivityCycles cpu_only;
+    cpu_only[Activity::CpuActive] = 10'000;
+    ActivityCycles radio_heavy;
+    radio_heavy[Activity::CpuActive] = 5'000;
+    radio_heavy[Activity::RadioTx] = 5'000;
+    EXPECT_GT(model.energyMicrojoules(radio_heavy),
+              2.0 * model.energyMicrojoules(cpu_only));
+}
+
+TEST(Energy, SleepIsNearlyFree)
+{
+    EnergyModel model = telosEnergyModel();
+    ActivityCycles active;
+    active[Activity::CpuActive] = 10'000;
+    ActivityCycles sleeping;
+    sleeping[Activity::Sleep] = 10'000;
+    EXPECT_LT(model.energyMicrojoules(sleeping),
+              0.01 * model.energyMicrojoules(active));
+}
+
+TEST(Energy, AnalyticValue)
+{
+    EnergyModel model;
+    model.cpuActiveUa = 1000.0;
+    model.clockHz = 1'000'000.0;
+    model.supplyVolts = 2.0;
+    ActivityCycles activity;
+    activity[Activity::CpuActive] = 1'000'000; // exactly 1 second
+    // E = V * I * t = 2 V * 1000 uA * 1 s = 2000 uJ.
+    EXPECT_NEAR(model.energyMicrojoules(activity), 2000.0, 1e-9);
+    EXPECT_NEAR(model.averageCurrentUa(activity), 1000.0, 1e-9);
+}
+
+TEST(Energy, MergeAccumulates)
+{
+    ActivityCycles a, b;
+    a[Activity::Sleep] = 5;
+    b[Activity::Sleep] = 7;
+    b[Activity::Sense] = 2;
+    a.merge(b);
+    EXPECT_EQ(a[Activity::Sleep], 12u);
+    EXPECT_EQ(a[Activity::Sense], 2u);
+    EXPECT_EQ(a.total(), 14u);
+}
+
+TEST(Energy, ActivityNames)
+{
+    EXPECT_STREQ(activityName(Activity::CpuActive), "cpu");
+    EXPECT_STREQ(activityName(Activity::RadioTx), "radio-tx");
+    EXPECT_STREQ(activityName(Activity::Idle), "idle");
+}
+
+TEST(Isr, FiringsScaleWithRate)
+{
+    auto workload = workloads::makeCrc16();
+    auto run_at = [&](double rate) {
+        SimConfig config;
+        config.isrPerBlockProb = rate;
+        config.maxGapCycles = 0;
+        config.timingProbes = false;
+        auto inputs = workload.makeInputs(5);
+        Simulator simulator(*workload.module, lowerModule(*workload.module),
+                            config, *inputs, 6);
+        return simulator.run(workload.entry, 500);
+    };
+    auto none = run_at(0.0);
+    auto some = run_at(0.05);
+    auto lots = run_at(0.2);
+    EXPECT_EQ(none.isrFirings, 0u);
+    EXPECT_GT(some.isrFirings, 0u);
+    EXPECT_GT(lots.isrFirings, some.isrFirings);
+    EXPECT_GT(lots.totalCycles, none.totalCycles);
+}
+
+TEST(Isr, CyclesChargedPerFiring)
+{
+    auto workload = workloads::makeBlink();
+    SimConfig config;
+    config.isrPerBlockProb = 0.5;
+    config.isrCycles = 100;
+    config.maxGapCycles = 0;
+    config.timingProbes = false;
+    auto inputs = workload.makeInputs(5);
+    Simulator with(*workload.module, lowerModule(*workload.module), config,
+                   *inputs, 6);
+    auto run = with.run(workload.entry, 300);
+
+    config.isrPerBlockProb = 0.0;
+    auto inputs2 = workload.makeInputs(5);
+    Simulator without(*workload.module, lowerModule(*workload.module),
+                      config, *inputs2, 6);
+    auto base = without.run(workload.entry, 300);
+
+    EXPECT_EQ(run.totalCycles, base.totalCycles + 100 * run.isrFirings);
+}

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Tests for lowering: condition inversion, fallthrough elimination,
+ * trailing jumps, order validation, and static prediction rules.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hh"
+#include "sim/lower.hh"
+
+using namespace ct;
+using namespace ct::ir;
+using namespace ct::sim;
+
+namespace {
+
+/** entry br -> (then=1 | else=2), both jmp exit=3. */
+ProcId
+buildDiamond(Module &module)
+{
+    ProcedureBuilder b(module, "diamond");
+    auto t = b.newBlock("then");
+    auto f = b.newBlock("else");
+    auto x = b.newBlock("exit");
+    b.setBlock(0);
+    b.br(CondCode::Lt, 1, 2, t, f);
+    b.setBlock(t);
+    b.nop();
+    b.jmp(x);
+    b.setBlock(f);
+    b.nop();
+    b.jmp(x);
+    b.setBlock(x);
+    b.ret();
+    return b.finish();
+}
+
+} // namespace
+
+TEST(Lower, NaturalOrderKeepsBranchShape)
+{
+    Module module("m");
+    ProcId id = buildDiamond(module);
+    const auto &proc = module.procedure(id);
+    auto placed = lowerProcedure(proc, naturalOrder(proc));
+
+    // Natural order 0,1,2,3: fallthrough (2) is not next (1 is), so the
+    // entry branch keeps its polarity? fallthrough==2, next==1 -> taken
+    // adjacent -> inverted.
+    const auto &entry = placed.order[0];
+    EXPECT_EQ(entry.ctrl, CtrlKind::CondBr);
+    EXPECT_TRUE(entry.inverted);
+    EXPECT_EQ(entry.cond, CondCode::Ge); // negate(Lt)
+    EXPECT_EQ(entry.condTarget, 2u);     // branch now targets old fallthrough
+    EXPECT_EQ(entry.otherTarget, 1u);
+}
+
+TEST(Lower, FallthroughAdjacentKeepsPolarity)
+{
+    Module module("m");
+    ProcId id = buildDiamond(module);
+    const auto &proc = module.procedure(id);
+    // Order 0,2,1,3: fallthrough (2) physically next.
+    auto placed = lowerProcedure(proc, {0, 2, 1, 3});
+    const auto &entry = placed.order[0];
+    EXPECT_EQ(entry.ctrl, CtrlKind::CondBr);
+    EXPECT_FALSE(entry.inverted);
+    EXPECT_EQ(entry.cond, CondCode::Lt);
+    EXPECT_EQ(entry.condTarget, 1u);
+    EXPECT_EQ(entry.otherTarget, 2u);
+}
+
+TEST(Lower, NeitherAdjacentNeedsTrailingJump)
+{
+    Module module("m");
+    ProcId id = buildDiamond(module);
+    const auto &proc = module.procedure(id);
+    // Order 0,3,1,2: the branch's successors are at positions 2 and 3.
+    auto placed = lowerProcedure(proc, {0, 3, 1, 2});
+    const auto &entry = placed.order[0];
+    EXPECT_EQ(entry.ctrl, CtrlKind::CondBrPlusJmp);
+    EXPECT_EQ(entry.condTarget, 1u);
+    EXPECT_EQ(entry.otherTarget, 2u);
+    EXPECT_EQ(placed.extraJumps(), 1u);
+}
+
+TEST(Lower, JumpToNextBecomesFallthrough)
+{
+    Module module("m");
+    ProcId id = buildDiamond(module);
+    const auto &proc = module.procedure(id);
+    auto placed = lowerProcedure(proc, naturalOrder(proc));
+    // Block 2 ("else") jumps to 3 which is physically next.
+    const auto &else_block = placed.order[2];
+    EXPECT_EQ(else_block.block, 2u);
+    EXPECT_EQ(else_block.ctrl, CtrlKind::Fallthrough);
+    // Block 1 ("then") jumps to 3 which is NOT next (2 is).
+    const auto &then_block = placed.order[1];
+    EXPECT_EQ(then_block.ctrl, CtrlKind::Jmp);
+    EXPECT_EQ(then_block.otherTarget, 3u);
+}
+
+TEST(Lower, PositionOfIsInverse)
+{
+    Module module("m");
+    ProcId id = buildDiamond(module);
+    const auto &proc = module.procedure(id);
+    BlockOrder order = {0, 3, 1, 2};
+    auto placed = lowerProcedure(proc, order);
+    for (size_t pos = 0; pos < order.size(); ++pos) {
+        EXPECT_EQ(placed.order[pos].block, order[pos]);
+        EXPECT_EQ(placed.positionOf[order[pos]], pos);
+    }
+}
+
+TEST(Lower, CodeSlotsCountsEmittedControl)
+{
+    Module module("m");
+    ProcId id = buildDiamond(module);
+    const auto &proc = module.procedure(id);
+    // Natural: CondBr(1) + Jmp(1) + Fallthrough(0) + Ret(1) + 2 nops = 5.
+    auto natural = lowerProcedure(proc, naturalOrder(proc));
+    EXPECT_EQ(natural.codeSlots(proc), 5u);
+    // Worst case adds a trailing jump.
+    auto scattered = lowerProcedure(proc, {0, 3, 1, 2});
+    EXPECT_GT(scattered.codeSlots(proc), natural.codeSlots(proc));
+}
+
+TEST(Lower, ModuleLoweringDefaultsToNatural)
+{
+    Module module("m");
+    buildDiamond(module);
+    auto lowered = lowerModule(module);
+    ASSERT_EQ(lowered.procs.size(), 1u);
+    EXPECT_EQ(lowered.procs[0].order[0].block, 0u);
+}
+
+TEST(LowerDeathTest, OrderMustStartWithEntry)
+{
+    Module module("m");
+    ProcId id = buildDiamond(module);
+    const auto &proc = module.procedure(id);
+    EXPECT_EXIT(lowerProcedure(proc, {1, 0, 2, 3}),
+                testing::ExitedWithCode(1), "entry");
+}
+
+TEST(LowerDeathTest, OrderMustBePermutation)
+{
+    Module module("m");
+    ProcId id = buildDiamond(module);
+    const auto &proc = module.procedure(id);
+    EXPECT_EXIT(lowerProcedure(proc, {0, 1, 1, 3}),
+                testing::ExitedWithCode(1), "permutation");
+    EXPECT_EXIT(lowerProcedure(proc, {0, 1, 2}),
+                testing::ExitedWithCode(1), "");
+}
+
+TEST(Predict, NotTakenNeverPredictsTaken)
+{
+    EXPECT_FALSE(predictsTaken(PredictPolicy::NotTaken, 0, 5));
+    EXPECT_FALSE(predictsTaken(PredictPolicy::NotTaken, 5, 0));
+}
+
+TEST(Predict, TakenAlwaysPredictsTaken)
+{
+    EXPECT_TRUE(predictsTaken(PredictPolicy::Taken, 0, 5));
+    EXPECT_TRUE(predictsTaken(PredictPolicy::Taken, 5, 0));
+}
+
+TEST(Predict, BtfnByDirection)
+{
+    EXPECT_TRUE(predictsTaken(PredictPolicy::BTFN, 5, 2));  // backward
+    EXPECT_TRUE(predictsTaken(PredictPolicy::BTFN, 5, 5));  // self
+    EXPECT_FALSE(predictsTaken(PredictPolicy::BTFN, 2, 5)); // forward
+}
+
+TEST(Predict, PolicyNames)
+{
+    EXPECT_STREQ(policyName(PredictPolicy::NotTaken), "not-taken");
+    EXPECT_STREQ(policyName(PredictPolicy::Taken), "taken");
+    EXPECT_STREQ(policyName(PredictPolicy::BTFN), "btfn");
+}

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for the deterministic RNG: reproducibility, stream independence,
+ * and distributional sanity of every draw helper.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "stats/rng.hh"
+
+using namespace ct;
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIndependence)
+{
+    Rng parent(7);
+    Rng child = parent.fork(1);
+    Rng child2 = parent.fork(2);
+    // Distinct tags diverge immediately.
+    EXPECT_NE(child.next(), child2.next());
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(42);
+    double sum = 0;
+    for (int i = 0; i < 10'000; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng rng(42);
+    for (int i = 0; i < 1'000; ++i) {
+        double u = rng.uniform(-3.0, 5.0);
+        ASSERT_GE(u, -3.0);
+        ASSERT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, BelowCoversAllResidues)
+{
+    Rng rng(9);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 1'000; ++i)
+        seen.insert(rng.below(7));
+    EXPECT_EQ(seen.size(), 7u);
+    EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(11);
+    std::set<long> seen;
+    for (int i = 0; i < 500; ++i) {
+        long v = rng.range(-2, 2);
+        ASSERT_GE(v, -2);
+        ASSERT_LE(v, 2);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, BernoulliMean)
+{
+    Rng rng(5);
+    int hits = 0;
+    const int n = 20'000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(double(hits) / n, 0.3, 0.015);
+}
+
+TEST(Rng, BernoulliDegenerate)
+{
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(17);
+    double sum = 0, sq = 0;
+    const int n = 50'000;
+    for (int i = 0; i < n; ++i) {
+        double g = rng.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, GaussianShifted)
+{
+    Rng rng(18);
+    double sum = 0;
+    const int n = 20'000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.gaussian(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, GeometricMean)
+{
+    Rng rng(21);
+    double sum = 0;
+    const int n = 20'000;
+    const double p = 0.25;
+    for (int i = 0; i < n; ++i)
+        sum += double(rng.geometric(p));
+    // E[failures before success] = (1-p)/p = 3.
+    EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(Rng, GeometricPOne)
+{
+    Rng rng(21);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(rng.geometric(1.0), 0u);
+}
+
+TEST(Rng, PoissonSmallLambda)
+{
+    Rng rng(33);
+    double sum = 0;
+    const int n = 20'000;
+    for (int i = 0; i < n; ++i)
+        sum += double(rng.poisson(2.5));
+    EXPECT_NEAR(sum / n, 2.5, 0.1);
+}
+
+TEST(Rng, PoissonLargeLambdaUsesNormalApprox)
+{
+    Rng rng(34);
+    double sum = 0;
+    const int n = 20'000;
+    for (int i = 0; i < n; ++i)
+        sum += double(rng.poisson(100.0));
+    EXPECT_NEAR(sum / n, 100.0, 1.0);
+}
+
+TEST(Rng, PoissonZero)
+{
+    Rng rng(35);
+    EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(36);
+    double sum = 0;
+    const int n = 20'000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(0.5);
+    EXPECT_NEAR(sum / n, 2.0, 0.1);
+}
+
+TEST(Rng, SplitMix64IsDeterministic)
+{
+    uint64_t s1 = 99, s2 = 99;
+    EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+    EXPECT_EQ(s1, s2);
+}
+
+TEST(RngDeathTest, BelowZeroPanics)
+{
+    Rng rng(1);
+    EXPECT_DEATH(rng.below(0), "requires n > 0");
+}
+
+TEST(RngDeathTest, BadRangePanics)
+{
+    Rng rng(1);
+    EXPECT_DEATH(rng.range(3, 2), "lo <= hi");
+}

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests for the streaming (online EM) estimator: convergence toward the
+ * batch estimate, order robustness, outlier counting, memory profile.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "ir/builder.hh"
+#include "sim/machine.hh"
+#include "tomography/streaming.hh"
+#include "workloads/workload.hh"
+
+using namespace ct;
+using namespace ct::ir;
+using namespace ct::tomography;
+
+namespace {
+
+struct StreamFixture
+{
+    workloads::Workload workload;
+    sim::RunResult run;
+    sim::LoweredModule lowered;
+    std::vector<double> noCallees;
+    std::unique_ptr<TimingModel> model;
+    std::vector<double> truth;
+
+    explicit StreamFixture(const std::string &name, size_t samples = 4000,
+                           uint64_t ticks = 1)
+        : workload(workloads::workloadByName(name))
+    {
+        sim::SimConfig config;
+        config.cyclesPerTick = ticks;
+        auto inputs = workload.makeInputs(77);
+        sim::Simulator simulator(*workload.module,
+                                 sim::lowerModule(*workload.module), config,
+                                 *inputs, 78);
+        run = simulator.run(workload.entry, samples);
+        lowered = sim::lowerModule(*workload.module);
+        noCallees.assign(workload.module->procedureCount(), 0.0);
+        model = std::make_unique<TimingModel>(
+            workload.entryProc(), lowered.procs[workload.entry],
+            config.costs, config.policy, ticks, noCallees,
+            2.0 * config.costs.timerRead);
+        truth = run.profile[workload.entry].branchProbabilities(
+            workload.entryProc());
+    }
+};
+
+} // namespace
+
+TEST(Streaming, ConvergesToTruthOnDispatch)
+{
+    StreamFixture fx("event_dispatch");
+    StreamingEstimator streaming(*fx.model);
+    streaming.observeAll(fx.run.trace.durations(fx.workload.entry));
+
+    ASSERT_EQ(streaming.theta().size(), fx.truth.size());
+    for (size_t b = 0; b < fx.truth.size(); ++b)
+        EXPECT_NEAR(streaming.theta()[b], fx.truth[b], 0.03) << "b" << b;
+    EXPECT_EQ(streaming.observations(), 4000u);
+    EXPECT_EQ(streaming.outliers(), 0u);
+}
+
+TEST(Streaming, HandlesLoopsViaPathSet)
+{
+    StreamFixture fx("crc16");
+    StreamingEstimator streaming(*fx.model);
+    streaming.observeAll(fx.run.trace.durations(fx.workload.entry));
+    for (size_t b = 0; b < fx.truth.size(); ++b)
+        EXPECT_NEAR(streaming.theta()[b], fx.truth[b], 0.05) << "b" << b;
+}
+
+TEST(Streaming, EarlyEstimateIsRoughLateIsTight)
+{
+    StreamFixture fx("alarm_threshold");
+    StreamingEstimator streaming(*fx.model);
+    auto durations = fx.run.trace.durations(fx.workload.entry);
+
+    for (size_t i = 0; i < 25; ++i)
+        streaming.observe(durations[i]);
+    double early_err = 0.0;
+    for (size_t b = 0; b < fx.truth.size(); ++b)
+        early_err = std::max(early_err,
+                             std::abs(streaming.theta()[b] - fx.truth[b]));
+
+    for (size_t i = 25; i < durations.size(); ++i)
+        streaming.observe(durations[i]);
+    double late_err = 0.0;
+    for (size_t b = 0; b < fx.truth.size(); ++b)
+        late_err = std::max(late_err,
+                            std::abs(streaming.theta()[b] - fx.truth[b]));
+
+    EXPECT_LT(late_err, 0.05);
+    EXPECT_LE(late_err, early_err + 0.02);
+}
+
+TEST(Streaming, ShuffledOrderSameBallpark)
+{
+    StreamFixture fx("event_dispatch", 3000);
+    auto durations = fx.run.trace.durations(fx.workload.entry);
+
+    StreamingEstimator forward(*fx.model);
+    forward.observeAll(durations);
+
+    std::reverse(durations.begin(), durations.end());
+    StreamingEstimator backward(*fx.model);
+    backward.observeAll(durations);
+
+    // Stochastic-approximation EM is order-dependent at finite n (the
+    // decaying step size weights early observations differently); both
+    // orders must still land in the same ballpark around the truth.
+    for (size_t b = 0; b < fx.truth.size(); ++b) {
+        EXPECT_NEAR(forward.theta()[b], backward.theta()[b], 0.12);
+        EXPECT_NEAR(forward.theta()[b], fx.truth[b], 0.12);
+        EXPECT_NEAR(backward.theta()[b], fx.truth[b], 0.12);
+    }
+}
+
+TEST(Streaming, OutliersCountedNotAbsorbed)
+{
+    StreamFixture fx("event_dispatch", 500);
+    StreamingEstimator streaming(*fx.model);
+    auto durations = fx.run.trace.durations(fx.workload.entry);
+    streaming.observeAll(durations);
+    auto before = streaming.theta();
+
+    // A duration far outside any path's support must be rejected.
+    streaming.observe(1'000'000);
+    EXPECT_EQ(streaming.outliers(), 1u);
+    for (size_t b = 0; b < before.size(); ++b)
+        EXPECT_DOUBLE_EQ(streaming.theta()[b], before[b]);
+}
+
+TEST(Streaming, BranchFreeProcedureIsNoop)
+{
+    Module module("m");
+    ProcedureBuilder b(module, "straight");
+    b.setBlock(0);
+    b.nop();
+    b.ret();
+    ProcId id = b.finish();
+
+    auto lowered = sim::lowerModule(module);
+    std::vector<double> no_callees(1, 0.0);
+    TimingModel model(module.procedure(id), lowered.procs[id],
+                      sim::telosCostModel(), sim::PredictPolicy::NotTaken, 1,
+                      no_callees, 0.0);
+    StreamingEstimator streaming(model);
+    streaming.observe(5);
+    EXPECT_TRUE(streaming.theta().empty());
+    EXPECT_EQ(streaming.observations(), 1u);
+}
+
+TEST(Streaming, MatchesBatchEmClosely)
+{
+    StreamFixture fx("surge_route");
+    // Batch EM over the same data.
+    auto estimator = makeEstimator(EstimatorKind::Em, {});
+    auto batch = estimator->estimate(
+        *fx.model, fx.run.trace.durations(fx.workload.entry));
+
+    StreamingEstimator streaming(*fx.model);
+    streaming.observeAll(fx.run.trace.durations(fx.workload.entry));
+
+    for (size_t b = 0; b < batch.theta.size(); ++b)
+        EXPECT_NEAR(streaming.theta()[b], batch.theta[b], 0.05) << "b" << b;
+}
+
+TEST(StreamingDeathTest, BadStepExponentPanics)
+{
+    StreamFixture fx("blink", 10);
+    EXPECT_DEATH(StreamingEstimator(*fx.model, {}, 0.3), "exponent");
+    EXPECT_DEATH(StreamingEstimator(*fx.model, {}, 1.5), "exponent");
+}

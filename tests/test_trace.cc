@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests for timing traces and the degradation transforms.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/timing_trace.hh"
+#include "trace/transforms.hh"
+
+using namespace ct;
+using namespace ct::trace;
+
+namespace {
+
+TimingRecord
+makeRecord(ir::ProcId proc, uint64_t invocation, int64_t start, int64_t end,
+           uint64_t cycles)
+{
+    TimingRecord r;
+    r.proc = proc;
+    r.invocation = invocation;
+    r.startTick = start;
+    r.endTick = end;
+    r.trueCycles = cycles;
+    return r;
+}
+
+TimingTrace
+sampleTrace()
+{
+    TimingTrace trace;
+    trace.add(makeRecord(0, 0, 10, 15, 40));
+    trace.add(makeRecord(1, 0, 16, 20, 32));
+    trace.add(makeRecord(0, 1, 21, 30, 72));
+    trace.add(makeRecord(0, 2, 31, 33, 16));
+    return trace;
+}
+
+} // namespace
+
+TEST(Trace, DurationsPerProc)
+{
+    auto trace = sampleTrace();
+    auto d0 = trace.durations(0);
+    ASSERT_EQ(d0.size(), 3u);
+    EXPECT_EQ(d0[0], 5);
+    EXPECT_EQ(d0[1], 9);
+    EXPECT_EQ(d0[2], 2);
+    auto d1 = trace.durations(1);
+    ASSERT_EQ(d1.size(), 1u);
+    EXPECT_EQ(d1[0], 4);
+    EXPECT_TRUE(trace.durations(9).empty());
+}
+
+TEST(Trace, TrueDurations)
+{
+    auto trace = sampleTrace();
+    auto t0 = trace.trueDurations(0);
+    ASSERT_EQ(t0.size(), 3u);
+    EXPECT_EQ(t0[1], 72u);
+}
+
+TEST(Trace, CountFor)
+{
+    auto trace = sampleTrace();
+    EXPECT_EQ(trace.countFor(0), 3u);
+    EXPECT_EQ(trace.countFor(1), 1u);
+    EXPECT_EQ(trace.countFor(5), 0u);
+}
+
+TEST(Trace, TruncatedKeepsOtherProcs)
+{
+    auto trace = sampleTrace();
+    auto cut = trace.truncated(0, 1);
+    EXPECT_EQ(cut.countFor(0), 1u);
+    EXPECT_EQ(cut.countFor(1), 1u);
+    EXPECT_EQ(cut.durations(0)[0], 5);
+}
+
+TEST(Trace, CsvRoundTrip)
+{
+    auto trace = sampleTrace();
+    std::string path = testing::TempDir() + "/ct_trace_roundtrip.csv";
+    trace.saveCsv(path);
+    auto loaded = TimingTrace::loadCsv(path);
+    ASSERT_EQ(loaded.size(), trace.size());
+    for (size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_EQ(loaded[i].proc, trace[i].proc);
+        EXPECT_EQ(loaded[i].invocation, trace[i].invocation);
+        EXPECT_EQ(loaded[i].startTick, trace[i].startTick);
+        EXPECT_EQ(loaded[i].endTick, trace[i].endTick);
+        EXPECT_EQ(loaded[i].trueCycles, trace[i].trueCycles);
+    }
+}
+
+TEST(TraceDeathTest, LoadMissingFileIsFatal)
+{
+    EXPECT_EXIT(TimingTrace::loadCsv("/nonexistent/file.csv"),
+                testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(Transforms, ZeroJitterIsIdentity)
+{
+    auto trace = sampleTrace();
+    Rng rng(1);
+    auto out = addGaussianJitter(trace, 0.0, rng);
+    for (size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_EQ(out[i].startTick, trace[i].startTick);
+        EXPECT_EQ(out[i].endTick, trace[i].endTick);
+    }
+}
+
+TEST(Transforms, JitterNeverProducesNegativeDurations)
+{
+    auto trace = sampleTrace();
+    Rng rng(2);
+    for (int round = 0; round < 50; ++round) {
+        auto out = addGaussianJitter(trace, 5.0, rng);
+        for (const auto &record : out.records())
+            EXPECT_GE(record.durationTicks(), 0);
+    }
+}
+
+TEST(Transforms, JitterPreservesTrueCycles)
+{
+    auto trace = sampleTrace();
+    Rng rng(3);
+    auto out = addGaussianJitter(trace, 2.0, rng);
+    for (size_t i = 0; i < trace.size(); ++i)
+        EXPECT_EQ(out[i].trueCycles, trace[i].trueCycles);
+}
+
+TEST(Transforms, CoarsenDividesTimestamps)
+{
+    auto trace = sampleTrace();
+    auto out = coarsen(trace, 4);
+    EXPECT_EQ(out[0].startTick, 2); // 10/4
+    EXPECT_EQ(out[0].endTick, 3);   // 15/4
+}
+
+TEST(Transforms, CoarsenFloorsNegatives)
+{
+    TimingTrace trace;
+    trace.add(makeRecord(0, 0, -5, 5, 10));
+    auto out = coarsen(trace, 4);
+    EXPECT_EQ(out[0].startTick, -2); // floor(-5/4)
+    EXPECT_EQ(out[0].endTick, 1);
+}
+
+TEST(Transforms, CoarsenByOneIsIdentity)
+{
+    auto trace = sampleTrace();
+    auto out = coarsen(trace, 1);
+    for (size_t i = 0; i < trace.size(); ++i)
+        EXPECT_EQ(out[i].startTick, trace[i].startTick);
+}
+
+TEST(Transforms, DropRecordsExtremes)
+{
+    auto trace = sampleTrace();
+    Rng rng(4);
+    EXPECT_EQ(dropRecords(trace, 0.0, rng).size(), trace.size());
+    EXPECT_EQ(dropRecords(trace, 1.0, rng).size(), 0u);
+}
+
+TEST(Transforms, DropRecordsRoughRate)
+{
+    TimingTrace big;
+    for (int i = 0; i < 5000; ++i)
+        big.add(makeRecord(0, i, i, i + 1, 8));
+    Rng rng(5);
+    auto out = dropRecords(big, 0.3, rng);
+    EXPECT_NEAR(double(out.size()) / 5000.0, 0.7, 0.03);
+}
+
+TEST(TransformsDeathTest, BadParamsPanic)
+{
+    auto trace = sampleTrace();
+    Rng rng(1);
+    EXPECT_DEATH(addGaussianJitter(trace, -1.0, rng), "sigma");
+    EXPECT_DEATH(coarsen(trace, 0), "factor");
+    EXPECT_DEATH(dropRecords(trace, 1.5, rng), "probability");
+}

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the on-air timing-report wire format.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.hh"
+#include "tomography/estimator.hh"
+#include "trace/wire_format.hh"
+#include "workloads/workload.hh"
+
+using namespace ct;
+using namespace ct::trace;
+
+TEST(Varint, RoundTripsBoundaries)
+{
+    for (uint64_t value :
+         {0ull, 1ull, 127ull, 128ull, 16383ull, 16384ull,
+          0xffffffffffffffffull}) {
+        std::vector<uint8_t> buffer;
+        appendVarint(buffer, value);
+        size_t cursor = 0;
+        uint64_t decoded = 0;
+        ASSERT_TRUE(readVarint(buffer, cursor, decoded));
+        EXPECT_EQ(decoded, value);
+        EXPECT_EQ(cursor, buffer.size());
+    }
+}
+
+TEST(Varint, SmallValuesAreOneByte)
+{
+    std::vector<uint8_t> buffer;
+    appendVarint(buffer, 42);
+    EXPECT_EQ(buffer.size(), 1u);
+}
+
+TEST(Varint, TruncatedInputRejected)
+{
+    std::vector<uint8_t> buffer = {0x80}; // continuation with no next byte
+    size_t cursor = 0;
+    uint64_t value = 0;
+    EXPECT_FALSE(readVarint(buffer, cursor, value));
+}
+
+TEST(Zigzag, RoundTripsSignedValues)
+{
+    for (int64_t value : {0ll, 1ll, -1ll, 63ll, -64ll, 1'000'000ll,
+                          -1'000'000ll}) {
+        EXPECT_EQ(zigzagDecode(zigzagEncode(value)), value);
+    }
+    // Small magnitudes stay small after encoding.
+    EXPECT_LE(zigzagEncode(-1), 2u);
+    EXPECT_LE(zigzagEncode(1), 2u);
+}
+
+TEST(WireFormat, RoundTripsSimulatedTrace)
+{
+    auto workload = workloads::workloadByName("collection_tree");
+    sim::SimConfig config;
+    auto inputs = workload.makeInputs(4);
+    sim::Simulator simulator(*workload.module,
+                             sim::lowerModule(*workload.module), config,
+                             *inputs, 5);
+    auto run = simulator.run(workload.entry, 500);
+
+    auto bytes = encodeTrace(run.trace);
+    TimingTrace decoded;
+    ASSERT_TRUE(decodeTrace(bytes, decoded));
+    ASSERT_EQ(decoded.size(), run.trace.size());
+    for (size_t i = 0; i < decoded.size(); ++i) {
+        EXPECT_EQ(decoded[i].proc, run.trace[i].proc);
+        EXPECT_EQ(decoded[i].startTick, run.trace[i].startTick);
+        EXPECT_EQ(decoded[i].endTick, run.trace[i].endTick);
+        EXPECT_EQ(decoded[i].invocation, run.trace[i].invocation);
+        EXPECT_EQ(decoded[i].trueCycles, 0u); // oracle stays home
+    }
+}
+
+TEST(WireFormat, CompactForRealTraffic)
+{
+    auto workload = workloads::workloadByName("sense_and_send");
+    sim::SimConfig config;
+    config.cyclesPerTick = 8;
+    auto inputs = workload.makeInputs(4);
+    sim::Simulator simulator(*workload.module,
+                             sim::lowerModule(*workload.module), config,
+                             *inputs, 5);
+    auto run = simulator.run(workload.entry, 1000);
+
+    // Naive encoding would be >= 12 bytes per record (proc + two 32-bit
+    // timestamps); delta varints should land well under half that.
+    double bytes = bytesPerRecord(run.trace);
+    EXPECT_GT(bytes, 0.0);
+    EXPECT_LT(bytes, 6.0);
+}
+
+TEST(WireFormat, EstimationWorksFromDecodedTrace)
+{
+    // End-to-end: the sink only ever sees the wire bytes; estimation
+    // from the decoded trace must equal estimation from the original.
+    auto workload = workloads::workloadByName("event_dispatch");
+    sim::SimConfig config;
+    config.cyclesPerTick = 1;
+    auto inputs = workload.makeInputs(4);
+    sim::Simulator simulator(*workload.module,
+                             sim::lowerModule(*workload.module), config,
+                             *inputs, 5);
+    auto run = simulator.run(workload.entry, 1500);
+
+    TimingTrace decoded;
+    ASSERT_TRUE(decodeTrace(encodeTrace(run.trace), decoded));
+
+    auto lowered = sim::lowerModule(*workload.module);
+    auto estimator =
+        tomography::makeEstimator(tomography::EstimatorKind::Em, {});
+    auto from_original = tomography::estimateModule(
+        *workload.module, lowered, config.costs, config.policy, 1,
+        2.0 * config.costs.timerRead, run.trace, *estimator);
+    auto from_decoded = tomography::estimateModule(
+        *workload.module, lowered, config.costs, config.policy, 1,
+        2.0 * config.costs.timerRead, decoded, *estimator);
+
+    const auto &a = from_original.thetas[workload.entry];
+    const auto &b = from_decoded.thetas[workload.entry];
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(WireFormat, MalformedInputRejectedCleanly)
+{
+    TimingTrace out;
+    EXPECT_FALSE(decodeTrace({0x01}, out)); // record cut short
+    EXPECT_TRUE(out.empty());
+    EXPECT_TRUE(decodeTrace({}, out)); // empty is fine
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(WireFormat, EmptyTraceIsZeroBytes)
+{
+    TimingTrace trace;
+    EXPECT_TRUE(encodeTrace(trace).empty());
+    EXPECT_DOUBLE_EQ(bytesPerRecord(trace), 0.0);
+}

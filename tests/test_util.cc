@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Unit tests for the utility layer: strings, CLI parsing, CSV/tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/cli.hh"
+#include "util/csv.hh"
+#include "util/logging.hh"
+#include "util/str.hh"
+
+using namespace ct;
+
+TEST(Str, SplitBasic)
+{
+    auto parts = split("a,b,c", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "b");
+    EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Str, SplitPreservesEmptyFields)
+{
+    auto parts = split(",x,,", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "");
+    EXPECT_EQ(parts[1], "x");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(parts[3], "");
+}
+
+TEST(Str, SplitNoSeparator)
+{
+    auto parts = split("hello", ',');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(Str, JoinRoundTrip)
+{
+    std::vector<std::string> parts = {"x", "y", "z"};
+    EXPECT_EQ(join(parts, "-"), "x-y-z");
+    EXPECT_EQ(join({}, "-"), "");
+    EXPECT_EQ(join({"solo"}, "-"), "solo");
+}
+
+TEST(Str, Trim)
+{
+    EXPECT_EQ(trim("  hi  "), "hi");
+    EXPECT_EQ(trim("\t\nhi"), "hi");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim("inner space kept"), "inner space kept");
+}
+
+TEST(Str, StartsEndsWith)
+{
+    EXPECT_TRUE(startsWith("foobar", "foo"));
+    EXPECT_FALSE(startsWith("foobar", "bar"));
+    EXPECT_FALSE(startsWith("fo", "foo"));
+    EXPECT_TRUE(endsWith("foobar", "bar"));
+    EXPECT_FALSE(endsWith("foobar", "foo"));
+    EXPECT_TRUE(startsWith("x", ""));
+    EXPECT_TRUE(endsWith("x", ""));
+}
+
+TEST(Str, ToLower)
+{
+    EXPECT_EQ(toLower("MiXeD 123"), "mixed 123");
+}
+
+TEST(Str, FormatDoubleTrimsZeros)
+{
+    EXPECT_EQ(formatDouble(1.5, 4), "1.5");
+    EXPECT_EQ(formatDouble(2.0, 4), "2");
+    EXPECT_EQ(formatDouble(0.1234, 2), "0.12");
+    EXPECT_EQ(formatDouble(-3.25, 4), "-3.25");
+}
+
+TEST(Str, ParseDouble)
+{
+    double v = 0;
+    EXPECT_TRUE(parseDouble("3.5", v));
+    EXPECT_DOUBLE_EQ(v, 3.5);
+    EXPECT_TRUE(parseDouble(" -2e3 ", v));
+    EXPECT_DOUBLE_EQ(v, -2000.0);
+    EXPECT_FALSE(parseDouble("abc", v));
+    EXPECT_FALSE(parseDouble("", v));
+    EXPECT_FALSE(parseDouble("1.5x", v));
+}
+
+TEST(Str, ParseLong)
+{
+    long v = 0;
+    EXPECT_TRUE(parseLong("42", v));
+    EXPECT_EQ(v, 42);
+    EXPECT_TRUE(parseLong("-7", v));
+    EXPECT_EQ(v, -7);
+    EXPECT_FALSE(parseLong("4.2", v));
+    EXPECT_FALSE(parseLong("", v));
+}
+
+namespace {
+
+CliArgs
+makeArgs(std::vector<const char *> argv, std::vector<std::string> known)
+{
+    return CliArgs(int(argv.size()), argv.data(), known);
+}
+
+} // namespace
+
+TEST(Cli, EqualsForm)
+{
+    auto args = makeArgs({"prog", "--n=5"}, {"n"});
+    EXPECT_EQ(args.getLong("n", 0), 5);
+}
+
+TEST(Cli, SpaceForm)
+{
+    auto args = makeArgs({"prog", "--name", "value"}, {"name"});
+    EXPECT_EQ(args.get("name", ""), "value");
+}
+
+TEST(Cli, BareFlagIsTrue)
+{
+    auto args = makeArgs({"prog", "--verbose"}, {"verbose"});
+    EXPECT_TRUE(args.getBool("verbose", false));
+}
+
+TEST(Cli, DefaultsWhenAbsent)
+{
+    auto args = makeArgs({"prog"}, {"n", "x", "flag"});
+    EXPECT_EQ(args.getLong("n", 7), 7);
+    EXPECT_DOUBLE_EQ(args.getDouble("x", 1.5), 1.5);
+    EXPECT_FALSE(args.getBool("flag", false));
+    EXPECT_FALSE(args.has("n"));
+}
+
+TEST(Cli, Positional)
+{
+    auto args = makeArgs({"prog", "one", "--k=1", "two"}, {"k"});
+    ASSERT_EQ(args.positional().size(), 2u);
+    EXPECT_EQ(args.positional()[0], "one");
+    EXPECT_EQ(args.positional()[1], "two");
+}
+
+TEST(Cli, BoolSpellings)
+{
+    auto args = makeArgs({"prog", "--a=yes", "--b=off", "--c=1"},
+                         {"a", "b", "c"});
+    EXPECT_TRUE(args.getBool("a", false));
+    EXPECT_FALSE(args.getBool("b", true));
+    EXPECT_TRUE(args.getBool("c", false));
+}
+
+TEST(CliDeathTest, UnknownOptionIsFatal)
+{
+    EXPECT_EXIT(makeArgs({"prog", "--nope"}, {"yes"}),
+                testing::ExitedWithCode(1), "unknown option");
+}
+
+TEST(CliDeathTest, BadIntegerIsFatal)
+{
+    auto args = makeArgs({"prog", "--n=abc"}, {"n"});
+    EXPECT_EXIT(args.getLong("n", 0), testing::ExitedWithCode(1),
+                "expects an integer");
+}
+
+TEST(Csv, EscapesSpecialFields)
+{
+    std::string path = testing::TempDir() + "/ct_csv_escape.csv";
+    {
+        CsvWriter csv(path);
+        csv.row("plain", "with,comma", "with\"quote");
+    }
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "plain,\"with,comma\",\"with\"\"quote\"");
+}
+
+TEST(Csv, NumericFormatting)
+{
+    std::string path = testing::TempDir() + "/ct_csv_num.csv";
+    {
+        CsvWriter csv(path);
+        csv.row(1, 2.5, size_t(3), -4L);
+        EXPECT_EQ(csv.rowCount(), 1u);
+    }
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "1,2.5,3,-4");
+}
+
+TEST(Table, AlignedOutputContainsAllCells)
+{
+    TablePrinter table("demo");
+    table.setHeader({"name", "value"});
+    table.row("alpha", 1);
+    table.row("b", 22);
+    std::ostringstream os;
+    table.print(os);
+    std::string text = os.str();
+    EXPECT_NE(text.find("demo"), std::string::npos);
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find("22"), std::string::npos);
+    EXPECT_EQ(table.rowCount(), 2u);
+}
+
+TEST(TableDeathTest, RowWidthMismatchPanics)
+{
+    TablePrinter table("demo");
+    table.setHeader({"a", "b"});
+    EXPECT_DEATH(table.row("only-one"), "row width");
+}
+
+TEST(Logging, LevelsControlInform)
+{
+    setLogLevel(LogLevel::Quiet);
+    EXPECT_EQ(logLevel(), LogLevel::Quiet);
+    setLogLevel(LogLevel::Normal);
+    EXPECT_EQ(logLevel(), LogLevel::Normal);
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom ", 42), "boom 42");
+}
+
+TEST(LoggingDeathTest, FatalExitsWithOne)
+{
+    EXPECT_EXIT(fatal("user error"), testing::ExitedWithCode(1),
+                "user error");
+}
+
+TEST(LoggingDeathTest, AssertMacro)
+{
+    EXPECT_DEATH(CT_ASSERT(1 == 2, "math broke"), "assertion failed");
+}
