@@ -2,16 +2,41 @@
 
 #include <sys/stat.h>
 
+#include <cerrno>
+#include <cstring>
 #include <iostream>
 
+#include "obs/metrics.hh"
 #include "util/logging.hh"
+#include "util/str.hh"
 
 namespace ct::bench {
+
+namespace {
+
+/** Create @p dir (and parents); warn with errno when that fails. */
+void
+ensureDir(const std::string &dir)
+{
+    std::string prefix;
+    for (const std::string &part : split(dir, '/')) {
+        prefix += part;
+        if (!prefix.empty() && ::mkdir(prefix.c_str(), 0755) != 0 &&
+            errno != EEXIST) {
+            warn("cannot create output directory '", prefix, "': ",
+                 std::strerror(errno));
+            return;
+        }
+        prefix += '/';
+    }
+}
+
+} // namespace
 
 std::string
 csvPath(const std::string &name)
 {
-    ::mkdir("results", 0755); // best-effort; open failure reports later
+    ensureDir("results");
     return "results/" + name + ".csv";
 }
 
@@ -21,7 +46,16 @@ emit(const TablePrinter &table, const std::string &csv_name)
     table.print(std::cout);
     CsvWriter csv(csvPath(csv_name));
     table.writeCsv(csv);
-    std::cout << "[csv] " << csv.path() << "\n\n";
+    inform("wrote ", csv.path());
+    // With metrics on (CT_METRICS_OUT set, or enabled in code), mirror
+    // the registry next to the results so every bench run leaves its
+    // telemetry record alongside the numbers it produced.
+    if (obs::metricsEnabled() && !obs::metrics().empty()) {
+        std::string metrics_path = "results/" + csv_name + ".metrics.json";
+        obs::metrics().writeJson(metrics_path);
+        inform("wrote ", metrics_path);
+    }
+    std::cout << "\n";
 }
 
 tomography::EstimatorKind

@@ -24,7 +24,11 @@ namespace ct::bench {
 /** Ensure results/ exists and return "results/<name>.csv". */
 std::string csvPath(const std::string &name);
 
-/** Print a table and mirror it to results/<csv_name>.csv. */
+/**
+ * Print a table and mirror it to results/<csv_name>.csv, reporting the
+ * written path. When metrics recording is on (CT_METRICS_OUT set), the
+ * obs registry is also dumped to results/<csv_name>.metrics.json.
+ */
 void emit(const TablePrinter &table, const std::string &csv_name);
 
 /** Parse --estimator into a kind; fatal() on bad names. */

@@ -1,6 +1,8 @@
 #include "api/pipeline.hh"
 
 #include "layout/evaluator.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "stats/metrics.hh"
 #include "util/logging.hh"
 
@@ -57,41 +59,71 @@ TomographyPipeline::TomographyPipeline(workloads::Workload workload,
 sim::RunResult
 TomographyPipeline::measure()
 {
+    CT_SPAN("pipeline.measure");
+    obs::StopwatchUs watch;
     sim::SimConfig cfg = config_.sim;
     cfg.timingProbes = true;
     auto lowered = sim::lowerModule(*workload_.module);
     auto inputs = workload_.makeInputs(config_.seed);
     sim::Simulator simulator(*workload_.module, std::move(lowered), cfg,
                              *inputs, config_.seed ^ 0x6d656173);
-    return simulator.run(workload_.entry, config_.measureInvocations);
+    auto run = simulator.run(workload_.entry, config_.measureInvocations);
+    if (obs::metricsEnabled()) {
+        auto &m = obs::metrics();
+        m.histogram("pipeline.measure_us").record(watch.elapsedUs());
+        m.counter("pipeline.measure.invocations")
+            .add(config_.measureInvocations);
+        m.counter("pipeline.measure.records").add(run.trace.size());
+    }
+    return run;
 }
 
 tomography::ModuleEstimate
 TomographyPipeline::estimate(const trace::TimingTrace &trace)
 {
+    CT_SPAN("pipeline.estimate");
+    obs::StopwatchUs watch;
     auto estimator =
         tomography::makeEstimator(config_.estimator,
                                   config_.estimatorOptions);
     auto lowered = sim::lowerModule(*workload_.module);
     double nested_probe_cycles = 2.0 * double(config_.sim.costs.timerRead);
-    return tomography::estimateModule(
+    auto estimate = tomography::estimateModule(
         *workload_.module, lowered, config_.sim.costs, config_.sim.policy,
         config_.sim.cyclesPerTick, nested_probe_cycles, trace, *estimator);
+    if (obs::metricsEnabled()) {
+        auto &m = obs::metrics();
+        m.histogram("pipeline.estimate_us").record(watch.elapsedUs());
+        size_t estimated = 0;
+        for (const auto &theta : estimate.thetas)
+            estimated += !theta.empty();
+        m.counter("pipeline.estimate.procs").add(estimated);
+    }
+    return estimate;
 }
 
 std::vector<sim::BlockOrder>
 TomographyPipeline::optimize(const ir::ModuleProfile &profile)
 {
+    CT_SPAN("pipeline.optimize");
+    obs::StopwatchUs watch;
     Rng rng(config_.seed ^ 0x6c61796f);
-    return layout::computeModuleOrders(*workload_.module, profile,
-                                       layout::LayoutKind::ProfileGuided,
-                                       rng);
+    auto orders = layout::computeModuleOrders(
+        *workload_.module, profile, layout::LayoutKind::ProfileGuided, rng);
+    if (obs::metricsEnabled()) {
+        auto &m = obs::metrics();
+        m.histogram("pipeline.optimize_us").record(watch.elapsedUs());
+        m.counter("pipeline.optimize.procs").add(orders.size());
+    }
+    return orders;
 }
 
 LayoutOutcome
 TomographyPipeline::evaluate(const std::string &name,
                              const std::vector<sim::BlockOrder> &orders)
 {
+    CT_SPAN("pipeline.evaluate");
+    obs::StopwatchUs watch;
     sim::SimConfig cfg = config_.sim;
     cfg.timingProbes = false; // deployment build: no probes
     auto lowered = sim::lowerModule(*workload_.module, orders);
@@ -112,12 +144,58 @@ TomographyPipeline::evaluate(const std::string &name,
     out.dynamicJumps = run.dynamicJumps;
     out.energyMicrojoules =
         sim::telosEnergyModel().energyMicrojoules(run.activity);
+    if (obs::metricsEnabled()) {
+        auto &m = obs::metrics();
+        m.histogram("pipeline.evaluate_us").record(watch.elapsedUs());
+        m.counter("pipeline.evaluate.placements").add(1);
+    }
     return out;
 }
 
 PipelineResult
 TomographyPipeline::run()
 {
+    // Resolve exporter destinations: explicit config wins, then the
+    // environment, then off. Enabling is process-wide so that the
+    // simulator and estimators record too, without signature churn.
+    std::string trace_path = config_.traceOut.empty()
+                                 ? obs::traceOutPathFromEnv()
+                                 : config_.traceOut;
+    std::string metrics_path = config_.metricsOut.empty()
+                                   ? obs::metricsOutPathFromEnv()
+                                   : config_.metricsOut;
+    if (!trace_path.empty())
+        obs::tracer().setEnabled(true);
+    if (!metrics_path.empty())
+        obs::setMetricsEnabled(true);
+
+    PipelineResult result = runStages();
+
+    if (obs::metricsEnabled()) {
+        auto &m = obs::metrics();
+        m.counter("pipeline.runs").add(1);
+        m.gauge("pipeline.branch_mae").set(result.branchMae);
+        m.gauge("pipeline.branch_max_error").set(result.branchMaxError);
+        m.gauge("pipeline.cycles_improvement_pct")
+            .set(result.cyclesImprovementPct());
+        m.gauge("pipeline.mispredict_reduction")
+            .set(result.mispredictReduction());
+    }
+    if (!trace_path.empty()) {
+        obs::tracer().writeJson(trace_path);
+        inform("wrote span trace ", trace_path);
+    }
+    if (!metrics_path.empty()) {
+        obs::metrics().writeJson(metrics_path);
+        inform("wrote metrics ", metrics_path);
+    }
+    return result;
+}
+
+PipelineResult
+TomographyPipeline::runStages()
+{
+    CT_SPAN("pipeline.run");
     PipelineResult result;
     result.measureRun = measure();
     result.estimate = estimate(result.measureRun.trace);

@@ -41,6 +41,23 @@ struct PipelineConfig
     /** Invocations when evaluating each candidate placement. */
     size_t evalInvocations = 5'000;
     uint64_t seed = 1;
+
+    /// @name Observability exporters (see docs/OBSERVABILITY.md)
+    /// @{
+    /**
+     * Where run() writes the span trace (Chrome trace-event JSON,
+     * loadable in Perfetto). Empty: fall back to $CT_TRACE_OUT;
+     * tracing stays off when that is also unset.
+     */
+    std::string traceOut;
+    /**
+     * Where run() writes the metrics registry JSON (stage latencies,
+     * simulator totals, estimator convergence series). Empty: fall
+     * back to $CT_METRICS_OUT; recording stays off when that is also
+     * unset.
+     */
+    std::string metricsOut;
+    /// @}
 };
 
 /** Simulated outcome of one placement. */
@@ -97,7 +114,12 @@ class TomographyPipeline
   public:
     TomographyPipeline(workloads::Workload workload, PipelineConfig config);
 
-    /** Execute all four stages. */
+    /**
+     * Execute all four stages. When a trace/metrics output is
+     * configured (config fields or environment), the process-wide
+     * obs exporters are enabled for the duration and the files are
+     * written before returning.
+     */
     PipelineResult run();
 
     /// @name Individual stages (for callers composing their own flow)
@@ -113,6 +135,9 @@ class TomographyPipeline
     const PipelineConfig &config() const { return config_; }
 
   private:
+    /** The four stages under one root span, sans exporter handling. */
+    PipelineResult runStages();
+
     workloads::Workload workload_;
     PipelineConfig config_;
 };

@@ -1,0 +1,237 @@
+#include "obs/metrics.hh"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "util/csv.hh"
+#include "util/logging.hh"
+
+namespace ct::obs {
+
+int64_t
+monotonicMicros()
+{
+    using namespace std::chrono;
+    return duration_cast<microseconds>(
+               steady_clock::now().time_since_epoch())
+        .count();
+}
+
+int64_t
+Histogram::min() const
+{
+    CT_ASSERT(!hist_.cells().empty(), "min() of empty histogram");
+    return hist_.cells().begin()->first;
+}
+
+int64_t
+Histogram::max() const
+{
+    CT_ASSERT(!hist_.cells().empty(), "max() of empty histogram");
+    return hist_.cells().rbegin()->first;
+}
+
+double
+Series::back() const
+{
+    CT_ASSERT(!values_.empty(), "back() of empty series");
+    return values_.back();
+}
+
+bool
+MetricsRegistry::empty() const
+{
+    return counters_.empty() && gauges_.empty() && histograms_.empty() &&
+           series_.empty();
+}
+
+void
+MetricsRegistry::clear()
+{
+    counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
+    series_.clear();
+}
+
+namespace {
+
+/** Double as a strict-JSON token: %.12g, non-finite mapped to null. */
+std::string
+jsonNumber(double value)
+{
+    if (!std::isfinite(value))
+        return "null";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.12g", value);
+    return buf;
+}
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 2);
+    for (char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (uint8_t(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Append "key":value pairs for one section, comma-separating them. */
+template <typename Map, typename Render>
+void
+appendSection(std::string &out, const char *section, const Map &map,
+              Render render)
+{
+    out += '"';
+    out += section;
+    out += "\":{";
+    bool first = true;
+    for (const auto &[name, metric] : map) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += '"';
+        out += jsonEscape(name);
+        out += "\":";
+        render(out, metric);
+    }
+    out += '}';
+}
+
+} // namespace
+
+std::string
+MetricsRegistry::toJson() const
+{
+    std::string out = "{";
+    appendSection(out, "counters", counters_,
+                  [](std::string &o, const Counter &c) {
+                      o += std::to_string(c.value());
+                  });
+    out += ',';
+    appendSection(out, "gauges", gauges_,
+                  [](std::string &o, const Gauge &g) {
+                      o += jsonNumber(g.value());
+                  });
+    out += ',';
+    appendSection(out, "histograms", histograms_,
+                  [](std::string &o, const Histogram &h) {
+                      o += "{\"count\":" + std::to_string(h.count());
+                      o += ",\"mean\":" + jsonNumber(h.mean());
+                      if (h.count() > 0) {
+                          o += ",\"min\":" + std::to_string(h.min());
+                          o += ",\"max\":" + std::to_string(h.max());
+                      }
+                      o += ",\"cells\":{";
+                      bool first = true;
+                      for (const auto &[value, count] : h.cells().cells()) {
+                          if (!first)
+                              o += ',';
+                          first = false;
+                          o += '"' + std::to_string(value) +
+                               "\":" + std::to_string(count);
+                      }
+                      o += "}}";
+                  });
+    out += ',';
+    appendSection(out, "series", series_,
+                  [](std::string &o, const Series &s) {
+                      o += '[';
+                      bool first = true;
+                      for (double v : s.values()) {
+                          if (!first)
+                              o += ',';
+                          first = false;
+                          o += jsonNumber(v);
+                      }
+                      o += ']';
+                  });
+    out += '}';
+    return out;
+}
+
+void
+MetricsRegistry::writeJson(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open metrics output '", path, "'");
+    out << toJson() << "\n";
+}
+
+void
+MetricsRegistry::writeCsv(const std::string &path) const
+{
+    CsvWriter csv(path);
+    csv.row("kind", "name", "key", "value");
+    for (const auto &[name, c] : counters_)
+        csv.row("counter", name, "", c.value());
+    for (const auto &[name, g] : gauges_)
+        csv.row("gauge", name, "", g.value());
+    for (const auto &[name, h] : histograms_)
+        for (const auto &[value, count] : h.cells().cells())
+            csv.row("histogram", name, std::to_string(value), count);
+    for (const auto &[name, s] : series_)
+        for (size_t i = 0; i < s.size(); ++i)
+            csv.row("series", name, std::to_string(i), s.values()[i]);
+}
+
+MetricsRegistry &
+metrics()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+namespace {
+
+bool &
+metricsEnabledRef()
+{
+    // Environment consulted once, on first query; setMetricsEnabled()
+    // afterwards overrides whatever the environment said.
+    static bool enabled = !metricsOutPathFromEnv().empty();
+    return enabled;
+}
+
+} // namespace
+
+bool
+metricsEnabled()
+{
+    return metricsEnabledRef();
+}
+
+void
+setMetricsEnabled(bool on)
+{
+    metricsEnabledRef() = on;
+}
+
+std::string
+metricsOutPathFromEnv()
+{
+    const char *path = std::getenv("CT_METRICS_OUT");
+    return path ? path : "";
+}
+
+} // namespace ct::obs

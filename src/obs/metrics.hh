@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Self-measurement for the Code Tomography pipeline: a process-wide
+ * registry of named counters, gauges, latency histograms, and sample
+ * series, exportable as JSON or CSV.
+ *
+ * The library's thesis is that boundary measurements reveal internals;
+ * this is the layer that applies the same discipline to the pipeline
+ * itself. Recording is gated on a single process-wide flag so that a
+ * build with observability off pays (almost) nothing: hot paths check
+ * `metricsEnabled()` once per batch, never per instruction.
+ *
+ * Naming scheme (see docs/OBSERVABILITY.md): dot-separated
+ * `<subsystem>.<noun>[_<unit>]`, e.g. `sim.instructions`,
+ * `pipeline.measure_us`, `tomography.em.log_likelihood`.
+ *
+ * Not thread-safe by design — the library is single-threaded (see
+ * util/logging.hh for the same convention).
+ */
+
+#ifndef CT_OBS_METRICS_HH
+#define CT_OBS_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stats/histogram.hh"
+
+namespace ct::obs {
+
+/** Monotonic wall-clock microseconds (steady_clock). */
+int64_t monotonicMicros();
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    void add(uint64_t n = 1) { value_ += n; }
+    uint64_t value() const { return value_; }
+
+  private:
+    uint64_t value_ = 0;
+};
+
+/** Last-written point-in-time value. */
+class Gauge
+{
+  public:
+    void set(double value) { value_ = value; }
+    double value() const { return value_; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/**
+ * Distribution of integer-valued observations (latencies in
+ * microseconds, cycle counts, ...); backed by stats/histogram's exact
+ * representation, so the full shape survives into the export.
+ */
+class Histogram
+{
+  public:
+    void record(int64_t value) { hist_.add(value); }
+
+    uint64_t count() const { return hist_.total(); }
+    double mean() const { return hist_.mean(); }
+    int64_t min() const;
+    int64_t max() const;
+
+    const ExactHistogram &cells() const { return hist_; }
+
+  private:
+    ExactHistogram hist_;
+};
+
+/** Ordered sequence of samples (e.g. one value per EM iteration). */
+class Series
+{
+  public:
+    void append(double value) { values_.push_back(value); }
+
+    size_t size() const { return values_.size(); }
+    bool empty() const { return values_.empty(); }
+    double back() const;
+    const std::vector<double> &values() const { return values_; }
+
+  private:
+    std::vector<double> values_;
+};
+
+/**
+ * Named metric store. Lookup creates on first use; returned references
+ * stay valid for the registry's lifetime (node-based map), so callers
+ * may cache them across a hot loop.
+ */
+class MetricsRegistry
+{
+  public:
+    Counter &counter(const std::string &name) { return counters_[name]; }
+    Gauge &gauge(const std::string &name) { return gauges_[name]; }
+    Histogram &histogram(const std::string &name)
+    {
+        return histograms_[name];
+    }
+    Series &series(const std::string &name) { return series_[name]; }
+
+    const std::map<std::string, Counter> &counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, Gauge> &gauges() const { return gauges_; }
+    const std::map<std::string, Histogram> &histograms() const
+    {
+        return histograms_;
+    }
+    const std::map<std::string, Series> &allSeries() const
+    {
+        return series_;
+    }
+
+    bool empty() const;
+
+    /** Drop every metric (tests; between pipeline repetitions). */
+    void clear();
+
+    /**
+     * Render as one JSON object with "counters"/"gauges"/"histograms"/
+     * "series" sections. Keys are sorted, doubles printed with %.12g:
+     * identical contents produce byte-identical output.
+     */
+    std::string toJson() const;
+
+    /** Write toJson() to @p path; fatal() when the file cannot open. */
+    void writeJson(const std::string &path) const;
+
+    /** Write as CSV rows `kind,name,key,value` to @p path. */
+    void writeCsv(const std::string &path) const;
+
+  private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Gauge> gauges_;
+    std::map<std::string, Histogram> histograms_;
+    std::map<std::string, Series> series_;
+};
+
+/** The process-wide registry instrumentation records into. */
+MetricsRegistry &metrics();
+
+/**
+ * Whether instrumented code should record into metrics(). Defaults to
+ * off; flips on the first time it is queried if CT_METRICS_OUT is set
+ * in the environment, and can be toggled programmatically (explicit
+ * calls win over the environment).
+ */
+bool metricsEnabled();
+void setMetricsEnabled(bool on);
+
+/** Value of CT_METRICS_OUT, or "" when unset. */
+std::string metricsOutPathFromEnv();
+
+/** Microsecond stopwatch for latency metrics. */
+class StopwatchUs
+{
+  public:
+    StopwatchUs() : start_(monotonicMicros()) {}
+
+    int64_t elapsedUs() const { return monotonicMicros() - start_; }
+    void restart() { start_ = monotonicMicros(); }
+
+  private:
+    int64_t start_;
+};
+
+} // namespace ct::obs
+
+#endif // CT_OBS_METRICS_HH

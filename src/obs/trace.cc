@@ -1,0 +1,94 @@
+#include "obs/trace.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "obs/metrics.hh"
+#include "util/logging.hh"
+
+namespace ct::obs {
+
+size_t
+SpanTracer::beginSpan(const char *name)
+{
+    int64_t now = monotonicMicros();
+    if (originUs_ < 0)
+        originUs_ = now;
+    Event event;
+    event.name = name;
+    event.beginUs = now - originUs_;
+    event.depth = depth_++;
+    events_.push_back(std::move(event));
+    return events_.size() - 1;
+}
+
+void
+SpanTracer::endSpan(size_t index)
+{
+    CT_ASSERT(index < events_.size(), "endSpan: bad span index");
+    Event &event = events_[index];
+    CT_ASSERT(event.open, "endSpan: span already closed");
+    event.durUs = monotonicMicros() - originUs_ - event.beginUs;
+    event.open = false;
+    --depth_;
+}
+
+void
+SpanTracer::clear()
+{
+    events_.clear();
+    depth_ = 0;
+    originUs_ = -1;
+}
+
+std::string
+SpanTracer::toJson() const
+{
+    std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    for (const Event &event : events_) {
+        if (event.open)
+            continue; // no duration yet; dropping keeps the JSON valid
+        if (!first)
+            out += ',';
+        first = false;
+        out += "{\"name\":\"" + event.name +
+               "\",\"cat\":\"ct\",\"ph\":\"X\",\"ts\":" +
+               std::to_string(event.beginUs) +
+               ",\"dur\":" + std::to_string(event.durUs) +
+               ",\"pid\":1,\"tid\":1,\"args\":{\"depth\":" +
+               std::to_string(event.depth) + "}}";
+    }
+    out += "]}";
+    return out;
+}
+
+void
+SpanTracer::writeJson(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open trace output '", path, "'");
+    out << toJson() << "\n";
+}
+
+SpanTracer &
+tracer()
+{
+    static SpanTracer instance = [] {
+        SpanTracer t;
+        t.setEnabled(!traceOutPathFromEnv().empty());
+        return t;
+    }();
+    return instance;
+}
+
+std::string
+traceOutPathFromEnv()
+{
+    const char *path = std::getenv("CT_TRACE_OUT");
+    return path ? path : "";
+}
+
+} // namespace ct::obs

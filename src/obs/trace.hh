@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Scoped span tracing with Chrome trace-event output.
+ *
+ * `CT_SPAN("pipeline.estimate")` opens a span for the enclosing scope;
+ * completed spans are buffered in the process-wide tracer and exported
+ * as Chrome trace-event JSON ("X" complete events), loadable in
+ * chrome://tracing or https://ui.perfetto.dev. When the tracer is
+ * disabled (the default) a span is one inlined bool test — cheap
+ * enough to leave in hot-ish code permanently.
+ *
+ * The tracer auto-enables on first use when CT_TRACE_OUT is set in the
+ * environment; TomographyPipeline writes the buffer there at the end
+ * of a run (see api/pipeline.hh), and any caller can flush manually
+ * with tracer().writeJson(path).
+ *
+ * Span names follow the metric naming scheme: `<subsystem>.<verb>`,
+ * e.g. `pipeline.measure`, `sim.run`. Not thread-safe by design
+ * (single-threaded library).
+ */
+
+#ifndef CT_OBS_TRACE_HH
+#define CT_OBS_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ct::obs {
+
+/** Buffers begin/end span pairs and renders them as trace events. */
+class SpanTracer
+{
+  public:
+    /** One completed (or still open) span. */
+    struct Event
+    {
+        std::string name;
+        int64_t beginUs = 0; //!< relative to the first span's begin
+        int64_t durUs = 0;
+        int depth = 0;       //!< nesting level at begin (0 = root)
+        bool open = true;    //!< true until endSpan() closes it
+    };
+
+    bool enabled() const { return enabled_; }
+    void setEnabled(bool on) { enabled_ = on; }
+
+    /**
+     * Open a span; returns its index for the matching endSpan().
+     * Usually reached via the Span RAII wrapper, not called directly.
+     */
+    size_t beginSpan(const char *name);
+    void endSpan(size_t index);
+
+    size_t eventCount() const { return events_.size(); }
+    /** Spans begun but not yet ended (current nesting depth). */
+    size_t openSpans() const { return size_t(depth_); }
+    const std::vector<Event> &events() const { return events_; }
+
+    /** Drop all buffered events (tests; between repetitions). */
+    void clear();
+
+    /**
+     * Render buffered spans as Chrome trace-event JSON. Spans still
+     * open are skipped (they have no duration yet).
+     */
+    std::string toJson() const;
+
+    /** Write toJson() to @p path; fatal() when the file cannot open. */
+    void writeJson(const std::string &path) const;
+
+  private:
+    bool enabled_ = false;
+    int depth_ = 0;
+    int64_t originUs_ = -1; //!< timestamp base; set by the first span
+    std::vector<Event> events_;
+};
+
+/**
+ * The process-wide tracer. First access enables it when CT_TRACE_OUT
+ * is set in the environment.
+ */
+SpanTracer &tracer();
+
+/** Value of CT_TRACE_OUT, or "" when unset. */
+std::string traceOutPathFromEnv();
+
+/** RAII span: begins at construction, ends at scope exit. */
+class Span
+{
+  public:
+    explicit Span(const char *name)
+    {
+        if (tracer().enabled()) {
+            index_ = tracer().beginSpan(name);
+            active_ = true;
+        }
+    }
+    ~Span()
+    {
+        if (active_)
+            tracer().endSpan(index_);
+    }
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+  private:
+    size_t index_ = 0;
+    bool active_ = false;
+};
+
+#define CT_OBS_CONCAT2(a, b) a##b
+#define CT_OBS_CONCAT(a, b) CT_OBS_CONCAT2(a, b)
+
+/** Trace the enclosing scope as one span named @p name. */
+#define CT_SPAN(name)                                                         \
+    ::ct::obs::Span CT_OBS_CONCAT(ct_obs_span_, __LINE__)(name)
+
+} // namespace ct::obs
+
+#endif // CT_OBS_TRACE_HH

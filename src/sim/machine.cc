@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "util/logging.hh"
 
 namespace ct::sim {
@@ -20,6 +22,7 @@ RunResult
 Simulator::run(ir::ProcId entry, size_t count)
 {
     CT_ASSERT(entry < module_.procedureCount(), "run: bad entry procedure");
+    CT_SPAN("sim.run");
 
     RunResult result;
     result.profile.resize(module_.procedureCount());
@@ -39,6 +42,18 @@ Simulator::run(ir::ProcId entry, size_t count)
     }
     result.totalCycles = cycles_;
     result.finalRam = ram_;
+
+    // Batch-level self-measurement: recorded once per run() so the
+    // per-instruction path stays unobserved (and unperturbed).
+    if (obs::metricsEnabled() && count > 0) {
+        auto &m = obs::metrics();
+        m.counter("sim.runs").add(1);
+        m.counter("sim.invocations").add(count);
+        m.counter("sim.instructions").add(result.instructions);
+        m.counter("sim.branches").add(result.branches.executed);
+        m.histogram("sim.cycles_per_invocation")
+            .record(int64_t(result.totalCycles / count));
+    }
     return result;
 }
 
@@ -196,6 +211,8 @@ Simulator::execProcedure(ir::ProcId proc_id, RunResult &result,
               }
             }
         }
+
+        result.instructions += bb.insts.size();
 
         // Control transfer.
         switch (lb.ctrl) {

@@ -67,6 +67,7 @@ struct RunResult
     trace::TimingTrace trace;   //!< boundary timing records (if probed)
     uint64_t totalCycles = 0;   //!< all cycles including probes and gaps
     BranchStats branches;
+    uint64_t instructions = 0;  //!< straight-line instructions executed
     uint64_t dynamicJumps = 0;  //!< executed unconditional jumps
     uint64_t isrFirings = 0;    //!< interrupt preemptions simulated
     uint64_t farCalls = 0;      //!< calls that paid the far-call extra

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hh"
 #include "tomography/path_workspace.hh"
 #include "util/logging.hh"
 
@@ -27,8 +28,21 @@ runEm(const PathWorkspace &ws, const EstimatorOptions &options,
     std::vector<double> acc_taken(params, 0.0);
     std::vector<double> acc_fall(params, 0.0);
 
+    // Convergence telemetry: one sample per iteration when metrics are
+    // on. References cached once; null when observability is off.
+    obs::Series *tel_ll = nullptr;
+    obs::Series *tel_residual = nullptr;
+    obs::Series *tel_iter_us = nullptr;
+    if (obs::metricsEnabled()) {
+        auto &m = obs::metrics();
+        tel_ll = &m.series("tomography.em.log_likelihood");
+        tel_residual = &m.series("tomography.em.residual");
+        tel_iter_us = &m.series("tomography.em.iter_us");
+    }
+
     size_t iter = 0;
     for (; iter < options.maxIterations; ++iter) {
+        int64_t iter_start_us = tel_ll ? obs::monotonicMicros() : 0;
         for (size_t p = 0; p < paths; ++p)
             prior[p] = std::exp(ws.features[p].logProb(theta));
 
@@ -70,6 +84,12 @@ runEm(const PathWorkspace &ws, const EstimatorOptions &options,
             max_delta = std::max(max_delta, std::abs(updated - theta[b]));
             theta[b] = updated;
         }
+        if (tel_ll) {
+            tel_ll->append(log_likelihood);
+            tel_residual->append(max_delta);
+            tel_iter_us->append(
+                double(obs::monotonicMicros() - iter_start_us));
+        }
         if (max_delta < options.tolerance) {
             ++iter;
             break;
@@ -106,6 +126,7 @@ EstimateResult
 EmPathEstimator::estimate(const TimingModel &model,
                           const std::vector<int64_t> &durations) const
 {
+    obs::StopwatchUs watch;
     EstimateResult result;
     result.theta.assign(model.paramCount(), 0.5);
     if (model.paramCount() == 0)
@@ -133,6 +154,16 @@ EmPathEstimator::estimate(const TimingModel &model,
     result.coveredPathMass = ws.set.coveredMass();
     result.rewardClasses = markov::groupByReward(ws.set, 1e-6).size();
     result.aliasedMass = aliasedMass(ws, result.theta);
+
+    if (obs::metricsEnabled()) {
+        auto &m = obs::metrics();
+        m.counter("tomography.em.solves").add(1);
+        m.counter("tomography.em.iterations").add(result.iterations);
+        m.histogram("tomography.em.solve_us").record(watch.elapsedUs());
+        m.series("tomography.em.final_log_likelihood")
+            .append(result.logLikelihood);
+        m.series("tomography.em.aliased_mass").append(result.aliasedMass);
+    }
     return result;
 }
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
+#include "obs/metrics.hh"
 #include "tomography/path_workspace.hh"
 #include "util/logging.hh"
 
@@ -17,6 +19,7 @@ EstimateResult
 LinearTomographyEstimator::estimate(
     const TimingModel &model, const std::vector<int64_t> &durations) const
 {
+    obs::StopwatchUs watch;
     EstimateResult result;
     result.theta.assign(model.paramCount(), 0.5);
     if (model.paramCount() == 0)
@@ -132,6 +135,30 @@ LinearTomographyEstimator::estimate(
             aliased += freq[c];
     }
     result.aliasedMass = aliased;
+
+    if (obs::metricsEnabled()) {
+        auto &m = obs::metrics();
+        m.counter("tomography.linear.solves").add(1);
+        m.histogram("tomography.linear.solve_us").record(watch.elapsedUs());
+        m.series("tomography.linear.reward_classes")
+            .append(double(n_classes));
+        m.series("tomography.linear.covered_mass")
+            .append(result.coveredPathMass);
+        // Conditioning of the inversion: the smallest reward separation
+        // between distinct classes, in ticks. Below ~1 tick adjacent
+        // classes blur together under quantization and the class-mass
+        // recovery is ill-conditioned regardless of sample count.
+        std::vector<double> rewards(n_classes);
+        for (size_t c = 0; c < n_classes; ++c)
+            rewards[c] = classes[c].reward;
+        std::sort(rewards.begin(), rewards.end());
+        double min_gap = std::numeric_limits<double>::infinity();
+        for (size_t c = 0; c + 1 < n_classes; ++c)
+            min_gap = std::min(min_gap, rewards[c + 1] - rewards[c]);
+        if (n_classes > 1)
+            m.series("tomography.linear.min_class_gap_ticks")
+                .append(min_gap / double(model.cyclesPerTick()));
+    }
     return result;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hh"
 #include "stats/summary.hh"
 #include "tomography/noise_kernel.hh"
 #include "util/logging.hh"
@@ -49,6 +50,7 @@ EstimateResult
 MomentEstimator::estimate(const TimingModel &model,
                           const std::vector<int64_t> &durations) const
 {
+    obs::StopwatchUs watch;
     EstimateResult result;
     result.theta.assign(model.paramCount(), 0.5);
     if (model.paramCount() == 0)
@@ -142,6 +144,21 @@ MomentEstimator::estimate(const TimingModel &model,
 
     result.iterations = total_iters;
     result.logLikelihood = -best_obj;
+
+    if (obs::metricsEnabled()) {
+        auto &m = obs::metrics();
+        m.counter("tomography.moment.solves").add(1);
+        m.counter("tomography.moment.iterations").add(total_iters);
+        m.histogram("tomography.moment.solve_us").record(watch.elapsedUs());
+        m.series("tomography.moment.objective").append(best_obj);
+        // Conditioning of moment matching: the fraction of the observed
+        // duration variance that survives the noise-variance subtraction.
+        // Near 0, the second moment carries no signal and the fit rests
+        // on the mean (plus the 0.5 prior) alone.
+        double raw_var = stats.sampleVariance();
+        m.series("tomography.moment.signal_var_fraction")
+            .append(raw_var > 0.0 ? var_ticks / raw_var : 0.0);
+    }
     return result;
 }
 

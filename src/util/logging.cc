@@ -1,13 +1,40 @@
 #include "util/logging.hh"
 
+#include <cstdlib>
+
+#include "util/str.hh"
+
 namespace ct {
 
 namespace detail {
 
+namespace {
+
+/** Initial level from CT_LOG_LEVEL; Normal when unset or unparseable. */
+LogLevel
+levelFromEnv()
+{
+    const char *env = std::getenv("CT_LOG_LEVEL");
+    if (env == nullptr)
+        return LogLevel::Normal;
+    std::string value = toLower(trim(env));
+    if (value == "quiet")
+        return LogLevel::Quiet;
+    if (value == "normal")
+        return LogLevel::Normal;
+    if (value == "debug")
+        return LogLevel::Debug;
+    emit("warn", concat("ignoring CT_LOG_LEVEL='", env,
+                        "' (expected quiet|normal|debug)"));
+    return LogLevel::Normal;
+}
+
+} // namespace
+
 LogLevel &
 logLevelRef()
 {
-    static LogLevel level = LogLevel::Normal;
+    static LogLevel level = levelFromEnv();
     return level;
 }
 

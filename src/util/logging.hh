@@ -18,7 +18,15 @@
 
 namespace ct {
 
-/** Verbosity levels accepted by setLogLevel(). */
+/**
+ * Verbosity levels accepted by setLogLevel() and the CT_LOG_LEVEL
+ * environment variable (values: "quiet", "normal", "debug").
+ *
+ * Precedence: the level starts from CT_LOG_LEVEL (read once, at the
+ * first logging call); any later setLogLevel() call overrides it.
+ * Unset or unrecognized environment values mean Normal (with a warning
+ * for the latter).
+ */
 enum class LogLevel {
     Quiet,   //!< suppress inform() output
     Normal,  //!< default: inform() and warn() printed

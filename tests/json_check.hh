@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Minimal strict JSON parser for tests: full RFC 8259 grammar (objects,
+ * arrays, strings with escapes, numbers, true/false/null), rejecting
+ * trailing garbage, trailing commas, bare NaN/Infinity, and unquoted
+ * keys. Parsed values land in a tiny DOM so tests can assert on the
+ * exported telemetry's structure, not just its well-formedness.
+ *
+ * Header-only and test-only on purpose: the library itself only ever
+ * *emits* JSON; keeping the parser here keeps that one-way.
+ */
+
+#ifndef CT_TESTS_JSON_CHECK_HH
+#define CT_TESTS_JSON_CHECK_HH
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ct::testjson {
+
+struct Value;
+using ValuePtr = std::shared_ptr<Value>;
+
+struct Value
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<ValuePtr> array;
+    std::map<std::string, ValuePtr> object;
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+
+    /** Object member, or nullptr when absent / not an object. */
+    ValuePtr get(const std::string &key) const
+    {
+        if (kind != Kind::Object)
+            return nullptr;
+        auto it = object.find(key);
+        return it == object.end() ? nullptr : it->second;
+    }
+};
+
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    /** Parse the whole input; nullptr (with error()) on any violation. */
+    ValuePtr parse()
+    {
+        ValuePtr value = parseValue();
+        if (!value)
+            return nullptr;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing characters after top-level value");
+        return value;
+    }
+
+    const std::string &error() const { return error_; }
+
+  private:
+    ValuePtr fail(const std::string &why)
+    {
+        if (error_.empty())
+            error_ = why + " at offset " + std::to_string(pos_);
+        return nullptr;
+    }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    ValuePtr parseValue()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        char c = text_[pos_];
+        if (c == '{')
+            return parseObject();
+        if (c == '[')
+            return parseArray();
+        if (c == '"')
+            return parseString();
+        if (c == 't' || c == 'f')
+            return parseBool();
+        if (c == 'n')
+            return parseNull();
+        if (c == '-' || (c >= '0' && c <= '9'))
+            return parseNumber();
+        return fail("unexpected character");
+    }
+
+    ValuePtr parseObject()
+    {
+        ++pos_; // '{'
+        auto value = std::make_shared<Value>();
+        value->kind = Value::Kind::Object;
+        skipWs();
+        if (consume('}'))
+            return value;
+        while (true) {
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("object key must be a string");
+            ValuePtr key = parseString();
+            if (!key)
+                return nullptr;
+            skipWs();
+            if (!consume(':'))
+                return fail("expected ':' after object key");
+            ValuePtr member = parseValue();
+            if (!member)
+                return nullptr;
+            value->object[key->string] = member;
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return value;
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    ValuePtr parseArray()
+    {
+        ++pos_; // '['
+        auto value = std::make_shared<Value>();
+        value->kind = Value::Kind::Array;
+        skipWs();
+        if (consume(']'))
+            return value;
+        while (true) {
+            ValuePtr element = parseValue();
+            if (!element)
+                return nullptr;
+            value->array.push_back(element);
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return value;
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    ValuePtr parseString()
+    {
+        ++pos_; // '"'
+        auto value = std::make_shared<Value>();
+        value->kind = Value::Kind::String;
+        while (true) {
+            if (pos_ >= text_.size())
+                return fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return value;
+            if (uint8_t(c) < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                value->string += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return fail("unterminated escape");
+            char esc = text_[pos_++];
+            switch (esc) {
+              case '"': value->string += '"'; break;
+              case '\\': value->string += '\\'; break;
+              case '/': value->string += '/'; break;
+              case 'b': value->string += '\b'; break;
+              case 'f': value->string += '\f'; break;
+              case 'n': value->string += '\n'; break;
+              case 'r': value->string += '\r'; break;
+              case 't': value->string += '\t'; break;
+              case 'u': {
+                  if (pos_ + 4 > text_.size())
+                      return fail("truncated \\u escape");
+                  for (int i = 0; i < 4; ++i)
+                      if (!std::isxdigit(uint8_t(text_[pos_ + i])))
+                          return fail("bad \\u escape digit");
+                  // Tests only need validity, not codepoint decoding.
+                  value->string += '?';
+                  pos_ += 4;
+                  break;
+              }
+              default:
+                return fail("unknown escape character");
+            }
+        }
+    }
+
+    ValuePtr parseBool()
+    {
+        auto value = std::make_shared<Value>();
+        value->kind = Value::Kind::Bool;
+        if (text_.substr(pos_, 4) == "true") {
+            value->boolean = true;
+            pos_ += 4;
+            return value;
+        }
+        if (text_.substr(pos_, 5) == "false") {
+            value->boolean = false;
+            pos_ += 5;
+            return value;
+        }
+        return fail("bad literal");
+    }
+
+    ValuePtr parseNull()
+    {
+        if (text_.substr(pos_, 4) != "null")
+            return fail("bad literal");
+        pos_ += 4;
+        return std::make_shared<Value>();
+    }
+
+    ValuePtr parseNumber()
+    {
+        size_t start = pos_;
+        if (consume('-')) {}
+        if (consume('0')) {
+            // leading zero must not be followed by another digit
+            if (pos_ < text_.size() && std::isdigit(uint8_t(text_[pos_])))
+                return fail("leading zero");
+        } else {
+            if (pos_ >= text_.size() ||
+                !std::isdigit(uint8_t(text_[pos_])))
+                return fail("bad number");
+            while (pos_ < text_.size() &&
+                   std::isdigit(uint8_t(text_[pos_])))
+                ++pos_;
+        }
+        if (consume('.')) {
+            if (pos_ >= text_.size() ||
+                !std::isdigit(uint8_t(text_[pos_])))
+                return fail("bad fraction");
+            while (pos_ < text_.size() &&
+                   std::isdigit(uint8_t(text_[pos_])))
+                ++pos_;
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isdigit(uint8_t(text_[pos_])))
+                return fail("bad exponent");
+            while (pos_ < text_.size() &&
+                   std::isdigit(uint8_t(text_[pos_])))
+                ++pos_;
+        }
+        auto value = std::make_shared<Value>();
+        value->kind = Value::Kind::Number;
+        value->number =
+            std::stod(std::string(text_.substr(start, pos_ - start)));
+        return value;
+    }
+
+    std::string_view text_;
+    size_t pos_ = 0;
+    std::string error_;
+};
+
+/** Parse @p text strictly; nullptr on any grammar violation. */
+inline ValuePtr
+parseJson(std::string_view text)
+{
+    Parser parser(text);
+    return parser.parse();
+}
+
+} // namespace ct::testjson
+
+#endif // CT_TESTS_JSON_CHECK_HH

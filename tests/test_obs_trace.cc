@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Tests for the obs span tracer: disabled-by-default behaviour, span
+ * nesting, strict validity of the Chrome trace-event JSON, and the
+ * end-to-end pipeline integration (all four stage spans present and
+ * nested, EM convergence series exported).
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "api/pipeline.hh"
+#include "json_check.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "util/str.hh"
+#include "workloads/workload.hh"
+
+using namespace ct;
+
+namespace {
+
+/** Restores the global tracer/metrics state around every test. */
+class ObsTraceTest : public testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        obs::tracer().clear();
+        obs::tracer().setEnabled(false);
+        obs::metrics().clear();
+        obs::setMetricsEnabled(false);
+    }
+    void TearDown() override { SetUp(); }
+};
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+/** The trace event named @p name; asserts it exists exactly once. */
+testjson::ValuePtr
+findEvent(const testjson::ValuePtr &doc, const std::string &name)
+{
+    testjson::ValuePtr found;
+    for (const auto &event : doc->get("traceEvents")->array) {
+        if (event->get("name")->string != name)
+            continue;
+        EXPECT_EQ(found, nullptr) << "duplicate event " << name;
+        found = event;
+    }
+    EXPECT_NE(found, nullptr) << "missing event " << name;
+    return found;
+}
+
+/** True when @p inner's [ts, ts+dur] lies within @p outer's. */
+bool
+nestedWithin(const testjson::ValuePtr &inner,
+             const testjson::ValuePtr &outer)
+{
+    double it = inner->get("ts")->number;
+    double id = inner->get("dur")->number;
+    double ot = outer->get("ts")->number;
+    double od = outer->get("dur")->number;
+    return it >= ot && it + id <= ot + od;
+}
+
+} // namespace
+
+TEST_F(ObsTraceTest, DisabledSpanRecordsNothing)
+{
+    {
+        CT_SPAN("should.not.appear");
+        CT_SPAN("nor.this");
+    }
+    EXPECT_EQ(obs::tracer().eventCount(), 0u);
+    auto doc = testjson::parseJson(obs::tracer().toJson());
+    ASSERT_NE(doc, nullptr);
+    EXPECT_TRUE(doc->get("traceEvents")->array.empty());
+}
+
+TEST_F(ObsTraceTest, SpansNestByScope)
+{
+    obs::tracer().setEnabled(true);
+    {
+        CT_SPAN("outer");
+        {
+            CT_SPAN("inner.a");
+        }
+        {
+            CT_SPAN("inner.b");
+        }
+    }
+    const auto &events = obs::tracer().events();
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(obs::tracer().openSpans(), 0u);
+    EXPECT_EQ(events[0].name, "outer");
+    EXPECT_EQ(events[0].depth, 0);
+    EXPECT_EQ(events[1].name, "inner.a");
+    EXPECT_EQ(events[1].depth, 1);
+    EXPECT_EQ(events[2].depth, 1);
+    for (const auto &event : events)
+        EXPECT_FALSE(event.open);
+    // Children fall within the parent interval.
+    EXPECT_GE(events[1].beginUs, events[0].beginUs);
+    EXPECT_LE(events[2].beginUs + events[2].durUs,
+              events[0].beginUs + events[0].durUs);
+}
+
+TEST_F(ObsTraceTest, JsonIsStrictlyValidAndSkipsOpenSpans)
+{
+    obs::tracer().setEnabled(true);
+    size_t open = obs::tracer().beginSpan("left.open");
+    {
+        CT_SPAN("closed");
+    }
+    auto doc = testjson::parseJson(obs::tracer().toJson());
+    ASSERT_NE(doc, nullptr);
+    ASSERT_EQ(doc->get("traceEvents")->array.size(), 1u);
+    auto event = doc->get("traceEvents")->array[0];
+    EXPECT_EQ(event->get("name")->string, "closed");
+    EXPECT_EQ(event->get("ph")->string, "X");
+    EXPECT_GE(event->get("dur")->number, 0.0);
+    obs::tracer().endSpan(open);
+}
+
+TEST_F(ObsTraceTest, ClearResetsDepthAndEvents)
+{
+    obs::tracer().setEnabled(true);
+    obs::tracer().beginSpan("dangling");
+    obs::tracer().clear();
+    EXPECT_EQ(obs::tracer().eventCount(), 0u);
+    EXPECT_EQ(obs::tracer().openSpans(), 0u);
+}
+
+TEST_F(ObsTraceTest, PipelineRunExportsNestedPhaseSpansAndEmSeries)
+{
+    std::string trace_path = testing::TempDir() + "/ct_pipeline_trace.json";
+    std::string metrics_path =
+        testing::TempDir() + "/ct_pipeline_metrics.json";
+
+    api::PipelineConfig config;
+    config.measureInvocations = 200;
+    config.evalInvocations = 200;
+    config.estimator = tomography::EstimatorKind::Em;
+    config.traceOut = trace_path;
+    config.metricsOut = metrics_path;
+    api::TomographyPipeline pipeline(workloads::makeCrc16(), config);
+    pipeline.run();
+
+    auto doc = testjson::parseJson(trim(slurp(trace_path)));
+    ASSERT_NE(doc, nullptr) << "trace JSON must parse strictly";
+    auto root = findEvent(doc, "pipeline.run");
+    auto measure = findEvent(doc, "pipeline.measure");
+    auto estimate = findEvent(doc, "pipeline.estimate");
+    auto optimize = findEvent(doc, "pipeline.optimize");
+    ASSERT_NE(root, nullptr);
+    EXPECT_TRUE(nestedWithin(measure, root));
+    EXPECT_TRUE(nestedWithin(estimate, root));
+    EXPECT_TRUE(nestedWithin(optimize, root));
+    // evaluate runs five times (one per candidate placement).
+    size_t evaluates = 0;
+    for (const auto &event : doc->get("traceEvents")->array) {
+        if (event->get("name")->string != "pipeline.evaluate")
+            continue;
+        ++evaluates;
+        EXPECT_TRUE(nestedWithin(event, root));
+    }
+    EXPECT_EQ(evaluates, 5u);
+    // The simulator's own spans nest under the stages that invoke it.
+    size_t sim_runs = 0;
+    for (const auto &event : doc->get("traceEvents")->array)
+        sim_runs += event->get("name")->string == "sim.run";
+    EXPECT_GE(sim_runs, 6u); // 1 measure + 5 evaluates
+
+    auto metrics_doc = testjson::parseJson(trim(slurp(metrics_path)));
+    ASSERT_NE(metrics_doc, nullptr) << "metrics JSON must parse strictly";
+    auto series =
+        metrics_doc->get("series")->get("tomography.em.log_likelihood");
+    ASSERT_NE(series, nullptr)
+        << "EM per-iteration convergence series missing";
+    EXPECT_FALSE(series->array.empty());
+    auto residual =
+        metrics_doc->get("series")->get("tomography.em.residual");
+    ASSERT_NE(residual, nullptr);
+    EXPECT_EQ(residual->array.size(), series->array.size());
+    auto counters = metrics_doc->get("counters");
+    EXPECT_NE(counters->get("sim.instructions"), nullptr);
+    EXPECT_NE(counters->get("pipeline.runs"), nullptr);
+    auto hists = metrics_doc->get("histograms");
+    EXPECT_NE(hists->get("pipeline.measure_us"), nullptr);
+    EXPECT_NE(hists->get("tomography.em.solve_us"), nullptr);
+}
+
+TEST_F(ObsTraceTest, PipelineWithoutConfigLeavesObsOff)
+{
+    api::PipelineConfig config;
+    config.measureInvocations = 50;
+    config.evalInvocations = 50;
+    api::TomographyPipeline pipeline(workloads::makeBlink(), config);
+    pipeline.run();
+    EXPECT_EQ(obs::tracer().eventCount(), 0u);
+    EXPECT_TRUE(obs::metrics().empty());
+}
