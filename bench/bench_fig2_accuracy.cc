@@ -12,6 +12,7 @@
 
 #include <limits>
 
+#include "exec/thread_pool.hh"
 #include "tomography/timing_model.hh"
 
 using namespace ct;
@@ -49,7 +50,7 @@ minSeparationTicks(const workloads::Workload &workload,
 int
 main(int argc, char **argv)
 {
-    CliArgs args(argc, argv, {"samples", "ticks", "seed"});
+    CliArgs args(argc, argv, {"samples", "ticks", "seed", "jobs"});
     size_t samples = size_t(args.getLong("samples", 2000));
     uint64_t ticks = uint64_t(args.getLong("ticks", 4));
     uint64_t seed = uint64_t(args.getLong("seed", 1));
@@ -61,7 +62,16 @@ main(int argc, char **argv)
                      "moment MAE", "em max err", "em aliased mass",
                      "min sep (ticks)"});
 
-    for (const auto &workload : workloads::allWorkloads()) {
+    struct Row
+    {
+        size_t branches;
+        double linearMae, emMae, momentMae, emMax, aliased, minSep;
+    };
+
+    auto suite = workloads::allWorkloads();
+    exec::ThreadPool pool(jobsFromArgs(args));
+    auto rows = exec::parallelMap(pool, suite.size(), [&](size_t i) {
+        const auto &workload = suite[i];
         auto linear = runCampaign(workload, samples, ticks,
                                   tomography::EstimatorKind::Linear, seed);
         auto em = runCampaign(workload, samples, ticks,
@@ -73,10 +83,16 @@ main(int argc, char **argv)
         for (const auto &result : em.estimate.results)
             aliased = std::max(aliased, result.aliasedMass);
 
-        table.row(workload.name, em.accuracy.branches, linear.accuracy.mae,
-                  em.accuracy.mae, moment.accuracy.mae,
-                  em.accuracy.maxError, aliased,
-                  minSeparationTicks(workload, em.run, ticks));
+        return Row{em.accuracy.branches, linear.accuracy.mae,
+                   em.accuracy.mae, moment.accuracy.mae,
+                   em.accuracy.maxError, aliased,
+                   minSeparationTicks(workload, em.run, ticks)};
+    });
+
+    for (size_t i = 0; i < suite.size(); ++i) {
+        const auto &r = rows[i];
+        table.row(suite[i].name, r.branches, r.linearMae, r.emMae,
+                  r.momentMae, r.emMax, r.aliased, r.minSep);
     }
     emit(table, "fig2_accuracy");
     return 0;

@@ -10,6 +10,7 @@
 
 #include "common.hh"
 
+#include "exec/thread_pool.hh"
 #include "util/str.hh"
 
 using namespace ct;
@@ -18,10 +19,11 @@ using namespace ct::bench;
 int
 main(int argc, char **argv)
 {
-    CliArgs args(argc, argv, {"ticks", "seed", "max-samples"});
+    CliArgs args(argc, argv, {"ticks", "seed", "max-samples", "jobs"});
     uint64_t ticks = uint64_t(args.getLong("ticks", 4));
     uint64_t seed = uint64_t(args.getLong("seed", 1));
     size_t max_samples = size_t(args.getLong("max-samples", 10000));
+    size_t jobs = jobsFromArgs(args);
 
     std::vector<size_t> points = {10, 30, 100, 300, 1000, 3000, 10000};
     while (!points.empty() && points.back() > max_samples)
@@ -37,26 +39,26 @@ main(int argc, char **argv)
     table.setHeader(header);
 
     // One full-size campaign per workload, reused across sample sizes.
-    std::vector<CampaignResult> full;
-    for (const auto &workload : suite) {
-        full.push_back(runCampaign(workload, points.back(), ticks,
-                                   tomography::EstimatorKind::Em, seed));
-    }
+    auto full = runCampaigns(suite, points.back(), ticks,
+                             tomography::EstimatorKind::Em, seed, {}, jobs);
 
+    exec::ThreadPool pool(jobs);
     for (size_t n : points) {
-        std::vector<std::string> row = {std::to_string(n), ""};
-        double sum = 0.0;
-        for (size_t w = 0; w < suite.size(); ++w) {
-            trace::TimingTrace cut = full[w].run.trace;
-            for (ir::ProcId id = 0;
-                 id < suite[w].module->procedureCount(); ++id) {
-                cut = cut.truncated(id, n);
-            }
+        auto maes = exec::parallelMap(pool, suite.size(), [&](size_t w) {
+            // Single-pass prefix cut across every procedure — the old
+            // per-proc chained truncated() copied the whole trace once
+            // per procedure.
+            auto cut = full[w].run.trace.truncatedAll(n);
             auto estimate = estimateFromTrace(suite[w], cut, ticks,
                                               tomography::EstimatorKind::Em);
-            auto accuracy = scoreAccuracy(suite[w], full[w].run, estimate);
-            sum += accuracy.mae;
-            row.push_back(formatDouble(accuracy.mae, 4));
+            return scoreAccuracy(suite[w], full[w].run, estimate).mae;
+        });
+
+        std::vector<std::string> row = {std::to_string(n), ""};
+        double sum = 0.0;
+        for (double mae : maes) {
+            sum += mae;
+            row.push_back(formatDouble(mae, 4));
         }
         row[1] = formatDouble(sum / double(suite.size()), 4);
         table.addRow(row);

@@ -11,6 +11,7 @@
 
 #include <cmath>
 
+#include "exec/thread_pool.hh"
 #include "util/str.hh"
 
 #include "trace/transforms.hh"
@@ -21,11 +22,13 @@ using namespace ct::bench;
 int
 main(int argc, char **argv)
 {
-    CliArgs args(argc, argv, {"samples", "seed"});
+    CliArgs args(argc, argv, {"samples", "seed", "jobs"});
     size_t samples = size_t(args.getLong("samples", 3000));
     uint64_t seed = uint64_t(args.getLong("seed", 1));
+    size_t jobs = jobsFromArgs(args);
 
     auto suite = workloads::allWorkloads();
+    exec::ThreadPool pool(jobs);
 
     // (a) Timer-resolution sweep: re-simulate at each quantum (the
     // quantizer is inside the timer, not a post-hoc transform).
@@ -37,14 +40,16 @@ main(int argc, char **argv)
         table.setHeader(header);
 
         for (uint64_t ticks : {1, 2, 4, 8, 16, 32, 64}) {
+            auto maes = exec::parallelMap(pool, suite.size(), [&](size_t w) {
+                return runCampaign(suite[w], samples, ticks,
+                                   tomography::EstimatorKind::Em, seed)
+                    .accuracy.mae;
+            });
             std::vector<std::string> row = {std::to_string(ticks), ""};
             double sum = 0.0;
-            for (const auto &workload : suite) {
-                auto campaign =
-                    runCampaign(workload, samples, ticks,
-                                tomography::EstimatorKind::Em, seed);
-                sum += campaign.accuracy.mae;
-                row.push_back(formatDouble(campaign.accuracy.mae, 4));
+            for (double mae : maes) {
+                sum += mae;
+                row.push_back(formatDouble(mae, 4));
             }
             row[1] = formatDouble(sum / double(suite.size()), 4);
             table.addRow(row);
@@ -62,17 +67,19 @@ main(int argc, char **argv)
         table.setHeader({"jitter sigma (ticks)", "kernel informed",
                          "kernel uninformed"});
 
-        std::vector<CampaignResult> clean;
-        for (const auto &workload : suite) {
-            clean.push_back(runCampaign(workload, samples, ticks,
-                                        tomography::EstimatorKind::Em,
-                                        seed));
-        }
+        auto clean = runCampaigns(suite, samples, ticks,
+                                  tomography::EstimatorKind::Em, seed, {},
+                                  jobs);
 
         for (double sigma : {0.0, 0.5, 1.0, 2.0, 4.0}) {
-            double informed = 0.0;
-            double uninformed = 0.0;
-            for (size_t w = 0; w < suite.size(); ++w) {
+            struct Pair
+            {
+                double informed = 0.0;
+                double uninformed = 0.0;
+            };
+            auto pairs = exec::parallelMap(pool, suite.size(), [&](size_t w) {
+                // Jitter stream depends on (seed, sigma, workload) only,
+                // never on scheduling.
                 Rng rng(seed * 1000 + uint64_t(sigma * 10));
                 auto noisy =
                     trace::addGaussianJitter(clean[w].run.trace, sigma, rng);
@@ -82,13 +89,21 @@ main(int argc, char **argv)
                 auto est_with = estimateFromTrace(
                     suite[w], noisy, ticks, tomography::EstimatorKind::Em,
                     with);
-                informed +=
-                    scoreAccuracy(suite[w], clean[w].run, est_with).mae;
-
                 auto est_without = estimateFromTrace(
                     suite[w], noisy, ticks, tomography::EstimatorKind::Em);
-                uninformed +=
+
+                Pair out;
+                out.informed =
+                    scoreAccuracy(suite[w], clean[w].run, est_with).mae;
+                out.uninformed =
                     scoreAccuracy(suite[w], clean[w].run, est_without).mae;
+                return out;
+            });
+            double informed = 0.0;
+            double uninformed = 0.0;
+            for (const auto &p : pairs) {
+                informed += p.informed;
+                uninformed += p.uninformed;
             }
             table.row(sigma, informed / double(suite.size()),
                       uninformed / double(suite.size()));
@@ -109,11 +124,14 @@ main(int argc, char **argv)
                          "mean ISRs/invocation"});
 
         for (double rate : {0.0, 0.005, 0.02, 0.05, 0.1}) {
-            double blind = 0.0;
-            double matched = 0.0;
-            double firings = 0.0;
-            size_t invocations = 0;
-            for (const auto &workload : suite) {
+            struct Cell
+            {
+                double blind = 0.0;
+                double matched = 0.0;
+                double firings = 0.0;
+            };
+            auto cells = exec::parallelMap(pool, suite.size(), [&](size_t w) {
+                const auto &workload = suite[w];
                 sim::SimConfig config;
                 config.cyclesPerTick = ticks;
                 config.isrPerBlockProb = rate;
@@ -123,13 +141,14 @@ main(int argc, char **argv)
                     *workload.module, sim::lowerModule(*workload.module),
                     config, *inputs, seed ^ 0xbe9c);
                 auto run = simulator.run(workload.entry, samples);
-                firings += double(run.isrFirings);
-                invocations += samples;
+
+                Cell out;
+                out.firings = double(run.isrFirings);
 
                 auto est_blind = estimateFromTrace(
                     workload, run.trace, ticks,
                     tomography::EstimatorKind::Em);
-                blind += scoreAccuracy(workload, run, est_blind).mae;
+                out.blind = scoreAccuracy(workload, run, est_blind).mae;
 
                 // Variance-matched approximation: per-invocation ISR
                 // cycles are ~ Binomial(blocks, rate) * isr_cycles; use
@@ -142,7 +161,17 @@ main(int argc, char **argv)
                 auto est_matched = estimateFromTrace(
                     workload, run.trace, ticks,
                     tomography::EstimatorKind::Em, options);
-                matched += scoreAccuracy(workload, run, est_matched).mae;
+                out.matched = scoreAccuracy(workload, run, est_matched).mae;
+                return out;
+            });
+            double blind = 0.0;
+            double matched = 0.0;
+            double firings = 0.0;
+            size_t invocations = samples * suite.size();
+            for (const auto &c : cells) {
+                blind += c.blind;
+                matched += c.matched;
+                firings += c.firings;
             }
             table.row(rate, blind / double(suite.size()),
                       matched / double(suite.size()),

@@ -9,6 +9,8 @@
 
 #include "common.hh"
 
+#include "exec/thread_pool.hh"
+
 using namespace ct;
 using namespace ct::bench;
 
@@ -16,7 +18,7 @@ int
 main(int argc, char **argv)
 {
     CliArgs args(argc, argv,
-                 {"samples", "eval", "ticks", "seed", "estimator"});
+                 {"samples", "eval", "ticks", "seed", "estimator", "jobs"});
 
     api::PipelineConfig config;
     config.measureInvocations = size_t(args.getLong("samples", 2000));
@@ -24,23 +26,30 @@ main(int argc, char **argv)
     config.sim.cyclesPerTick = uint64_t(args.getLong("ticks", 4));
     config.seed = uint64_t(args.getLong("seed", 1));
     config.estimator = parseEstimator(args.get("estimator", "em"));
+    // One pipeline per worker; keep each pipeline serial inside.
+    config.jobs = 1;
 
     TablePrinter table("Fig 5: % total-cycle reduction vs natural layout");
     table.setHeader({"workload", "tomography %", "perfect %", "energy %",
                      "taken-branch rate natural", "taken-branch rate tomo",
                      "branch MAE"});
 
+    auto suite = workloads::allWorkloads();
+    exec::ThreadPool pool(jobsFromArgs(args));
+    auto results = exec::parallelMap(pool, suite.size(), [&](size_t i) {
+        api::TomographyPipeline pipeline(suite[i], config);
+        return pipeline.run();
+    });
+
     double mean_tomo = 0.0;
     double mean_perfect = 0.0;
     double mean_energy = 0.0;
-    auto suite = workloads::allWorkloads();
-    for (const auto &workload : suite) {
-        api::TomographyPipeline pipeline(workload, config);
-        auto result = pipeline.run();
+    for (size_t i = 0; i < suite.size(); ++i) {
+        const auto &result = results[i];
         mean_tomo += result.cyclesImprovementPct();
         mean_perfect += result.perfectImprovementPct();
         mean_energy += result.energyImprovementPct();
-        table.row(workload.name, result.cyclesImprovementPct(),
+        table.row(suite[i].name, result.cyclesImprovementPct(),
                   result.perfectImprovementPct(),
                   result.energyImprovementPct(),
                   result.outcome("natural").takenRate,

@@ -12,6 +12,7 @@
 
 #include <chrono>
 
+#include "exec/thread_pool.hh"
 #include "layout/evaluator.hh"
 #include "tomography/streaming.hh"
 
@@ -32,12 +33,14 @@ millisSince(std::chrono::steady_clock::time_point start)
 int
 main(int argc, char **argv)
 {
-    CliArgs args(argc, argv, {"samples", "ticks", "seed"});
+    CliArgs args(argc, argv, {"samples", "ticks", "seed", "jobs"});
     size_t samples = size_t(args.getLong("samples", 2000));
     uint64_t ticks = uint64_t(args.getLong("ticks", 4));
     uint64_t seed = uint64_t(args.getLong("seed", 1));
+    size_t jobs = jobsFromArgs(args);
 
     auto suite = workloads::allWorkloads();
+    exec::ThreadPool pool(jobs);
 
     // (a) Estimator algorithm: accuracy and cost.
     {
@@ -47,8 +50,12 @@ main(int argc, char **argv)
         for (auto kind :
              {tomography::EstimatorKind::Linear, tomography::EstimatorKind::Em,
               tomography::EstimatorKind::Moment}) {
-            double mae = 0.0, rmse = 0.0, worst = 0.0, ms = 0.0;
-            for (const auto &workload : suite) {
+            struct Cell
+            {
+                double mae = 0.0, rmse = 0.0, worst = 0.0, ms = 0.0;
+            };
+            auto cells = exec::parallelMap(pool, suite.size(), [&](size_t w) {
+                const auto &workload = suite[w];
                 sim::SimConfig config;
                 config.cyclesPerTick = ticks;
                 auto inputs = workload.makeInputs(seed);
@@ -60,12 +67,21 @@ main(int argc, char **argv)
                 auto start = std::chrono::steady_clock::now();
                 auto estimate =
                     estimateFromTrace(workload, run.trace, ticks, kind);
-                ms += millisSince(start);
+                Cell out;
+                out.ms = millisSince(start);
 
                 auto accuracy = scoreAccuracy(workload, run, estimate);
-                mae += accuracy.mae;
-                rmse += accuracy.rmse;
-                worst = std::max(worst, accuracy.maxError);
+                out.mae = accuracy.mae;
+                out.rmse = accuracy.rmse;
+                out.worst = accuracy.maxError;
+                return out;
+            });
+            double mae = 0.0, rmse = 0.0, worst = 0.0, ms = 0.0;
+            for (const auto &c : cells) {
+                mae += c.mae;
+                rmse += c.rmse;
+                worst = std::max(worst, c.worst);
+                ms += c.ms;
             }
             double n = double(suite.size());
             table.row(tomography::estimatorName(kind), mae / n, rmse / n,
@@ -81,10 +97,11 @@ main(int argc, char **argv)
                          "sense_and_send MAE", "covered mass (crc16)"});
         auto crc = workloads::workloadByName("crc16");
         auto sns = workloads::workloadByName("sense_and_send");
-        auto crc_run = runCampaign(crc, samples, ticks,
-                                   tomography::EstimatorKind::Em, seed);
-        auto sns_run = runCampaign(sns, samples, ticks,
-                                   tomography::EstimatorKind::Em, seed);
+        auto loopy = runCampaigns({crc, sns}, samples, ticks,
+                                  tomography::EstimatorKind::Em, seed, {},
+                                  jobs);
+        const auto &crc_run = loopy[0];
+        const auto &sns_run = loopy[1];
 
         for (uint32_t bound : {3u, 6u, 9u, 12u, 16u}) {
             tomography::EstimatorOptions options;
@@ -112,11 +129,11 @@ main(int argc, char **argv)
         for (bool reenum : {false, true}) {
             tomography::EstimatorOptions options;
             options.reenumerate = reenum;
+            auto campaigns = runCampaigns(suite, samples, ticks,
+                                          tomography::EstimatorKind::Em,
+                                          seed, options, jobs);
             double mae = 0.0, worst = 0.0;
-            for (const auto &workload : suite) {
-                auto campaign =
-                    runCampaign(workload, samples, ticks,
-                                tomography::EstimatorKind::Em, seed, options);
+            for (const auto &campaign : campaigns) {
                 mae += campaign.accuracy.mae;
                 worst = std::max(worst, campaign.accuracy.maxError);
             }
@@ -145,8 +162,11 @@ main(int argc, char **argv)
              sim::micazCostModel()},
         };
         for (const auto &variant : variants) {
-            double tomo = 0.0, perfect = 0.0;
-            for (const auto &workload : suite) {
+            struct Cell
+            {
+                double tomo = 0.0, perfect = 0.0;
+            };
+            auto cells = exec::parallelMap(pool, suite.size(), [&](size_t w) {
                 api::PipelineConfig config;
                 config.measureInvocations = samples;
                 config.evalInvocations = samples * 2;
@@ -154,10 +174,16 @@ main(int argc, char **argv)
                 config.sim.policy = variant.policy;
                 config.sim.costs = variant.costs;
                 config.seed = seed;
-                api::TomographyPipeline pipeline(workload, config);
+                config.jobs = 1; // one pipeline per worker
+                api::TomographyPipeline pipeline(suite[w], config);
                 auto result = pipeline.run();
-                tomo += result.cyclesImprovementPct();
-                perfect += result.perfectImprovementPct();
+                return Cell{result.cyclesImprovementPct(),
+                            result.perfectImprovementPct()};
+            });
+            double tomo = 0.0, perfect = 0.0;
+            for (const auto &c : cells) {
+                tomo += c.tomo;
+                perfect += c.perfect;
             }
             table.row(variant.name, tomo / double(suite.size()),
                       perfect / double(suite.size()));
@@ -176,41 +202,54 @@ main(int argc, char **argv)
         sim::CostModel costs = sim::telosCostModel();
         auto policy = sim::PredictPolicy::NotTaken;
 
-        for (const auto &workload : suite) {
-            sim::SimConfig config;
-            config.cyclesPerTick = ticks;
-            auto inputs = workload.makeInputs(seed);
-            sim::Simulator simulator(
-                *workload.module, sim::lowerModule(*workload.module),
-                config, *inputs, seed ^ 0xbe9c);
-            auto run = simulator.run(workload.entry, samples);
+        struct Row
+        {
+            std::string name;
+            double natural, greedy, best, gap;
+        };
+        auto per_workload =
+            exec::parallelMap(pool, suite.size(), [&](size_t w) {
+                const auto &workload = suite[w];
+                sim::SimConfig config;
+                config.cyclesPerTick = ticks;
+                auto inputs = workload.makeInputs(seed);
+                sim::Simulator simulator(
+                    *workload.module, sim::lowerModule(*workload.module),
+                    config, *inputs, seed ^ 0xbe9c);
+                auto run = simulator.run(workload.entry, samples);
 
-            for (const auto &proc : workload.module->procedures()) {
-                if (proc.blockCount() > 9 ||
-                    run.invocations[proc.id()] == 0) {
-                    continue;
+                std::vector<Row> rows;
+                for (const auto &proc : workload.module->procedures()) {
+                    if (proc.blockCount() > 9 ||
+                        run.invocations[proc.id()] == 0) {
+                        continue;
+                    }
+                    const auto &profile = run.profile[proc.id()];
+                    Rng rng(seed);
+                    auto greedy = layout::computeOrder(
+                        proc, profile, layout::LayoutKind::ProfileGuided,
+                        rng);
+                    auto best =
+                        layout::optimalOrder(proc, profile, costs, policy);
+
+                    double c_nat = layout::evaluatePlacement(
+                        proc, sim::naturalOrder(proc), profile, costs,
+                        policy).transferCycles;
+                    double c_greedy = layout::evaluatePlacement(
+                        proc, greedy, profile, costs, policy).transferCycles;
+                    double c_best = layout::evaluatePlacement(
+                        proc, best, profile, costs, policy).transferCycles;
+                    double gap = c_best > 0.0
+                                     ? 100.0 * (c_greedy - c_best) / c_best
+                                     : 0.0;
+                    rows.push_back({workload.name + "/" + proc.name(),
+                                    c_nat, c_greedy, c_best, gap});
                 }
-                const auto &profile = run.profile[proc.id()];
-                Rng rng(seed);
-                auto greedy = layout::computeOrder(
-                    proc, profile, layout::LayoutKind::ProfileGuided, rng);
-                auto best =
-                    layout::optimalOrder(proc, profile, costs, policy);
-
-                double c_nat = layout::evaluatePlacement(
-                    proc, sim::naturalOrder(proc), profile, costs, policy)
-                    .transferCycles;
-                double c_greedy = layout::evaluatePlacement(
-                    proc, greedy, profile, costs, policy).transferCycles;
-                double c_best = layout::evaluatePlacement(
-                    proc, best, profile, costs, policy).transferCycles;
-                double gap = c_best > 0.0
-                                 ? 100.0 * (c_greedy - c_best) / c_best
-                                 : 0.0;
-                table.row(workload.name + "/" + proc.name(), c_nat,
-                          c_greedy, c_best, gap);
-            }
-        }
+                return rows;
+            });
+        for (const auto &rows : per_workload)
+            for (const auto &r : rows)
+                table.row(r.name, r.natural, r.greedy, r.best, r.gap);
         emit(table, "fig6e_optimality");
     }
 
@@ -222,16 +261,16 @@ main(int argc, char **argv)
         table.setHeader({"reports seen", "streaming", "batch"});
 
         std::vector<size_t> points = {50, 200, 1000, size_t(samples)};
-        std::vector<CampaignResult> full;
-        for (const auto &workload : suite) {
-            full.push_back(runCampaign(workload, samples, ticks,
-                                       tomography::EstimatorKind::Em, seed));
-        }
+        auto full = runCampaigns(suite, samples, ticks,
+                                 tomography::EstimatorKind::Em, seed, {},
+                                 jobs);
 
         for (size_t n : points) {
-            double stream_mae = 0.0;
-            double batch_mae = 0.0;
-            for (size_t w = 0; w < suite.size(); ++w) {
+            struct Cell
+            {
+                double stream = 0.0, batch = 0.0;
+            };
+            auto cells = exec::parallelMap(pool, suite.size(), [&](size_t w) {
                 const auto &workload = suite[w];
                 auto durations =
                     full[w].run.trace.durations(workload.entry);
@@ -252,16 +291,24 @@ main(int argc, char **argv)
                     full[w].run.profile[workload.entry].branchProbabilities(
                         workload.entryProc());
 
+                Cell out;
                 tomography::StreamingEstimator streaming(model);
                 streaming.observeAll(durations);
                 if (!truth.empty()) {
-                    stream_mae +=
+                    out.stream =
                         meanAbsoluteError(streaming.theta(), truth);
                     auto batch = tomography::makeEstimator(
                                      tomography::EstimatorKind::Em, {})
                                      ->estimate(model, durations);
-                    batch_mae += meanAbsoluteError(batch.theta, truth);
+                    out.batch = meanAbsoluteError(batch.theta, truth);
                 }
+                return out;
+            });
+            double stream_mae = 0.0;
+            double batch_mae = 0.0;
+            for (const auto &c : cells) {
+                stream_mae += c.stream;
+                batch_mae += c.batch;
             }
             table.row(n, stream_mae / double(suite.size()),
                       batch_mae / double(suite.size()));

@@ -10,6 +10,7 @@
 
 #include "common.hh"
 
+#include "exec/thread_pool.hh"
 #include "layout/proc_placement.hh"
 
 using namespace ct;
@@ -40,7 +41,7 @@ runWithOrder(const workloads::Workload &workload,
 int
 main(int argc, char **argv)
 {
-    CliArgs args(argc, argv, {"samples", "eval", "ticks", "seed"});
+    CliArgs args(argc, argv, {"samples", "eval", "ticks", "seed", "jobs"});
     size_t samples = size_t(args.getLong("samples", 2000));
     size_t eval = size_t(args.getLong("eval", 4000));
     uint64_t ticks = uint64_t(args.getLong("ticks", 4));
@@ -76,22 +77,34 @@ main(int argc, char **argv)
                      "saving %", "far calls natural", "far calls tomo",
                      "order == oracle"});
 
-    for (uint32_t extra : {0u, 3u, 6u, 12u, 24u}) {
+    const std::vector<uint32_t> penalties = {0u, 3u, 6u, 12u, 24u};
+    exec::ThreadPool pool(jobsFromArgs(args));
+    struct Row
+    {
+        sim::RunResult nat;
+        sim::RunResult tomo;
+    };
+    auto rows = exec::parallelMap(pool, penalties.size(), [&](size_t i) {
         sim::CostModel costs = sim::telosCostModel();
-        costs.farCallExtra = extra;
+        costs.farCallExtra = penalties[i];
         costs.nearCallWindow = 1;
+        Row row;
+        row.nat = runWithOrder(workload, natural, costs, eval, seed + 1);
+        row.tomo = runWithOrder(workload, tomo_order, costs, eval, seed + 1);
+        return row;
+    });
 
-        auto nat = runWithOrder(workload, natural, costs, eval, seed + 1);
-        auto tomo = runWithOrder(workload, tomo_order, costs, eval,
-                                 seed + 1);
+    for (size_t i = 0; i < penalties.size(); ++i) {
+        const auto &nat = rows[i].nat;
+        const auto &tomo = rows[i].tomo;
         double saving =
             nat.totalCycles
                 ? 100.0 *
                       (double(nat.totalCycles) - double(tomo.totalCycles)) /
                       double(nat.totalCycles)
                 : 0.0;
-        table.row(size_t(extra), nat.totalCycles, tomo.totalCycles, saving,
-                  nat.farCalls, tomo.farCalls,
+        table.row(size_t(penalties[i]), nat.totalCycles, tomo.totalCycles,
+                  saving, nat.farCalls, tomo.farCalls,
                   tomo_order == oracle_order ? "yes" : "no");
     }
     emit(table, "fig7_proc_placement");

@@ -8,33 +8,49 @@
 
 #include "common.hh"
 
+#include "exec/thread_pool.hh"
 #include "ir/analysis.hh"
 
 using namespace ct;
 
+namespace {
+
+struct Characteristics
+{
+    size_t loops = 0;
+    uint64_t paths = 0;
+    size_t branches = 0;
+};
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    CliArgs args(argc, argv, {});
-    (void)args;
+    CliArgs args(argc, argv, {"jobs"});
 
     TablePrinter table("Table 1: workload characteristics");
     table.setHeader({"workload", "procs", "blocks", "insts", "branches",
                      "loops", "paths", "inputs"});
 
-    for (const auto &workload : workloads::allWorkloads()) {
-        size_t loops = 0;
-        uint64_t paths = 0;
-        size_t branches = 0;
-        for (const auto &proc : workload.module->procedures()) {
-            loops += ir::findNaturalLoops(proc).size();
-            paths += ir::countAcyclicPaths(proc);
-            branches += proc.branchBlocks().size();
+    auto suite = workloads::allWorkloads();
+    exec::ThreadPool pool(bench::jobsFromArgs(args));
+    auto rows = exec::parallelMap(pool, suite.size(), [&](size_t i) {
+        Characteristics c;
+        for (const auto &proc : suite[i].module->procedures()) {
+            c.loops += ir::findNaturalLoops(proc).size();
+            c.paths += ir::countAcyclicPaths(proc);
+            c.branches += proc.branchBlocks().size();
         }
+        return c;
+    });
+
+    for (size_t i = 0; i < suite.size(); ++i) {
+        const auto &workload = suite[i];
         table.row(workload.name, workload.module->procedureCount(),
                   workload.module->totalBlocks(),
-                  workload.module->totalInsts(), branches, loops,
-                  size_t(paths), workload.inputNotes);
+                  workload.module->totalInsts(), rows[i].branches,
+                  rows[i].loops, size_t(rows[i].paths), workload.inputNotes);
     }
     bench::emit(table, "table1_workloads");
     return 0;

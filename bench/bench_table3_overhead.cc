@@ -10,6 +10,7 @@
 
 #include "common.hh"
 
+#include "exec/thread_pool.hh"
 #include "profiler/instrument.hh"
 #include "profiler/plan.hh"
 #include "trace/wire_format.hh"
@@ -47,7 +48,7 @@ pct(uint64_t value, uint64_t base)
 int
 main(int argc, char **argv)
 {
-    CliArgs args(argc, argv, {"samples", "seed"});
+    CliArgs args(argc, argv, {"samples", "seed", "jobs"});
     size_t samples = size_t(args.getLong("samples", 2000));
     uint64_t seed = uint64_t(args.getLong("seed", 1));
 
@@ -57,7 +58,17 @@ main(int argc, char **argv)
                      "all RAM B", "tomo RAM B", "tree code +slots",
                      "all code +slots", "wire B/event"});
 
-    for (const auto &workload : workloads::allWorkloads()) {
+    struct Row
+    {
+        uint64_t cleanCycles;
+        double probedPct, treePct, allPct;
+        size_t treeRam, allRam, treeSlots, allSlots, wireBytes;
+    };
+
+    auto suite = workloads::allWorkloads();
+    exec::ThreadPool pool(jobsFromArgs(args));
+    auto rows = exec::parallelMap(pool, suite.size(), [&](size_t i) {
+        const auto &workload = suite[i];
         const auto &module = *workload.module;
         auto clean = runModule(module, workload.entry, workload, false,
                                samples, seed);
@@ -84,18 +95,28 @@ main(int argc, char **argv)
         };
         size_t base_slots = slots(module);
 
-        // Tomography ships timestamps over the radio / a log buffer; a
-        // 4-entry staging buffer of 4-byte records is generous.
-        constexpr size_t tomo_ram = 16;
+        Row row;
+        row.cleanCycles = clean.totalCycles;
+        row.probedPct = pct(probed.totalCycles, clean.totalCycles);
+        row.treePct = pct(run_tree.totalCycles, clean.totalCycles);
+        row.allPct = pct(run_all.totalCycles, clean.totalCycles);
+        row.treeRam = plan_tree.counterBytes();
+        row.allRam = plan_all.counterBytes();
+        row.treeSlots = slots(prog_tree.module) - base_slots;
+        row.allSlots = slots(prog_all.module) - base_slots;
+        row.wireBytes = trace::bytesPerRecord(probed.trace);
+        return row;
+    });
 
-        table.row(workload.name, clean.totalCycles,
-                  pct(probed.totalCycles, clean.totalCycles),
-                  pct(run_tree.totalCycles, clean.totalCycles),
-                  pct(run_all.totalCycles, clean.totalCycles),
-                  plan_tree.counterBytes(), plan_all.counterBytes(),
-                  tomo_ram, slots(prog_tree.module) - base_slots,
-                  slots(prog_all.module) - base_slots,
-                  trace::bytesPerRecord(probed.trace));
+    // Tomography ships timestamps over the radio / a log buffer; a
+    // 4-entry staging buffer of 4-byte records is generous.
+    constexpr size_t tomo_ram = 16;
+
+    for (size_t i = 0; i < suite.size(); ++i) {
+        const auto &r = rows[i];
+        table.row(suite[i].name, r.cleanCycles, r.probedPct, r.treePct,
+                  r.allPct, r.treeRam, r.allRam, tomo_ram, r.treeSlots,
+                  r.allSlots, r.wireBytes);
     }
     emit(table, "table3_overhead");
     return 0;

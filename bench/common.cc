@@ -6,6 +6,7 @@
 #include <cstring>
 #include <iostream>
 
+#include "exec/thread_pool.hh"
 #include "obs/metrics.hh"
 #include "util/logging.hh"
 #include "util/str.hh"
@@ -112,6 +113,25 @@ runCampaign(const workloads::Workload &workload, size_t samples,
                                      cycles_per_tick, kind, options);
     out.accuracy = scoreAccuracy(workload, out.run, out.estimate);
     return out;
+}
+
+size_t
+jobsFromArgs(const CliArgs &args)
+{
+    return exec::resolveJobs(size_t(args.getLong("jobs", 0)));
+}
+
+std::vector<CampaignResult>
+runCampaigns(const std::vector<workloads::Workload> &suite, size_t samples,
+             uint64_t cycles_per_tick, tomography::EstimatorKind kind,
+             uint64_t seed, const tomography::EstimatorOptions &options,
+             size_t jobs)
+{
+    exec::ThreadPool pool(jobs);
+    return exec::parallelMap(pool, suite.size(), [&](size_t i) {
+        return runCampaign(suite[i], samples, cycles_per_tick, kind, seed,
+                           options);
+    });
 }
 
 tomography::ModuleEstimate

@@ -68,6 +68,25 @@ CampaignResult runCampaign(const workloads::Workload &workload,
                            const tomography::EstimatorOptions &options = {});
 
 /**
+ * Resolved worker count for a bench binary: --jobs when given,
+ * otherwise auto (CT_JOBS, else hardware threads). Every harness
+ * binary accepts --jobs; outputs are bit-identical for every value.
+ */
+size_t jobsFromArgs(const CliArgs &args);
+
+/**
+ * runCampaign() over a whole workload suite, fanned out over a thread
+ * pool. result[i] is exactly runCampaign(suite[i], ...) — each
+ * campaign's seeds derive from the workload alone, so the outputs are
+ * identical for every jobs count (1 = plain serial loop).
+ */
+std::vector<CampaignResult>
+runCampaigns(const std::vector<workloads::Workload> &suite, size_t samples,
+             uint64_t cycles_per_tick, tomography::EstimatorKind kind,
+             uint64_t seed, const tomography::EstimatorOptions &options = {},
+             size_t jobs = 0);
+
+/**
  * Estimate from an existing run's (possibly transformed) trace; used by
  * sweeps that degrade one shared trace instead of re-simulating.
  */

@@ -1,5 +1,6 @@
 #include "api/pipeline.hh"
 
+#include "exec/thread_pool.hh"
 #include "layout/evaluator.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
@@ -59,13 +60,18 @@ TomographyPipeline::TomographyPipeline(workloads::Workload workload,
 sim::RunResult
 TomographyPipeline::measure()
 {
+    return measureWith(sim::lowerModule(*workload_.module));
+}
+
+sim::RunResult
+TomographyPipeline::measureWith(const sim::LoweredModule &lowered)
+{
     CT_SPAN("pipeline.measure");
     obs::StopwatchUs watch;
     sim::SimConfig cfg = config_.sim;
     cfg.timingProbes = true;
-    auto lowered = sim::lowerModule(*workload_.module);
     auto inputs = workload_.makeInputs(config_.seed);
-    sim::Simulator simulator(*workload_.module, std::move(lowered), cfg,
+    sim::Simulator simulator(*workload_.module, lowered, cfg,
                              *inputs, config_.seed ^ 0x6d656173);
     auto run = simulator.run(workload_.entry, config_.measureInvocations);
     if (obs::metricsEnabled()) {
@@ -81,12 +87,18 @@ TomographyPipeline::measure()
 tomography::ModuleEstimate
 TomographyPipeline::estimate(const trace::TimingTrace &trace)
 {
+    return estimateWith(trace, sim::lowerModule(*workload_.module));
+}
+
+tomography::ModuleEstimate
+TomographyPipeline::estimateWith(const trace::TimingTrace &trace,
+                                 const sim::LoweredModule &lowered)
+{
     CT_SPAN("pipeline.estimate");
     obs::StopwatchUs watch;
     auto estimator =
         tomography::makeEstimator(config_.estimator,
                                   config_.estimatorOptions);
-    auto lowered = sim::lowerModule(*workload_.module);
     double nested_probe_cycles = 2.0 * double(config_.sim.costs.timerRead);
     auto estimate = tomography::estimateModule(
         *workload_.module, lowered, config_.sim.costs, config_.sim.policy,
@@ -197,8 +209,11 @@ TomographyPipeline::runStages()
 {
     CT_SPAN("pipeline.run");
     PipelineResult result;
-    result.measureRun = measure();
-    result.estimate = estimate(result.measureRun.trace);
+    // Lower the natural layout once; measure and estimate both consume
+    // it (they used to lower redundantly, once each).
+    auto lowered = sim::lowerModule(*workload_.module);
+    result.measureRun = measureWith(lowered);
+    result.estimate = estimateWith(result.measureRun.trace, lowered);
 
     // Accuracy scoring over every procedure that was actually invoked
     // and has at least one conditional branch.
@@ -228,22 +243,40 @@ TomographyPipeline::runStages()
     Rng rng(config_.seed ^ 0x72616e64);
     const auto &module = *workload_.module;
 
-    auto natural = layout::computeModuleOrders(
-        module, result.measureRun.profile, layout::LayoutKind::Natural, rng);
-    auto random = layout::computeModuleOrders(
-        module, result.measureRun.profile, layout::LayoutKind::Random, rng);
-    auto dfs = layout::computeModuleOrders(
-        module, result.measureRun.profile, layout::LayoutKind::Dfs, rng);
-    auto tomography_orders = optimize(result.estimate.profile);
-    auto perfect = layout::computeModuleOrders(
-        module, result.measureRun.profile,
-        layout::LayoutKind::ProfileGuided, rng);
+    // Orders are computed serially (they share one Rng stream), then
+    // the five evaluations — each with its own Simulator, seeded only
+    // by the placement — fan out over the pool. parallelMap writes
+    // outcome i to slot i, so the result is bit-identical to the old
+    // serial loop for every jobs value.
+    struct Candidate
+    {
+        const char *name;
+        std::vector<sim::BlockOrder> orders;
+    };
+    std::vector<Candidate> candidates;
+    candidates.push_back(
+        {"natural",
+         layout::computeModuleOrders(module, result.measureRun.profile,
+                                     layout::LayoutKind::Natural, rng)});
+    candidates.push_back(
+        {"random",
+         layout::computeModuleOrders(module, result.measureRun.profile,
+                                     layout::LayoutKind::Random, rng)});
+    candidates.push_back(
+        {"dfs",
+         layout::computeModuleOrders(module, result.measureRun.profile,
+                                     layout::LayoutKind::Dfs, rng)});
+    candidates.push_back({"tomography", optimize(result.estimate.profile)});
+    candidates.push_back(
+        {"perfect",
+         layout::computeModuleOrders(module, result.measureRun.profile,
+                                     layout::LayoutKind::ProfileGuided, rng)});
 
-    result.outcomes.push_back(evaluate("natural", natural));
-    result.outcomes.push_back(evaluate("random", random));
-    result.outcomes.push_back(evaluate("dfs", dfs));
-    result.outcomes.push_back(evaluate("tomography", tomography_orders));
-    result.outcomes.push_back(evaluate("perfect", perfect));
+    exec::ThreadPool pool(config_.jobs);
+    result.outcomes =
+        exec::parallelMap(pool, candidates.size(), [&](size_t i) {
+            return evaluate(candidates[i].name, candidates[i].orders);
+        });
     return result;
 }
 

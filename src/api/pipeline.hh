@@ -41,6 +41,15 @@ struct PipelineConfig
     /** Invocations when evaluating each candidate placement. */
     size_t evalInvocations = 5'000;
     uint64_t seed = 1;
+    /**
+     * Worker threads for the placement-evaluation fan-out. 0 = auto:
+     * the CT_JOBS environment variable when set, else the hardware
+     * thread count. 1 = the exact historical serial path (no worker
+     * threads at all). Every evaluation derives its seeds from the
+     * placement, never from the executing thread, so results are
+     * bit-identical for every jobs value — see exec/thread_pool.hh.
+     */
+    size_t jobs = 0;
 
     /// @name Observability exporters (see docs/OBSERVABILITY.md)
     /// @{
@@ -137,6 +146,15 @@ class TomographyPipeline
   private:
     /** The four stages under one root span, sans exporter handling. */
     PipelineResult runStages();
+
+    /// @name Stage bodies taking an already-lowered module
+    /// runStages() lowers the natural layout once and feeds it to both;
+    /// the public measure()/estimate() wrappers lower on demand.
+    /// @{
+    sim::RunResult measureWith(const sim::LoweredModule &lowered);
+    tomography::ModuleEstimate estimateWith(const trace::TimingTrace &trace,
+                                            const sim::LoweredModule &lowered);
+    /// @}
 
     workloads::Workload workload_;
     PipelineConfig config_;

@@ -1,0 +1,113 @@
+#include "exec/thread_pool.hh"
+
+#include <cstdlib>
+
+#include "util/logging.hh"
+#include "util/str.hh"
+
+namespace ct::exec {
+
+size_t
+hardwareJobs()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : size_t(n);
+}
+
+size_t
+resolveJobs(size_t requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("CT_JOBS")) {
+        long parsed = 0;
+        if (parseLong(env, parsed) && parsed > 0)
+            return size_t(parsed);
+        warn("ignoring CT_JOBS='", env, "' (want a positive integer)");
+    }
+    return hardwareJobs();
+}
+
+ThreadPool::ThreadPool(size_t jobs) : jobs_(resolveJobs(jobs))
+{
+    if (jobs_ <= 1)
+        return;
+    workers_.reserve(jobs_);
+    for (size_t i = 0; i < jobs_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::enqueue(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        CT_ASSERT(!stop_, "submit() on a stopped ThreadPool");
+        queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    while (true) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ set and nothing left to drain
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task(); // packaged_task: exceptions land in the future
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    size_t shards = std::min(jobs_, n);
+    if (shards <= 1 || workers_.empty()) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    std::vector<std::future<void>> pending;
+    pending.reserve(shards);
+    for (size_t s = 0; s < shards; ++s) {
+        pending.push_back(submit([s, shards, n, &fn] {
+            for (size_t i = s; i < n; i += shards)
+                fn(i);
+        }));
+    }
+    // Collect in shard order so the first failure rethrown is the one
+    // with the lowest shard index — deterministic error reporting.
+    std::exception_ptr first;
+    for (auto &future : pending) {
+        try {
+            future.get();
+        } catch (...) {
+            if (!first)
+                first = std::current_exception();
+        }
+    }
+    if (first)
+        std::rethrow_exception(first);
+}
+
+} // namespace ct::exec

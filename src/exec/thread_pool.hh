@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Parallel execution engine for the Code Tomography harness.
+ *
+ * A deliberately small, work-stealing-free thread pool: a fixed set of
+ * workers drains one shared FIFO queue, `submit()` returns a
+ * `std::future`, and `parallelFor(n, fn)` statically shards an index
+ * range round-robin across the workers (shard s handles indices s,
+ * s + shards, s + 2*shards, ...). There is no dynamic rebalancing by
+ * design: every task the library fans out (placement evaluations,
+ * per-workload campaigns) is deterministic given its index and seed, so
+ * static sharding keeps the execution plan — and therefore every
+ * recorded number — independent of scheduling luck.
+ *
+ * Determinism contract: callers derive every per-task seed from the
+ * task *index*, never from the executing thread, and write results into
+ * index-addressed slots (see parallelMap). Under that discipline any
+ * jobs count, including 1, produces bit-identical results.
+ *
+ * `jobs == 1` is the degenerate case: no worker threads are created and
+ * submit()/parallelFor() run the work inline on the calling thread —
+ * exactly the library's historical serial behavior.
+ */
+
+#ifndef CT_EXEC_THREAD_POOL_HH
+#define CT_EXEC_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace ct::exec {
+
+/** Hardware thread count; never less than 1. */
+size_t hardwareJobs();
+
+/**
+ * Resolve a requested job count: a positive @p requested wins; 0 means
+ * "auto" — the CT_JOBS environment variable when set (and positive),
+ * otherwise hardwareJobs().
+ */
+size_t resolveJobs(size_t requested);
+
+/** Fixed-size thread pool with a shared FIFO queue. */
+class ThreadPool
+{
+  public:
+    /** @p jobs is resolved via resolveJobs(); 1 means fully inline. */
+    explicit ThreadPool(size_t jobs = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Resolved worker count (1 = inline execution, no threads). */
+    size_t jobs() const { return jobs_; }
+
+    /**
+     * Schedule @p fn; the future carries its result or exception. With
+     * jobs() == 1 the call runs inline before submit() returns.
+     */
+    template <typename Fn>
+    auto submit(Fn &&fn) -> std::future<std::invoke_result_t<std::decay_t<Fn>>>
+    {
+        using R = std::invoke_result_t<std::decay_t<Fn>>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<Fn>(fn));
+        auto future = task->get_future();
+        if (workers_.empty()) {
+            (*task)();
+            return future;
+        }
+        enqueue([task] { (*task)(); });
+        return future;
+    }
+
+    /**
+     * Run fn(0) ... fn(n-1), sharded round-robin over the workers;
+     * returns when all indices completed. Exceptions propagate: the
+     * first failing shard's exception (in shard order) is rethrown.
+     * Within a shard, indices run in increasing order; with jobs() == 1
+     * the whole range runs inline in order — the serial semantics.
+     */
+    void parallelFor(size_t n, const std::function<void(size_t)> &fn);
+
+  private:
+    void enqueue(std::function<void()> task);
+    void workerLoop();
+
+    size_t jobs_;
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+/**
+ * parallelFor with an index-addressed result vector: out[i] = fn(i).
+ * The output order depends only on the indices, never on scheduling,
+ * so results are identical for every jobs count.
+ */
+template <typename Fn>
+auto
+parallelMap(ThreadPool &pool, size_t n, Fn &&fn)
+    -> std::vector<std::invoke_result_t<std::decay_t<Fn>, size_t>>
+{
+    using R = std::invoke_result_t<std::decay_t<Fn>, size_t>;
+    std::vector<R> out(n);
+    pool.parallelFor(n, [&](size_t i) { out[i] = fn(i); });
+    return out;
+}
+
+} // namespace ct::exec
+
+#endif // CT_EXEC_THREAD_POOL_HH

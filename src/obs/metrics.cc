@@ -23,6 +23,7 @@ monotonicMicros()
 int64_t
 Histogram::min() const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     CT_ASSERT(!hist_.cells().empty(), "min() of empty histogram");
     return hist_.cells().begin()->first;
 }
@@ -30,6 +31,7 @@ Histogram::min() const
 int64_t
 Histogram::max() const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     CT_ASSERT(!hist_.cells().empty(), "max() of empty histogram");
     return hist_.cells().rbegin()->first;
 }
@@ -37,6 +39,7 @@ Histogram::max() const
 double
 Series::back() const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     CT_ASSERT(!values_.empty(), "back() of empty series");
     return values_.back();
 }
@@ -44,6 +47,7 @@ Series::back() const
 bool
 MetricsRegistry::empty() const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     return counters_.empty() && gauges_.empty() && histograms_.empty() &&
            series_.empty();
 }
@@ -51,6 +55,7 @@ MetricsRegistry::empty() const
 void
 MetricsRegistry::clear()
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     counters_.clear();
     gauges_.clear();
     histograms_.clear();
@@ -122,6 +127,7 @@ appendSection(std::string &out, const char *section, const Map &map,
 std::string
 MetricsRegistry::toJson() const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     std::string out = "{";
     appendSection(out, "counters", counters_,
                   [](std::string &o, const Counter &c) {
@@ -181,6 +187,7 @@ MetricsRegistry::writeJson(const std::string &path) const
 void
 MetricsRegistry::writeCsv(const std::string &path) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     CsvWriter csv(path);
     csv.row("kind", "name", "key", "value");
     for (const auto &[name, c] : counters_)
@@ -204,12 +211,13 @@ metrics()
 
 namespace {
 
-bool &
+std::atomic<bool> &
 metricsEnabledRef()
 {
     // Environment consulted once, on first query; setMetricsEnabled()
-    // afterwards overrides whatever the environment said.
-    static bool enabled = !metricsOutPathFromEnv().empty();
+    // afterwards overrides whatever the environment said. Atomic so
+    // pool workers can query while the main thread toggles.
+    static std::atomic<bool> enabled{!metricsOutPathFromEnv().empty()};
     return enabled;
 }
 
@@ -218,13 +226,13 @@ metricsEnabledRef()
 bool
 metricsEnabled()
 {
-    return metricsEnabledRef();
+    return metricsEnabledRef().load(std::memory_order_relaxed);
 }
 
 void
 setMetricsEnabled(bool on)
 {
-    metricsEnabledRef() = on;
+    metricsEnabledRef().store(on, std::memory_order_relaxed);
 }
 
 std::string

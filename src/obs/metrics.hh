@@ -14,15 +14,27 @@
  * `<subsystem>.<noun>[_<unit>]`, e.g. `sim.instructions`,
  * `pipeline.measure_us`, `tomography.em.log_likelihood`.
  *
- * Not thread-safe by design — the library is single-threaded (see
- * util/logging.hh for the same convention).
+ * Thread safety (see docs/OBSERVABILITY.md for the full contract):
+ * the parallel execution engine (exec/thread_pool.hh) records into
+ * this process-wide registry from worker threads, so *recording* is
+ * thread-safe — registry lookup is mutex-guarded (references returned
+ * stay valid for the registry's lifetime), counter adds and gauge sets
+ * are atomic, and histogram/series writes take a per-metric mutex. No
+ * write is ever lost: concurrent counter totals are exact. *Exports*
+ * (toJson/writeCsv) and clear() lock the registry but read individual
+ * metrics unlocked, so run them only after parallel work has joined —
+ * which is when every caller in this codebase exports anyway. Series
+ * interleaving across concurrent writers is the one scheduling-ordered
+ * output; see the docs note on telemetry vs result determinism.
  */
 
 #ifndef CT_OBS_METRICS_HH
 #define CT_OBS_METRICS_HH
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -33,79 +45,130 @@ namespace ct::obs {
 /** Monotonic wall-clock microseconds (steady_clock). */
 int64_t monotonicMicros();
 
-/** Monotonically increasing event count. */
+/** Monotonically increasing event count; adds are atomic and exact. */
 class Counter
 {
   public:
-    void add(uint64_t n = 1) { value_ += n; }
-    uint64_t value() const { return value_; }
+    void add(uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+    uint64_t value() const { return value_.load(std::memory_order_relaxed); }
 
   private:
-    uint64_t value_ = 0;
+    std::atomic<uint64_t> value_{0};
 };
 
-/** Last-written point-in-time value. */
+/** Last-written point-in-time value; set/read are atomic. */
 class Gauge
 {
   public:
-    void set(double value) { value_ = value; }
-    double value() const { return value_; }
+    void set(double value)
+    {
+        value_.store(value, std::memory_order_relaxed);
+    }
+    double value() const { return value_.load(std::memory_order_relaxed); }
 
   private:
-    double value_ = 0.0;
+    std::atomic<double> value_{0.0};
 };
 
 /**
  * Distribution of integer-valued observations (latencies in
  * microseconds, cycle counts, ...); backed by stats/histogram's exact
  * representation, so the full shape survives into the export.
+ * Recording takes a per-histogram mutex: concurrent record() calls
+ * from pool workers are lossless.
  */
 class Histogram
 {
   public:
-    void record(int64_t value) { hist_.add(value); }
+    void record(int64_t value)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        hist_.add(value);
+    }
 
-    uint64_t count() const { return hist_.total(); }
-    double mean() const { return hist_.mean(); }
+    uint64_t count() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return hist_.total();
+    }
+    double mean() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return hist_.mean();
+    }
     int64_t min() const;
     int64_t max() const;
 
+    /** Unlocked view for exports; quiesce writers first. */
     const ExactHistogram &cells() const { return hist_; }
 
   private:
+    mutable std::mutex mutex_;
     ExactHistogram hist_;
 };
 
-/** Ordered sequence of samples (e.g. one value per EM iteration). */
+/**
+ * Ordered sequence of samples (e.g. one value per EM iteration).
+ * Appends are mutex-guarded; when several threads append to the *same*
+ * series the interleaving follows the scheduler (each thread's own
+ * samples keep their order).
+ */
 class Series
 {
   public:
-    void append(double value) { values_.push_back(value); }
+    void append(double value)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        values_.push_back(value);
+    }
 
-    size_t size() const { return values_.size(); }
-    bool empty() const { return values_.empty(); }
+    size_t size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return values_.size();
+    }
+    bool empty() const { return size() == 0; }
     double back() const;
+    /** Unlocked view for exports; quiesce writers first. */
     const std::vector<double> &values() const { return values_; }
 
   private:
+    mutable std::mutex mutex_;
     std::vector<double> values_;
 };
 
 /**
  * Named metric store. Lookup creates on first use; returned references
  * stay valid for the registry's lifetime (node-based map), so callers
- * may cache them across a hot loop.
+ * may cache them across a hot loop. Lookups are mutex-guarded and safe
+ * from any thread.
  */
 class MetricsRegistry
 {
   public:
-    Counter &counter(const std::string &name) { return counters_[name]; }
-    Gauge &gauge(const std::string &name) { return gauges_[name]; }
+    Counter &counter(const std::string &name)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return counters_[name];
+    }
+    Gauge &gauge(const std::string &name)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return gauges_[name];
+    }
     Histogram &histogram(const std::string &name)
     {
+        std::lock_guard<std::mutex> lock(mutex_);
         return histograms_[name];
     }
-    Series &series(const std::string &name) { return series_[name]; }
+    Series &series(const std::string &name)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return series_[name];
+    }
 
     const std::map<std::string, Counter> &counters() const
     {
@@ -140,6 +203,7 @@ class MetricsRegistry
     void writeCsv(const std::string &path) const;
 
   private:
+    mutable std::mutex mutex_;
     std::map<std::string, Counter> counters_;
     std::map<std::string, Gauge> gauges_;
     std::map<std::string, Histogram> histograms_;
@@ -153,7 +217,8 @@ MetricsRegistry &metrics();
  * Whether instrumented code should record into metrics(). Defaults to
  * off; flips on the first time it is queried if CT_METRICS_OUT is set
  * in the environment, and can be toggled programmatically (explicit
- * calls win over the environment).
+ * calls win over the environment). The flag is atomic: workers may
+ * query it while another thread toggles.
  */
 bool metricsEnabled();
 void setMetricsEnabled(bool on);

@@ -15,14 +15,25 @@
  * with tracer().writeJson(path).
  *
  * Span names follow the metric naming scheme: `<subsystem>.<verb>`,
- * e.g. `pipeline.measure`, `sim.run`. Not thread-safe by design
- * (single-threaded library).
+ * e.g. `pipeline.measure`, `sim.run`.
+ *
+ * Thread safety: each thread records into its own span buffer
+ * (registered with the tracer on the thread's first span, under a
+ * mutex), so begin/end pairs never contend and nesting depth is
+ * tracked per thread. Buffers are merged at export: events() returns a
+ * begin-ordered snapshot across all threads, and toJson() emits each
+ * thread's spans under its own `tid`. Exports and clear() must not
+ * race with threads actively inside spans — quiesce (join the pool)
+ * first, as every caller in this codebase does.
  */
 
 #ifndef CT_OBS_TRACE_HH
 #define CT_OBS_TRACE_HH
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -39,23 +50,30 @@ class SpanTracer
         int64_t beginUs = 0; //!< relative to the first span's begin
         int64_t durUs = 0;
         int depth = 0;       //!< nesting level at begin (0 = root)
+        int tid = 1;         //!< recording thread (1 = first to trace)
         bool open = true;    //!< true until endSpan() closes it
     };
 
-    bool enabled() const { return enabled_; }
-    void setEnabled(bool on) { enabled_ = on; }
+    bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+    void setEnabled(bool on)
+    {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
 
     /**
-     * Open a span; returns its index for the matching endSpan().
-     * Usually reached via the Span RAII wrapper, not called directly.
+     * Open a span on the calling thread; returns its index for the
+     * matching endSpan() (same thread). Usually reached via the Span
+     * RAII wrapper, not called directly.
      */
     size_t beginSpan(const char *name);
     void endSpan(size_t index);
 
-    size_t eventCount() const { return events_.size(); }
-    /** Spans begun but not yet ended (current nesting depth). */
-    size_t openSpans() const { return size_t(depth_); }
-    const std::vector<Event> &events() const { return events_; }
+    /** Completed + open spans across all threads. */
+    size_t eventCount() const;
+    /** Spans begun but not yet ended, summed over threads. */
+    size_t openSpans() const;
+    /** Merged snapshot of all threads' spans, ordered by begin time. */
+    std::vector<Event> events() const;
 
     /** Drop all buffered events (tests; between repetitions). */
     void clear();
@@ -70,10 +88,22 @@ class SpanTracer
     void writeJson(const std::string &path) const;
 
   private:
-    bool enabled_ = false;
-    int depth_ = 0;
-    int64_t originUs_ = -1; //!< timestamp base; set by the first span
-    std::vector<Event> events_;
+    struct ThreadBuffer
+    {
+        std::vector<Event> events;
+        int depth = 0;
+        int tid = 1;
+    };
+
+    /** This thread's buffer, registering it on first use. */
+    ThreadBuffer &localBuffer();
+    /** Timestamp base: set by the first span process-wide. */
+    int64_t originFor(int64_t now);
+
+    std::atomic<bool> enabled_{false};
+    std::atomic<int64_t> originUs_{-1};
+    mutable std::mutex mutex_; //!< guards buffers_ (the list, not entries)
+    std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
 };
 
 /**

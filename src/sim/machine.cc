@@ -107,70 +107,73 @@ Simulator::execProcedure(ir::ProcId proc_id, RunResult &result,
             ++result.isrFirings;
         }
 
-        // Straight-line body.
+        // Straight-line body: one dispatch per instruction. Each case
+        // spends the instruction's cycles *before* executing its effect
+        // (TimerRead must observe a timer that already includes its own
+        // cost), so the cost model is identical to the historical
+        // two-switch form — this is purely a dispatch merge.
         for (const auto &inst : bb.insts) {
             using ir::Opcode;
-            Activity act = Activity::CpuActive;
-            switch (inst.op) {
-              case Opcode::Sense:
-                act = Activity::Sense;
-                break;
-              case Opcode::RadioTx:
-                act = Activity::RadioTx;
-                break;
-              case Opcode::RadioRx:
-                act = Activity::RadioRx;
-                break;
-              case Opcode::Sleep:
-                act = Activity::Sleep;
-                break;
-              default:
-                break;
-            }
-            spend(costs.cyclesFor(inst), act);
+            const uint64_t cost = costs.cyclesFor(inst);
             switch (inst.op) {
               case Opcode::Nop:
+                spend(cost, Activity::CpuActive);
+                break;
               case Opcode::Sleep:
+                spend(cost, Activity::Sleep);
                 break;
               case Opcode::Li:
+                spend(cost, Activity::CpuActive);
                 regs[inst.rd] = inst.imm;
                 break;
               case Opcode::Mov:
+                spend(cost, Activity::CpuActive);
                 regs[inst.rd] = regs[inst.rs1];
                 break;
               case Opcode::Add:
+                spend(cost, Activity::CpuActive);
                 regs[inst.rd] = regs[inst.rs1] + regs[inst.rs2];
                 break;
               case Opcode::AddI:
+                spend(cost, Activity::CpuActive);
                 regs[inst.rd] = regs[inst.rs1] + inst.imm;
                 break;
               case Opcode::Sub:
+                spend(cost, Activity::CpuActive);
                 regs[inst.rd] = regs[inst.rs1] - regs[inst.rs2];
                 break;
               case Opcode::Mul:
+                spend(cost, Activity::CpuActive);
                 regs[inst.rd] = regs[inst.rs1] * regs[inst.rs2];
                 break;
               case Opcode::And:
+                spend(cost, Activity::CpuActive);
                 regs[inst.rd] = regs[inst.rs1] & regs[inst.rs2];
                 break;
               case Opcode::Or:
+                spend(cost, Activity::CpuActive);
                 regs[inst.rd] = regs[inst.rs1] | regs[inst.rs2];
                 break;
               case Opcode::Xor:
+                spend(cost, Activity::CpuActive);
                 regs[inst.rd] = regs[inst.rs1] ^ regs[inst.rs2];
                 break;
               case Opcode::Shl:
+                spend(cost, Activity::CpuActive);
                 regs[inst.rd] = regs[inst.rs1] << (regs[inst.rs2] & 31);
                 break;
               case Opcode::Shr:
+                spend(cost, Activity::CpuActive);
                 regs[inst.rd] = ir::Word(uint32_t(regs[inst.rs1]) >>
                                          (regs[inst.rs2] & 31));
                 break;
               case Opcode::ShrI:
+                spend(cost, Activity::CpuActive);
                 regs[inst.rd] =
                     ir::Word(uint32_t(regs[inst.rs1]) >> (inst.imm & 31));
                 break;
               case Opcode::Ld: {
+                spend(cost, Activity::CpuActive);
                 int64_t addr = int64_t(regs[inst.rs1]) + inst.imm;
                 if (addr < 0 || size_t(addr) >= ram_.size())
                     fatal("'", proc.name(), "': load address ", addr,
@@ -179,6 +182,7 @@ Simulator::execProcedure(ir::ProcId proc_id, RunResult &result,
                 break;
               }
               case Opcode::St: {
+                spend(cost, Activity::CpuActive);
                 int64_t addr = int64_t(regs[inst.rs1]) + inst.imm;
                 if (addr < 0 || size_t(addr) >= ram_.size())
                     fatal("'", proc.name(), "': store address ", addr,
@@ -187,18 +191,24 @@ Simulator::execProcedure(ir::ProcId proc_id, RunResult &result,
                 break;
               }
               case Opcode::Sense:
+                spend(cost, Activity::Sense);
                 regs[inst.rd] = inputs_.sense(int(inst.imm));
                 break;
               case Opcode::RadioTx:
+                spend(cost, Activity::RadioTx);
                 break; // payload value has no architectural effect
               case Opcode::RadioRx:
+                spend(cost, Activity::RadioRx);
                 regs[inst.rd] = inputs_.radioRx();
                 break;
               case Opcode::TimerRead:
+                spend(cost, Activity::CpuActive);
                 regs[inst.rd] = ir::Word(timer_.ticksAt(cycles_));
                 break;
               case Opcode::Call: {
-                // Linkage charged via cyclesFor above; body is recursive.
+                // Linkage charged before the recursive body, like every
+                // other case's cost.
+                spend(cost, Activity::CpuActive);
                 ir::ProcId callee = ir::ProcId(inst.imm);
                 if (costs.farCallExtra > 0 &&
                     lowered_.procDistance(proc_id, callee) >

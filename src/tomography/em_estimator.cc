@@ -25,6 +25,7 @@ runEm(const PathWorkspace &ws, const EstimatorOptions &options,
     const size_t params = theta.size();
 
     std::vector<double> prior(paths, 0.0);
+    std::vector<double> path_resp(paths, 0.0);
     std::vector<double> acc_taken(params, 0.0);
     std::vector<double> acc_fall(params, 0.0);
 
@@ -46,12 +47,19 @@ runEm(const PathWorkspace &ws, const EstimatorOptions &options,
         for (size_t p = 0; p < paths; ++p)
             prior[p] = std::exp(ws.features[p].logProb(theta));
 
+        std::fill(path_resp.begin(), path_resp.end(), 0.0);
         std::fill(acc_taken.begin(), acc_taken.end(), 0.0);
         std::fill(acc_fall.begin(), acc_fall.end(), 0.0);
         log_likelihood = 0.0;
 
+        // E-step over the flat kernel. A path's decision counts do not
+        // depend on the observation, so the per-parameter accumulation
+        // is hoisted out of the observation loop: first total each
+        // path's responsibility mass across observations, then spread
+        // it over the parameters once — O(obs*paths + paths*params)
+        // instead of O(obs*paths*params).
         for (size_t o = 0; o < ws.obsValues.size(); ++o) {
-            const auto &krow = ws.kernel[o];
+            const double *krow = ws.kernelRow(o);
             double denom = 0.0;
             for (size_t p = 0; p < paths; ++p)
                 denom += prior[p] * krow[p];
@@ -63,15 +71,17 @@ runEm(const PathWorkspace &ws, const EstimatorOptions &options,
             }
             log_likelihood += ws.obsWeights[o] * std::log(denom);
             double scale = ws.obsWeights[o] / denom;
-            for (size_t p = 0; p < paths; ++p) {
-                double resp = prior[p] * krow[p] * scale;
-                if (resp <= 0.0)
-                    continue;
-                const auto &f = ws.features[p];
-                for (size_t b = 0; b < params; ++b) {
-                    acc_taken[b] += resp * f.takenCount[b];
-                    acc_fall[b] += resp * f.fallCount[b];
-                }
+            for (size_t p = 0; p < paths; ++p)
+                path_resp[p] += prior[p] * krow[p] * scale;
+        }
+        for (size_t p = 0; p < paths; ++p) {
+            double resp = path_resp[p];
+            if (resp <= 0.0)
+                continue;
+            const auto &f = ws.features[p];
+            for (size_t b = 0; b < params; ++b) {
+                acc_taken[b] += resp * f.takenCount[b];
+                acc_fall[b] += resp * f.fallCount[b];
             }
         }
 

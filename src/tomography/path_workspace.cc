@@ -44,13 +44,13 @@ PathWorkspace::build(const TimingModel &model,
     }
 
     NoiseKernel noise(model.cyclesPerTick(), options.jitterSigmaTicks);
-    ws.kernel.assign(ws.obsValues.size(),
-                     std::vector<double>(ws.set.paths.size(), 0.0));
+    ws.kernelStride = ws.set.paths.size();
+    ws.kernel.assign(ws.obsValues.size() * ws.kernelStride, 0.0);
     for (size_t o = 0; o < ws.obsValues.size(); ++o) {
-        for (size_t p = 0; p < ws.set.paths.size(); ++p) {
-            ws.kernel[o][p] = noise.prob(ws.obsValues[o], ws.rewards[p],
-                                         ws.extraVarTicks2[p]);
-        }
+        double *row = ws.kernel.data() + o * ws.kernelStride;
+        for (size_t p = 0; p < ws.kernelStride; ++p)
+            row[p] = noise.prob(ws.obsValues[o], ws.rewards[p],
+                                ws.extraVarTicks2[p]);
     }
     return ws;
 }

@@ -28,8 +28,19 @@ struct PathWorkspace
     std::vector<double> obsWeights; //!< multiplicity of each value
     double totalWeight = 0.0;
 
-    /** kernel[o][p] = P(obsValues[o] | rewards[p]). */
-    std::vector<std::vector<double>> kernel;
+    /**
+     * Observation-likelihood matrix, row-major and contiguous:
+     * kernelRow(o)[p] = P(obsValues[o] | rewards[p]). One flat buffer
+     * (rows of kernelStride doubles) instead of a vector-of-vectors so
+     * the EM E-step streams it without per-row indirection.
+     */
+    std::vector<double> kernel;
+    size_t kernelStride = 0; //!< paths per row
+
+    const double *kernelRow(size_t o) const
+    {
+        return kernel.data() + o * kernelStride;
+    }
 
     /**
      * Build: enumerate paths of @p model's chain under @p enum_theta,

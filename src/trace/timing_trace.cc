@@ -67,6 +67,24 @@ TimingTrace::truncated(ir::ProcId proc, size_t n) const
     return out;
 }
 
+TimingTrace
+TimingTrace::truncatedAll(size_t n) const
+{
+    TimingTrace out;
+    std::vector<size_t> kept; // per-proc counts, grown on demand
+    for (const auto &record : records_) {
+        if (record.proc != ir::kNoProc) {
+            if (size_t(record.proc) >= kept.size())
+                kept.resize(size_t(record.proc) + 1, 0);
+            if (kept[size_t(record.proc)] >= n)
+                continue;
+            ++kept[size_t(record.proc)];
+        }
+        out.add(record);
+    }
+    return out;
+}
+
 void
 TimingTrace::saveCsv(const std::string &path) const
 {

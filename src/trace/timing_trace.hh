@@ -54,6 +54,13 @@ class TimingTrace
     /** Keep only the first @p n records of @p proc (sample-size sweeps). */
     TimingTrace truncated(ir::ProcId proc, size_t n) const;
 
+    /**
+     * Keep only the first @p n records of *every* procedure, in one
+     * pass. Equivalent to chaining truncated(proc, n) over all procs,
+     * without the O(procs) intermediate trace copies.
+     */
+    TimingTrace truncatedAll(size_t n) const;
+
     /** Write as CSV (proc,invocation,start,end,true_cycles). */
     void saveCsv(const std::string &path) const;
 

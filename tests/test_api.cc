@@ -115,6 +115,52 @@ TEST(Pipeline, DeterministicGivenSeed)
     EXPECT_DOUBLE_EQ(ra.branchMae, rb.branchMae);
 }
 
+TEST(Pipeline, ResultIdenticalForAnyJobsCount)
+{
+    // The parallel evaluation fan-out must be invisible in the numbers:
+    // every field of every outcome bit-identical between the serial
+    // path (jobs=1) and a saturated pool (jobs=4).
+    for (const char *name : {"crc16", "collection_tree"}) {
+        auto serial_config = fastConfig();
+        serial_config.jobs = 1;
+        auto parallel_config = fastConfig();
+        parallel_config.jobs = 4;
+
+        TomographyPipeline serial(workloads::workloadByName(name),
+                                  serial_config);
+        TomographyPipeline parallel(workloads::workloadByName(name),
+                                    parallel_config);
+        auto rs = serial.run();
+        auto rp = parallel.run();
+
+        ASSERT_EQ(rs.outcomes.size(), rp.outcomes.size()) << name;
+        for (size_t i = 0; i < rs.outcomes.size(); ++i) {
+            const auto &a = rs.outcomes[i];
+            const auto &b = rp.outcomes[i];
+            EXPECT_EQ(a.name, b.name) << name;
+            EXPECT_EQ(a.totalCycles, b.totalCycles) << name << "/" << a.name;
+            EXPECT_EQ(a.mispredicted, b.mispredicted)
+                << name << "/" << a.name;
+            EXPECT_EQ(a.branchesExecuted, b.branchesExecuted)
+                << name << "/" << a.name;
+            EXPECT_EQ(a.dynamicJumps, b.dynamicJumps)
+                << name << "/" << a.name;
+            EXPECT_DOUBLE_EQ(a.mispredictRate, b.mispredictRate)
+                << name << "/" << a.name;
+            EXPECT_DOUBLE_EQ(a.takenRate, b.takenRate)
+                << name << "/" << a.name;
+            EXPECT_DOUBLE_EQ(a.energyMicrojoules, b.energyMicrojoules)
+                << name << "/" << a.name;
+        }
+        EXPECT_DOUBLE_EQ(rs.branchMae, rp.branchMae) << name;
+        EXPECT_DOUBLE_EQ(rs.branchMaxError, rp.branchMaxError) << name;
+        EXPECT_EQ(rs.estimatedTheta, rp.estimatedTheta) << name;
+        EXPECT_EQ(rs.trueTheta, rp.trueTheta) << name;
+        EXPECT_EQ(rs.measureRun.totalCycles, rp.measureRun.totalCycles)
+            << name;
+    }
+}
+
 TEST(PipelineDeathTest, UnknownOutcomeIsFatal)
 {
     TomographyPipeline pipeline(workloads::makeBlink(), fastConfig());

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * exec/thread_pool: determinism of parallelFor/parallelMap across jobs
+ * counts, the jobs == 1 inline degenerate case, exception propagation,
+ * and submit() futures.
+ */
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "exec/thread_pool.hh"
+
+using namespace ct;
+
+namespace {
+
+TEST(ExecPool, ResolveJobsPositiveRequestWins)
+{
+    EXPECT_EQ(exec::resolveJobs(1), 1u);
+    EXPECT_EQ(exec::resolveJobs(7), 7u);
+}
+
+TEST(ExecPool, ResolveJobsAutoIsPositive)
+{
+    EXPECT_GE(exec::resolveJobs(0), 1u);
+}
+
+TEST(ExecPool, HardwareJobsAtLeastOne)
+{
+    EXPECT_GE(exec::hardwareJobs(), 1u);
+}
+
+TEST(ExecPool, JobsOneRunsInlineOnCallingThread)
+{
+    exec::ThreadPool pool(1);
+    EXPECT_EQ(pool.jobs(), 1u);
+
+    auto caller = std::this_thread::get_id();
+    std::thread::id ran_on;
+    pool.parallelFor(3, [&](size_t) { ran_on = std::this_thread::get_id(); });
+    EXPECT_EQ(ran_on, caller);
+
+    // submit() also runs before returning.
+    bool ran = false;
+    auto future = pool.submit([&] {
+        ran = true;
+        return 42;
+    });
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ExecPool, JobsOneVisitsIndicesInOrder)
+{
+    exec::ThreadPool pool(1);
+    std::vector<size_t> seen;
+    pool.parallelFor(5, [&](size_t i) { seen.push_back(i); });
+    EXPECT_EQ(seen, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ExecPool, ParallelMapIsOrderIndependent)
+{
+    // Same index-addressed results for every jobs count, with n both
+    // above and below the worker count.
+    auto square = [](size_t i) { return i * i + 1; };
+    exec::ThreadPool serial(1);
+    auto reference = exec::parallelMap(serial, 17, square);
+    for (size_t jobs : {1u, 2u, 3u, 8u}) {
+        exec::ThreadPool pool(jobs);
+        EXPECT_EQ(exec::parallelMap(pool, 17, square), reference)
+            << "jobs=" << jobs;
+        EXPECT_EQ(exec::parallelMap(pool, 2, square),
+                  std::vector<size_t>(reference.begin(),
+                                      reference.begin() + 2))
+            << "jobs=" << jobs;
+    }
+}
+
+TEST(ExecPool, EveryIndexRunsExactlyOnce)
+{
+    exec::ThreadPool pool(4);
+    const size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallelFor(n, [&](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ExecPool, ParallelForZeroIsANoop)
+{
+    exec::ThreadPool pool(4);
+    bool called = false;
+    pool.parallelFor(0, [&](size_t) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+TEST(ExecPool, ExceptionPropagatesFromWorker)
+{
+    for (size_t jobs : {1u, 4u}) {
+        exec::ThreadPool pool(jobs);
+        EXPECT_THROW(pool.parallelFor(8,
+                                      [&](size_t i) {
+                                          if (i == 5)
+                                              throw std::runtime_error("boom");
+                                      }),
+                     std::runtime_error)
+            << "jobs=" << jobs;
+        // The pool survives a failed parallelFor.
+        std::atomic<size_t> sum{0};
+        pool.parallelFor(4, [&](size_t i) { sum += i; });
+        EXPECT_EQ(sum.load(), 6u) << "jobs=" << jobs;
+    }
+}
+
+TEST(ExecPool, SubmitFutureCarriesException)
+{
+    exec::ThreadPool pool(2);
+    auto future = pool.submit([]() -> int {
+        throw std::runtime_error("submit failure");
+    });
+    EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ExecPool, SubmitReturnsResultsConcurrently)
+{
+    exec::ThreadPool pool(4);
+    std::vector<std::future<size_t>> futures;
+    for (size_t i = 0; i < 32; ++i)
+        futures.push_back(pool.submit([i] { return i * 2; }));
+    size_t total = 0;
+    for (auto &f : futures)
+        total += f.get();
+    EXPECT_EQ(total, 2 * (31 * 32) / 2);
+}
+
+} // namespace

@@ -10,6 +10,9 @@
 #include <fstream>
 #include <limits>
 #include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "json_check.hh"
 #include "obs/metrics.hh"
@@ -220,4 +223,77 @@ TEST(ObsMetrics, StopwatchIsMonotonic)
     EXPECT_GE(watch.elapsedUs(), 0);
     int64_t first = watch.elapsedUs();
     EXPECT_GE(watch.elapsedUs(), first);
+}
+
+TEST(ObsMetrics, ConcurrentWritersKeepExactTotals)
+{
+    // N threads hammer the same registry through name lookups (the
+    // racy path: map insertion + metric mutation). Totals must come
+    // out exact — no lost updates anywhere.
+    obs::MetricsRegistry reg;
+    const size_t threads = 8;
+    const size_t per_thread = 10000; // multiple of 16 (cell check below)
+    std::vector<std::thread> workers;
+    for (size_t t = 0; t < threads; ++t) {
+        workers.emplace_back([&reg, t, per_thread] {
+            auto own_series = "mt.series." + std::to_string(t);
+            for (size_t i = 0; i < per_thread; ++i) {
+                reg.counter("mt.counter").add(1);
+                reg.histogram("mt.histogram").record(int64_t(i % 16));
+                reg.series(own_series).append(double(i));
+                reg.series("mt.shared").append(double(t));
+                reg.gauge("mt.gauge").set(double(t));
+            }
+        });
+    }
+    for (auto &worker : workers)
+        worker.join();
+
+    EXPECT_EQ(reg.counter("mt.counter").value(), threads * per_thread);
+    EXPECT_EQ(reg.histogram("mt.histogram").count(), threads * per_thread);
+    // per_thread is a multiple of 16, so every cell is hit equally.
+    for (int64_t v = 0; v < 16; ++v)
+        EXPECT_EQ(reg.histogram("mt.histogram").cells().count(v),
+                  threads * per_thread / 16)
+            << "cell " << v;
+    // A thread's private series keeps its append order; the shared one
+    // interleaves arbitrarily but loses nothing.
+    for (size_t t = 0; t < threads; ++t) {
+        const auto &series = reg.series("mt.series." + std::to_string(t));
+        ASSERT_EQ(series.size(), per_thread) << "thread " << t;
+        EXPECT_DOUBLE_EQ(series.values().front(), 0.0);
+        EXPECT_DOUBLE_EQ(series.back(), double(per_thread - 1));
+    }
+    EXPECT_EQ(reg.series("mt.shared").size(), threads * per_thread);
+    // Gauge is last-writer-wins: the value is one someone wrote.
+    double gauge = reg.gauge("mt.gauge").value();
+    EXPECT_GE(gauge, 0.0);
+    EXPECT_LT(gauge, double(threads));
+
+    // The export is still strictly valid JSON with the exact totals.
+    auto doc = testjson::parseJson(reg.toJson());
+    ASSERT_NE(doc, nullptr);
+    EXPECT_DOUBLE_EQ(doc->get("counters")->get("mt.counter")->number,
+                     double(threads * per_thread));
+}
+
+TEST(ObsMetrics, ConcurrentLookupsReturnTheSameMetric)
+{
+    // Racing first-touch creation of one name must converge on a
+    // single object for everyone.
+    obs::MetricsRegistry reg;
+    const size_t threads = 8;
+    std::vector<obs::Counter *> seen(threads, nullptr);
+    std::vector<std::thread> workers;
+    for (size_t t = 0; t < threads; ++t) {
+        workers.emplace_back([&reg, &seen, t] {
+            seen[t] = &reg.counter("mt.first_touch");
+            seen[t]->add(1);
+        });
+    }
+    for (auto &worker : workers)
+        worker.join();
+    for (size_t t = 1; t < threads; ++t)
+        EXPECT_EQ(seen[t], seen[0]);
+    EXPECT_EQ(reg.counter("mt.first_touch").value(), threads);
 }

@@ -9,7 +9,10 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <map>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "api/pipeline.hh"
 #include "json_check.hh"
@@ -138,6 +141,61 @@ TEST_F(ObsTraceTest, ClearResetsDepthAndEvents)
     obs::tracer().clear();
     EXPECT_EQ(obs::tracer().eventCount(), 0u);
     EXPECT_EQ(obs::tracer().openSpans(), 0u);
+}
+
+TEST_F(ObsTraceTest, ConcurrentThreadsRecordIndependentlyNestedSpans)
+{
+    obs::tracer().setEnabled(true);
+    const size_t threads = 4;
+    const size_t rounds = 50;
+    std::vector<std::thread> workers;
+    for (size_t t = 0; t < threads; ++t) {
+        workers.emplace_back([rounds] {
+            for (size_t i = 0; i < rounds; ++i) {
+                CT_SPAN("mt.outer");
+                {
+                    CT_SPAN("mt.inner");
+                }
+            }
+        });
+    }
+    for (auto &worker : workers)
+        worker.join();
+
+    auto events = obs::tracer().events();
+    ASSERT_EQ(events.size(), threads * rounds * 2);
+    EXPECT_EQ(obs::tracer().openSpans(), 0u);
+
+    // The merged view is sorted by begin time...
+    for (size_t i = 1; i < events.size(); ++i)
+        EXPECT_LE(events[i - 1].beginUs, events[i].beginUs);
+
+    // ...and depth nesting holds per thread: every thread contributes
+    // its own tid, outer spans at depth 0, inner spans at depth 1.
+    std::map<int, std::pair<size_t, size_t>> per_tid; // tid -> {outer, inner}
+    for (const auto &event : events) {
+        EXPECT_FALSE(event.open);
+        if (event.name == "mt.outer") {
+            EXPECT_EQ(event.depth, 0) << "tid " << event.tid;
+            ++per_tid[event.tid].first;
+        } else {
+            ASSERT_EQ(event.name, "mt.inner");
+            EXPECT_EQ(event.depth, 1) << "tid " << event.tid;
+            ++per_tid[event.tid].second;
+        }
+    }
+    ASSERT_EQ(per_tid.size(), threads);
+    for (const auto &[tid, counts] : per_tid) {
+        EXPECT_EQ(counts.first, rounds) << "tid " << tid;
+        EXPECT_EQ(counts.second, rounds) << "tid " << tid;
+    }
+
+    // The Chrome-trace export stays strictly valid and carries the tid.
+    auto doc = testjson::parseJson(obs::tracer().toJson());
+    ASSERT_NE(doc, nullptr);
+    ASSERT_EQ(doc->get("traceEvents")->array.size(), threads * rounds * 2);
+    for (const auto &event : doc->get("traceEvents")->array)
+        EXPECT_GE(event->get("tid")->number, 1.0);
 }
 
 TEST_F(ObsTraceTest, PipelineRunExportsNestedPhaseSpansAndEmSeries)

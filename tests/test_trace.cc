@@ -78,6 +78,51 @@ TEST(Trace, TruncatedKeepsOtherProcs)
     EXPECT_EQ(cut.durations(0)[0], 5);
 }
 
+TEST(Trace, TruncatedAllMatchesChainedTruncated)
+{
+    // The single-pass form must be observably identical to chaining
+    // truncated(proc, n) over every procedure.
+    TimingTrace trace;
+    trace.add(makeRecord(2, 0, 1, 4, 8));
+    trace.add(makeRecord(0, 0, 10, 15, 40));
+    trace.add(makeRecord(1, 0, 16, 20, 32));
+    trace.add(makeRecord(0, 1, 21, 30, 72));
+    trace.add(makeRecord(2, 1, 31, 32, 4));
+    trace.add(makeRecord(0, 2, 33, 35, 16));
+    trace.add(makeRecord(1, 1, 36, 40, 32));
+    trace.add(makeRecord(2, 2, 41, 44, 12));
+
+    for (size_t n : {0u, 1u, 2u, 5u}) {
+        auto chained = trace;
+        for (ir::ProcId proc = 0; proc < 3; ++proc)
+            chained = chained.truncated(proc, n);
+        auto single = trace.truncatedAll(n);
+        ASSERT_EQ(single.size(), chained.size()) << "n=" << n;
+        for (size_t i = 0; i < single.size(); ++i) {
+            EXPECT_EQ(single[i].proc, chained[i].proc) << "n=" << n;
+            EXPECT_EQ(single[i].invocation, chained[i].invocation)
+                << "n=" << n;
+            EXPECT_EQ(single[i].startTick, chained[i].startTick)
+                << "n=" << n;
+            EXPECT_EQ(single[i].endTick, chained[i].endTick) << "n=" << n;
+            EXPECT_EQ(single[i].trueCycles, chained[i].trueCycles)
+                << "n=" << n;
+        }
+    }
+}
+
+TEST(Trace, TruncatedAllPreservesInterleaving)
+{
+    auto trace = sampleTrace();
+    auto cut = trace.truncatedAll(1);
+    // One record per proc, in original trace order.
+    ASSERT_EQ(cut.size(), 2u);
+    EXPECT_EQ(cut[0].proc, 0u);
+    EXPECT_EQ(cut[1].proc, 1u);
+    EXPECT_EQ(cut.countFor(0), 1u);
+    EXPECT_EQ(cut.countFor(1), 1u);
+}
+
 TEST(Trace, CsvRoundTrip)
 {
     auto trace = sampleTrace();
