@@ -11,6 +11,7 @@
 #include "common.hh"
 
 #include "exec/thread_pool.hh"
+#include "net/packet.hh"
 #include "profiler/instrument.hh"
 #include "profiler/plan.hh"
 #include "trace/wire_format.hh"
@@ -56,13 +57,14 @@ main(int argc, char **argv)
     table.setHeader({"workload", "clean cycles", "tomo probes %",
                      "tree instr %", "all-edges instr %", "tree RAM B",
                      "all RAM B", "tomo RAM B", "tree code +slots",
-                     "all code +slots", "wire B/event"});
+                     "all code +slots", "wire B/event", "framed B/event"});
 
     struct Row
     {
         uint64_t cleanCycles;
         double probedPct, treePct, allPct;
         size_t treeRam, allRam, treeSlots, allSlots, wireBytes;
+        double framedBytes;
     };
 
     auto suite = workloads::allWorkloads();
@@ -105,6 +107,10 @@ main(int argc, char **argv)
         row.treeSlots = slots(prog_tree.module) - base_slots;
         row.allSlots = slots(prog_all.module) - base_slots;
         row.wireBytes = trace::bytesPerRecord(probed.trace);
+        // What the same trace costs on air once split into radio
+        // frames with the ct::net packet header (see docs/NETWORK.md).
+        row.framedBytes =
+            net::bytesPerRecordFramed(probed.trace, net::kDefaultMtu);
         return row;
     });
 
@@ -116,7 +122,7 @@ main(int argc, char **argv)
         const auto &r = rows[i];
         table.row(suite[i].name, r.cleanCycles, r.probedPct, r.treePct,
                   r.allPct, r.treeRam, r.allRam, tomo_ram, r.treeSlots,
-                  r.allSlots, r.wireBytes);
+                  r.allSlots, r.wireBytes, r.framedBytes);
     }
     emit(table, "table3_overhead");
     return 0;

@@ -84,6 +84,46 @@ TomographyPipeline::measureWith(const sim::LoweredModule &lowered)
     return run;
 }
 
+trace::TimingTrace
+TomographyPipeline::transport(const trace::TimingTrace &trace,
+                              TransportOutcome &outcome)
+{
+    CT_SPAN("pipeline.transport");
+    obs::StopwatchUs watch;
+    const TransportConfig &cfg = config_.transport;
+    uint64_t seed = cfg.seed ? cfg.seed : config_.seed ^ 0x6e657477;
+
+    net::SinkCollector sink(cfg.collector);
+    auto transfer = net::transferTrace(trace, cfg.moteId, cfg.mtu,
+                                       cfg.channel, cfg.uplink, sink, seed);
+
+    outcome.enabled = true;
+    outcome.complete = transfer.complete;
+    outcome.packets = transfer.packets;
+    outcome.rounds = transfer.rounds;
+    outcome.recordsSent = trace.size();
+    outcome.recordsDelivered = sink.recordsDelivered(cfg.moteId);
+    outcome.channel = transfer.channel;
+    outcome.uplink = transfer.uplink;
+    outcome.collector = sink.stats();
+
+    if (obs::metricsEnabled()) {
+        auto &m = obs::metrics();
+        m.histogram("pipeline.transport_us").record(watch.elapsedUs());
+        m.counter("net.packets_sent").add(transfer.uplink.transmissions);
+        m.counter("net.packets_retransmitted")
+            .add(transfer.uplink.retransmissions);
+        m.counter("net.packets_dropped").add(transfer.channel.dropped);
+        m.counter("net.packets_duplicated").add(transfer.channel.duplicated);
+        m.counter("net.packets_corrupted").add(transfer.channel.corrupted);
+        m.counter("net.packets_crc_rejected").add(sink.stats().rejected);
+        m.counter("net.packets_deduped").add(sink.stats().duplicates);
+        m.counter("net.records_delivered")
+            .add(sink.stats().recordsDelivered);
+    }
+    return sink.traceFor(cfg.moteId);
+}
+
 tomography::ModuleEstimate
 TomographyPipeline::estimate(const trace::TimingTrace &trace)
 {
@@ -213,7 +253,14 @@ TomographyPipeline::runStages()
     // it (they used to lower redundantly, once each).
     auto lowered = sim::lowerModule(*workload_.module);
     result.measureRun = measureWith(lowered);
-    result.estimate = estimateWith(result.measureRun.trace, lowered);
+    if (config_.transport.enabled) {
+        // Estimate from what actually crossed the simulated radio link,
+        // not from the mote-side trace.
+        auto delivered = transport(result.measureRun.trace, result.transport);
+        result.estimate = estimateWith(delivered, lowered);
+    } else {
+        result.estimate = estimateWith(result.measureRun.trace, lowered);
+    }
 
     // Accuracy scoring over every procedure that was actually invoked
     // and has at least one conditional branch.

@@ -24,11 +24,33 @@
 #include <vector>
 
 #include "layout/placement.hh"
+#include "net/channel.hh"
+#include "net/collector.hh"
+#include "net/uplink.hh"
 #include "sim/machine.hh"
 #include "tomography/estimator.hh"
 #include "workloads/workload.hh"
 
 namespace ct::api {
+
+/**
+ * Opt-in transport stage: ship the measurement trace through a
+ * simulated lossy radio link (ct::net) before estimating, so the
+ * estimator only sees what a real sink would have collected.
+ */
+struct TransportConfig
+{
+    /** Off by default: estimate() reads the trace directly. */
+    bool enabled = false;
+    /** Mote id stamped on the packets (1-based by convention). */
+    uint16_t moteId = 1;
+    size_t mtu = net::kDefaultMtu;
+    net::ChannelConfig channel;
+    net::UplinkConfig uplink;
+    net::CollectorConfig collector;
+    /** Channel seed; 0 = derive from the pipeline seed. */
+    uint64_t seed = 0;
+};
 
 /** Pipeline configuration. */
 struct PipelineConfig
@@ -67,6 +89,23 @@ struct PipelineConfig
      */
     std::string metricsOut;
     /// @}
+
+    /** Simulated mote-to-sink link between measure and estimate. */
+    TransportConfig transport;
+};
+
+/** What the transport stage did (all zero when disabled). */
+struct TransportOutcome
+{
+    bool enabled = false;
+    bool complete = false; //!< sink accepted every packet
+    size_t packets = 0;
+    uint64_t rounds = 0;
+    size_t recordsSent = 0;
+    size_t recordsDelivered = 0;
+    net::ChannelStats channel;
+    net::UplinkStats uplink;
+    net::CollectorStats collector;
 };
 
 /** Simulated outcome of one placement. */
@@ -88,6 +127,8 @@ struct PipelineResult
 {
     /** The measurement campaign (trace + ground truth). */
     sim::RunResult measureRun;
+    /** The simulated uplink (enabled == false when skipped). */
+    TransportOutcome transport;
     /** Tomography's output. */
     tomography::ModuleEstimate estimate;
 
@@ -134,6 +175,15 @@ class TomographyPipeline
     /// @name Individual stages (for callers composing their own flow)
     /// @{
     sim::RunResult measure();
+    /**
+     * Ship @p trace through the configured lossy link and return what
+     * the sink reassembled (identical to the input when nothing was
+     * lost past the retransmit budget). Runs even when
+     * config.transport.enabled is false — the flag only gates whether
+     * runStages() routes the trace through here.
+     */
+    trace::TimingTrace transport(const trace::TimingTrace &trace,
+                                 TransportOutcome &outcome);
     tomography::ModuleEstimate estimate(const trace::TimingTrace &trace);
     std::vector<sim::BlockOrder> optimize(const ir::ModuleProfile &profile);
     LayoutOutcome evaluate(const std::string &name,

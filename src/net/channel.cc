@@ -1,0 +1,130 @@
+#include "net/channel.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace ct::net {
+
+LossyChannel::LossyChannel(const ChannelConfig &config, uint64_t seed)
+    : config_(config), rng_(seed)
+{
+    auto probability = [](double p, const char *name) {
+        if (p < 0.0 || p > 1.0)
+            fatal("net: channel ", name, " must lie in [0, 1], got ", p);
+    };
+    probability(config.dropRate, "dropRate");
+    probability(config.duplicateRate, "duplicateRate");
+    probability(config.bitFlipRate, "bitFlipRate");
+    probability(config.burstEnterProb, "burstEnterProb");
+    probability(config.burstExitProb, "burstExitProb");
+    probability(config.burstDropRate, "burstDropRate");
+    probability(config.ackDropRate, "ackDropRate");
+}
+
+void
+LossyChannel::send(const std::vector<uint8_t> &frame)
+{
+    ++stats_.offered;
+
+    // Gilbert-Elliott state steps once per offered frame, whether or
+    // not this frame survives — burst lengths are measured in frames.
+    if (config_.burstLoss) {
+        if (badState_)
+            badState_ = !rng_.bernoulli(config_.burstExitProb);
+        else
+            badState_ = rng_.bernoulli(config_.burstEnterProb);
+    }
+    double drop = config_.burstLoss && badState_ ? config_.burstDropRate
+                                                 : config_.dropRate;
+    if (rng_.bernoulli(drop)) {
+        ++stats_.dropped;
+        return;
+    }
+
+    std::vector<uint8_t> copy = frame;
+    if (!copy.empty() && rng_.bernoulli(config_.bitFlipRate)) {
+        ++stats_.corrupted;
+        // 1-3 *distinct* bit positions: flipping the same bit twice
+        // would cancel out and deliver an intact frame counted as
+        // corrupted. Distinct flips of weight <= 3 in a <= MTU-sized
+        // frame are always caught by the CRC (odd weights because the
+        // polynomial has (x+1) as a factor, doubles because the frame
+        // is far shorter than the code's 32767-bit period).
+        size_t flips = 1 + rng_.below(3);
+        std::vector<size_t> chosen;
+        while (chosen.size() < flips) {
+            size_t bit = rng_.below(copy.size() * 8);
+            if (std::find(chosen.begin(), chosen.end(), bit) !=
+                chosen.end()) {
+                continue;
+            }
+            chosen.push_back(bit);
+            copy[bit / 8] ^= uint8_t(1u << (bit % 8));
+        }
+    }
+
+    bool duplicate = rng_.bernoulli(config_.duplicateRate);
+    if (duplicate) {
+        ++stats_.duplicated;
+        enqueue(copy);
+    }
+    enqueue(std::move(copy));
+}
+
+void
+LossyChannel::enqueue(std::vector<uint8_t> frame)
+{
+    InFlight entry;
+    entry.due = now_ + rng_.below(config_.reorderWindow + 1);
+    entry.order = order_++;
+    entry.frame = std::move(frame);
+    inflight_.push_back(std::move(entry));
+}
+
+std::vector<std::vector<uint8_t>>
+LossyChannel::take(uint64_t due_limit)
+{
+    std::vector<InFlight> due;
+    auto split = std::partition(inflight_.begin(), inflight_.end(),
+                                [&](const InFlight &entry) {
+                                    return entry.due > due_limit;
+                                });
+    due.insert(due.end(), std::make_move_iterator(split),
+               std::make_move_iterator(inflight_.end()));
+    inflight_.erase(split, inflight_.end());
+    std::sort(due.begin(), due.end(), [](const InFlight &a, const InFlight &b) {
+        return a.due != b.due ? a.due < b.due : a.order < b.order;
+    });
+    std::vector<std::vector<uint8_t>> out;
+    out.reserve(due.size());
+    for (auto &entry : due)
+        out.push_back(std::move(entry.frame));
+    stats_.delivered += out.size();
+    return out;
+}
+
+std::vector<std::vector<uint8_t>>
+LossyChannel::drain()
+{
+    return take(now_);
+}
+
+std::vector<std::vector<uint8_t>>
+LossyChannel::flush()
+{
+    return take(std::numeric_limits<uint64_t>::max());
+}
+
+bool
+LossyChannel::ackSurvives()
+{
+    if (rng_.bernoulli(config_.ackDropRate)) {
+        ++stats_.acksDropped;
+        return false;
+    }
+    return true;
+}
+
+} // namespace ct::net

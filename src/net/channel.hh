@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Seeded fault-injection simulator for the mote-to-sink radio link.
+ *
+ * The channel is a discrete-time queue: every simulation round the
+ * caller advance()s time, send()s the frames transmitted that round,
+ * and drain()s the frames whose (possibly delayed) delivery is due.
+ * Faults are injected per frame, in a fixed draw order from one
+ * explicitly seeded Rng, so a given (config, seed, frame sequence)
+ * reproduces bit-for-bit — the property the fleet driver's
+ * jobs-invariance and CI's determinism diffs rely on:
+ *
+ *  - **drop**: i.i.d. Bernoulli loss, or two-state Gilbert–Elliott
+ *    bursty loss (good state uses dropRate, bad state uses
+ *    burstDropRate; per-frame state transitions make losses cluster);
+ *  - **corruption**: with bitFlipRate probability, 1–3 random bit
+ *    flips anywhere in the frame (header or payload) — always
+ *    detectable by the packet CRC;
+ *  - **duplication**: the frame is enqueued twice, each copy with its
+ *    own delivery delay;
+ *  - **reordering**: each surviving copy is delayed by a uniform
+ *    0..reorderWindow rounds; frames due the same round keep their
+ *    send order (reorderWindow = 0 means FIFO).
+ *
+ * The reverse (ack) path shares the channel's Rng: ackSurvives()
+ * draws one Bernoulli against ackDropRate.
+ */
+
+#ifndef CT_NET_CHANNEL_HH
+#define CT_NET_CHANNEL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "stats/rng.hh"
+
+namespace ct::net {
+
+/** Fault-injection knobs (all off by default: a perfect link). */
+struct ChannelConfig
+{
+    /** I.i.d. frame loss probability (good state when burstLoss). */
+    double dropRate = 0.0;
+    /** Probability a delivered frame is duplicated. */
+    double duplicateRate = 0.0;
+    /** Max extra delivery delay in rounds (0 = strict FIFO). */
+    size_t reorderWindow = 0;
+    /** Probability a frame gets 1-3 random bit flips. */
+    double bitFlipRate = 0.0;
+
+    /// @name Gilbert-Elliott bursty loss
+    /// @{
+    bool burstLoss = false;
+    /** P(good -> bad) per offered frame. */
+    double burstEnterProb = 0.02;
+    /** P(bad -> good) per offered frame (1/exit = mean burst length). */
+    double burstExitProb = 0.25;
+    /** Frame loss probability while in the bad state. */
+    double burstDropRate = 0.75;
+    /// @}
+
+    /** Reverse-path loss: probability an ack is dropped. */
+    double ackDropRate = 0.0;
+};
+
+/** What the channel did to the traffic so far. */
+struct ChannelStats
+{
+    uint64_t offered = 0;    //!< frames handed to send()
+    uint64_t dropped = 0;    //!< frames lost (never delivered)
+    uint64_t duplicated = 0; //!< extra copies enqueued
+    uint64_t corrupted = 0;  //!< frames that had bits flipped
+    uint64_t delivered = 0;  //!< frames handed back by drain()/flush()
+    uint64_t acksDropped = 0; //!< reverse-path acks lost
+};
+
+/** The simulated lossy link; see file comment for the fault model. */
+class LossyChannel
+{
+  public:
+    LossyChannel(const ChannelConfig &config, uint64_t seed);
+
+    /** Advance simulated time by one round (call once per round). */
+    void advance() { ++now_; }
+
+    /** Offer one on-air frame for transmission this round. */
+    void send(const std::vector<uint8_t> &frame);
+
+    /** Frames due at or before the current round, in delivery order. */
+    std::vector<std::vector<uint8_t>> drain();
+
+    /** Every frame still in flight, in delivery order (end of run). */
+    std::vector<std::vector<uint8_t>> flush();
+
+    /** One reverse-path Bernoulli: does this ack get through? */
+    bool ackSurvives();
+
+    /** Frames currently in flight (delayed, not yet due). */
+    size_t inFlight() const { return inflight_.size(); }
+
+    const ChannelConfig &config() const { return config_; }
+    const ChannelStats &stats() const { return stats_; }
+
+  private:
+    struct InFlight
+    {
+        uint64_t due = 0;
+        uint64_t order = 0; //!< tie-break: enqueue order
+        std::vector<uint8_t> frame;
+    };
+
+    void enqueue(std::vector<uint8_t> frame);
+    std::vector<std::vector<uint8_t>> take(uint64_t due_limit);
+
+    ChannelConfig config_;
+    ChannelStats stats_;
+    Rng rng_;
+    bool badState_ = false;
+    uint64_t now_ = 0;
+    uint64_t order_ = 0;
+    std::vector<InFlight> inflight_;
+};
+
+} // namespace ct::net
+
+#endif // CT_NET_CHANNEL_HH

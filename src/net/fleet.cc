@@ -1,0 +1,192 @@
+#include "net/fleet.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "exec/thread_pool.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "sim/machine.hh"
+#include "util/logging.hh"
+
+namespace ct::net {
+
+namespace {
+
+/** Independent seed stream for one mote, from fleet seed + id only. */
+struct MoteSeeds
+{
+    uint64_t sim, inputs, channel;
+};
+
+MoteSeeds
+seedsFor(uint64_t fleet_seed, uint16_t mote)
+{
+    uint64_t state = fleet_seed ^ 0x9e3779b97f4a7c15ULL * (uint64_t(mote) + 1);
+    MoteSeeds seeds;
+    seeds.sim = splitmix64(state);
+    seeds.inputs = splitmix64(state);
+    seeds.channel = splitmix64(state);
+    return seeds;
+}
+
+MoteOutcome
+runMote(const workloads::Workload &workload,
+        const sim::LoweredModule &lowered, const FleetConfig &config,
+        uint16_t mote)
+{
+    MoteOutcome out;
+    out.mote = mote;
+    MoteSeeds seeds = seedsFor(config.seed, mote);
+
+    // Measure: this mote's own campaign, boundary probes on.
+    sim::SimConfig sim_config;
+    sim_config.cyclesPerTick = config.cyclesPerTick;
+    sim_config.timingProbes = true;
+    auto inputs = workload.makeInputs(seeds.inputs);
+    sim::Simulator simulator(*workload.module, lowered, sim_config, *inputs,
+                             seeds.sim);
+    auto run = simulator.run(workload.entry, config.invocations);
+    out.recordsSent = run.trace.size();
+    out.wireBytes = framedTraceBytes(run.trace, config.mtu);
+    out.trueTheta =
+        run.profile[workload.entry].branchProbabilities(workload.entryProc());
+
+    // Ship: per-mote channel, collector, and estimator bank, all
+    // seeded/keyed by the mote alone — the determinism contract.
+    EstimatorBank bank(*workload.module, lowered, sim_config.costs,
+                       sim_config.policy, config.cyclesPerTick,
+                       config.estimator,
+                       2.0 * double(sim_config.costs.timerRead));
+    SinkCollector sink(config.collector);
+    sink.setRecordSink(bank.sink());
+    auto transfer = transferTrace(run.trace, mote, config.mtu, config.channel,
+                                  config.uplink, sink, seeds.channel);
+
+    out.packets = transfer.packets;
+    out.complete = transfer.complete;
+    out.rounds = transfer.rounds;
+    out.uplink = transfer.uplink;
+    out.channel = transfer.channel;
+    out.collector = sink.stats();
+    out.recordsDelivered = sink.recordsDelivered(mote);
+    out.estObservations = bank.observations();
+    out.estOutliers = bank.outliers();
+    out.sinkTheta = bank.theta(mote, workload.entry);
+
+    // Score the sink's view against this mote's ground truth; before
+    // any record arrives the sink's implicit estimate is the agnostic
+    // prior, so starvation shows up as error toward 0.5.
+    for (size_t b = 0; b < out.trueTheta.size(); ++b) {
+        double estimate = b < out.sinkTheta.size() ? out.sinkTheta[b] : 0.5;
+        out.maxThetaError = std::max(out.maxThetaError,
+                                     std::abs(estimate - out.trueTheta[b]));
+    }
+    return out;
+}
+
+} // namespace
+
+size_t
+FleetResult::totalRecordsSent() const
+{
+    size_t total = 0;
+    for (const auto &mote : motes)
+        total += mote.recordsSent;
+    return total;
+}
+
+size_t
+FleetResult::totalRecordsDelivered() const
+{
+    size_t total = 0;
+    for (const auto &mote : motes)
+        total += mote.recordsDelivered;
+    return total;
+}
+
+size_t
+FleetResult::completeMotes() const
+{
+    size_t total = 0;
+    for (const auto &mote : motes)
+        total += mote.complete ? 1 : 0;
+    return total;
+}
+
+double
+FleetResult::maxThetaError() const
+{
+    double worst = 0.0;
+    for (const auto &mote : motes)
+        worst = std::max(worst, mote.maxThetaError);
+    return worst;
+}
+
+double
+FleetResult::meanThetaError() const
+{
+    if (motes.empty())
+        return 0.0;
+    double total = 0.0;
+    for (const auto &mote : motes)
+        total += mote.maxThetaError;
+    return total / double(motes.size());
+}
+
+FleetResult
+runFleet(const workloads::Workload &workload, const FleetConfig &config)
+{
+    CT_SPAN("net.fleet");
+    CT_ASSERT(workload.module != nullptr, "fleet workload has no module");
+    CT_ASSERT(config.motes > 0 && config.motes <= 0xffff,
+              "fleet size must lie in [1, 65535]");
+    obs::StopwatchUs watch;
+
+    // Lower once; every mote shares the placed module read-only.
+    auto lowered = sim::lowerModule(*workload.module);
+
+    FleetResult result;
+    exec::ThreadPool pool(config.jobs);
+    result.motes =
+        exec::parallelMap(pool, config.motes, [&](size_t index) {
+            // Mote ids are 1-based: id 0 is reserved for single-mote
+            // uses (e.g. the pipeline transport stage's default).
+            return runMote(workload, lowered, config,
+                           uint16_t(index + 1));
+        });
+
+    if (obs::metricsEnabled()) {
+        auto &m = obs::metrics();
+        uint64_t sent = 0, resent = 0, dropped = 0, duplicated = 0,
+                 corrupted = 0, rejected = 0, deduped = 0, delivered = 0,
+                 observations = 0, outliers = 0;
+        for (const auto &mote : result.motes) {
+            sent += mote.uplink.transmissions;
+            resent += mote.uplink.retransmissions;
+            dropped += mote.channel.dropped;
+            duplicated += mote.channel.duplicated;
+            corrupted += mote.channel.corrupted;
+            rejected += mote.collector.rejected;
+            deduped += mote.collector.duplicates;
+            delivered += mote.collector.recordsDelivered;
+            observations += mote.estObservations;
+            outliers += mote.estOutliers;
+        }
+        m.counter("net.packets_sent").add(sent);
+        m.counter("net.packets_retransmitted").add(resent);
+        m.counter("net.packets_dropped").add(dropped);
+        m.counter("net.packets_duplicated").add(duplicated);
+        m.counter("net.packets_corrupted").add(corrupted);
+        m.counter("net.packets_crc_rejected").add(rejected);
+        m.counter("net.packets_deduped").add(deduped);
+        m.counter("net.records_delivered").add(delivered);
+        m.counter("net.estimator.observations").add(observations);
+        m.counter("net.estimator.outliers").add(outliers);
+        m.counter("net.motes_complete").add(result.completeMotes());
+        m.histogram("net.fleet_us").record(watch.elapsedUs());
+    }
+    return result;
+}
+
+} // namespace ct::net

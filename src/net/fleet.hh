@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Fleet driver: N simulated motes running one workload, each shipping
+ * its boundary-timing trace through its own seeded lossy channel to a
+ * sink that feeds per-(mote, procedure) streaming estimators.
+ *
+ * Determinism contract (the same one the rest of the library obeys,
+ * see exec/thread_pool.hh): every per-mote seed derives from the
+ * fleet seed and the mote id alone, each mote's transfer owns its
+ * channel, collector, and estimator bank, and results land in
+ * index-addressed slots — so any --jobs value, including 1, produces
+ * bit-identical FleetResults, which CI checks by diffing the bench
+ * CSVs across jobs counts.
+ *
+ * After the fan-out joins, aggregate channel/collector/estimator
+ * counters are exported through ct::obs (when metrics are enabled)
+ * under the `net.*` names documented in docs/NETWORK.md.
+ */
+
+#ifndef CT_NET_FLEET_HH
+#define CT_NET_FLEET_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "net/channel.hh"
+#include "net/collector.hh"
+#include "net/uplink.hh"
+#include "tomography/estimator.hh"
+#include "workloads/workload.hh"
+
+namespace ct::net {
+
+/** One fleet campaign's knobs. */
+struct FleetConfig
+{
+    size_t motes = 8;
+    /** Invocations each mote measures before uploading. */
+    size_t invocations = 1'000;
+    uint64_t cyclesPerTick = 1;
+    uint64_t seed = 1;
+    /** Worker threads (0 = auto via CT_JOBS / hardware). */
+    size_t jobs = 1;
+    size_t mtu = kDefaultMtu;
+    ChannelConfig channel;
+    UplinkConfig uplink;
+    CollectorConfig collector;
+    tomography::EstimatorOptions estimator;
+};
+
+/** Everything one mote's measure -> ship -> estimate produced. */
+struct MoteOutcome
+{
+    uint16_t mote = 0;
+    size_t recordsSent = 0;
+    size_t recordsDelivered = 0;
+    size_t wireBytes = 0; //!< on-air bytes of one full framed upload
+    size_t packets = 0;
+    bool complete = false; //!< sink accepted every packet
+    uint64_t rounds = 0;
+    ChannelStats channel;
+    UplinkStats uplink;
+    CollectorStats collector;
+    uint64_t estObservations = 0;
+    uint64_t estOutliers = 0;
+    /** Sink-side entry-procedure estimate ([] until records arrive). */
+    std::vector<double> sinkTheta;
+    /** Ground truth from this mote's own run (evaluation only). */
+    std::vector<double> trueTheta;
+    /** max |sink theta - truth| over entry branches; the agnostic
+     *  prior (0.5) stands in when no records reached the sink. */
+    double maxThetaError = 0.0;
+};
+
+/** Fleet-wide view plus per-mote detail. */
+struct FleetResult
+{
+    std::vector<MoteOutcome> motes;
+
+    size_t totalRecordsSent() const;
+    size_t totalRecordsDelivered() const;
+    size_t completeMotes() const;
+    /** Worst per-mote maxThetaError. */
+    double maxThetaError() const;
+    /** Mean of the per-mote maxThetaErrors. */
+    double meanThetaError() const;
+};
+
+/**
+ * Run the whole campaign: simulate each mote (probes on), ship its
+ * trace through a fault-injected channel, estimate online at the
+ * sink, and score against that mote's ground truth.
+ */
+FleetResult runFleet(const workloads::Workload &workload,
+                     const FleetConfig &config);
+
+} // namespace ct::net
+
+#endif // CT_NET_FLEET_HH

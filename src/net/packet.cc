@@ -1,0 +1,177 @@
+#include "net/packet.hh"
+
+#include "trace/wire_format.hh"
+#include "util/logging.hh"
+
+namespace ct::net {
+
+namespace {
+
+/** Worst-case encoded record: three varints under the wire caps
+ *  (proc <= 3 bytes, gap/duration <= 6 bytes zigzag/varint each,
+ *  plus slack for the sign bit). */
+constexpr size_t kMaxRecordBytes = 16;
+
+void
+put16(std::vector<uint8_t> &out, uint16_t value)
+{
+    out.push_back(uint8_t(value & 0xff));
+    out.push_back(uint8_t(value >> 8));
+}
+
+void
+put32(std::vector<uint8_t> &out, uint32_t value)
+{
+    for (int shift = 0; shift < 32; shift += 8)
+        out.push_back(uint8_t(value >> shift));
+}
+
+uint16_t
+get16(const std::vector<uint8_t> &in, size_t at)
+{
+    return uint16_t(in[at]) | uint16_t(in[at + 1]) << 8;
+}
+
+uint32_t
+get32(const std::vector<uint8_t> &in, size_t at)
+{
+    uint32_t value = 0;
+    for (int i = 3; i >= 0; --i)
+        value = value << 8 | in[at + i];
+    return value;
+}
+
+} // namespace
+
+uint16_t
+crc16(const uint8_t *data, size_t size)
+{
+    uint16_t crc = 0xffff;
+    for (size_t i = 0; i < size; ++i) {
+        crc ^= uint16_t(data[i]) << 8;
+        for (int bit = 0; bit < 8; ++bit)
+            crc = crc & 0x8000 ? uint16_t(crc << 1) ^ 0x1021
+                               : uint16_t(crc << 1);
+    }
+    return crc;
+}
+
+std::vector<uint8_t>
+serializePacket(const Packet &packet)
+{
+    CT_ASSERT(packet.payload.size() <= 0xffff, "packet payload too large");
+    // CRC covers mote + seq + len + payload (everything but itself).
+    std::vector<uint8_t> covered;
+    covered.reserve(8 + packet.payload.size());
+    put16(covered, packet.mote);
+    put32(covered, packet.seq);
+    put16(covered, uint16_t(packet.payload.size()));
+    covered.insert(covered.end(), packet.payload.begin(),
+                   packet.payload.end());
+    uint16_t crc = crc16(covered.data(), covered.size());
+
+    std::vector<uint8_t> frame;
+    frame.reserve(kHeaderBytes + packet.payload.size());
+    frame.insert(frame.end(), covered.begin(), covered.begin() + 8);
+    put16(frame, crc);
+    frame.insert(frame.end(), packet.payload.begin(), packet.payload.end());
+    return frame;
+}
+
+bool
+parsePacket(const std::vector<uint8_t> &frame, Packet &out)
+{
+    if (frame.size() < kHeaderBytes)
+        return false;
+    uint16_t length = get16(frame, 6);
+    if (frame.size() != kHeaderBytes + size_t(length))
+        return false;
+    uint16_t stored_crc = get16(frame, 8);
+    // Recompute over the CRC-covered bytes: header sans crc + payload.
+    std::vector<uint8_t> covered;
+    covered.reserve(frame.size() - 2);
+    covered.insert(covered.end(), frame.begin(), frame.begin() + 8);
+    covered.insert(covered.end(), frame.begin() + kHeaderBytes, frame.end());
+    if (crc16(covered.data(), covered.size()) != stored_crc)
+        return false;
+    out.mote = get16(frame, 0);
+    out.seq = get32(frame, 2);
+    out.payload.assign(frame.begin() + kHeaderBytes, frame.end());
+    return true;
+}
+
+std::vector<Packet>
+packetizeTrace(const trace::TimingTrace &trace, uint16_t mote, size_t mtu)
+{
+    if (mtu < kHeaderBytes + kMaxRecordBytes) {
+        fatal("net: MTU ", mtu, " cannot fit the ", kHeaderBytes,
+              "-byte header plus one worst-case record (need >= ",
+              kHeaderBytes + kMaxRecordBytes, ")");
+    }
+    const size_t capacity = mtu - kHeaderBytes;
+
+    std::vector<Packet> out;
+    Packet current;
+    current.mote = mote;
+    current.seq = 0;
+    int64_t prev_end = 0; // restarted per packet: payloads self-contained
+    for (const auto &record : trace.records()) {
+        std::vector<uint8_t> encoded;
+        int64_t basis = prev_end;
+        trace::appendRecord(encoded, record, basis);
+        if (current.payload.size() + encoded.size() > capacity) {
+            CT_ASSERT(!current.payload.empty(),
+                      "net: record larger than MTU payload");
+            out.push_back(std::move(current));
+            current = Packet{};
+            current.mote = mote;
+            current.seq = uint32_t(out.size());
+            prev_end = 0;
+            encoded.clear();
+            basis = prev_end;
+            trace::appendRecord(encoded, record, basis);
+        }
+        current.payload.insert(current.payload.end(), encoded.begin(),
+                               encoded.end());
+        prev_end = basis;
+    }
+    if (!current.payload.empty())
+        out.push_back(std::move(current));
+    return out;
+}
+
+bool
+decodePayload(const std::vector<uint8_t> &payload,
+              std::vector<trace::TimingRecord> &out)
+{
+    size_t cursor = 0;
+    int64_t prev_end = 0;
+    while (cursor < payload.size()) {
+        trace::TimingRecord record;
+        if (trace::decodeRecord(payload, cursor, prev_end, record) !=
+            trace::RecordDecode::Ok) {
+            return false;
+        }
+        out.push_back(record);
+    }
+    return true;
+}
+
+size_t
+framedTraceBytes(const trace::TimingTrace &trace, size_t mtu)
+{
+    size_t total = 0;
+    for (const auto &packet : packetizeTrace(trace, 0, mtu))
+        total += kHeaderBytes + packet.payload.size();
+    return total;
+}
+
+double
+bytesPerRecordFramed(const trace::TimingTrace &trace, size_t mtu)
+{
+    if (trace.empty())
+        return 0.0;
+    return double(framedTraceBytes(trace, mtu)) / double(trace.size());
+}
+
+} // namespace ct::net

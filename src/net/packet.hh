@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Radio packet layer: frames chunks of the LEB128 wire format
+ * (trace/wire_format.hh) for transmission over a lossy mote-to-sink
+ * link.
+ *
+ * Each packet carries a fixed header — mote id, a monotonically
+ * increasing sequence number, the payload length, and a CRC-16 over
+ * everything else — followed by up to (mtu - kHeaderBytes) payload
+ * bytes. Payloads are *self-contained*: packetizeTrace() restarts the
+ * delta-encoding basis at every packet boundary and never splits a
+ * record across packets, so a packet lost beyond recovery costs
+ * exactly its own records and the collector can resume at the next
+ * sequence number without desynchronizing the varint stream.
+ *
+ * The framing overhead (headers plus the per-packet delta restart) is
+ * part of the radio cost story: bytesPerRecordFramed() reports real
+ * on-air bytes per record, which the E7 overhead experiment uses
+ * instead of the raw stream figure.
+ */
+
+#ifndef CT_NET_PACKET_HH
+#define CT_NET_PACKET_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/timing_trace.hh"
+
+namespace ct::net {
+
+/**
+ * CRC-16/CCITT-FALSE (polynomial 0x1021, init 0xFFFF, no reflection).
+ * Check value: crc16 over "123456789" == 0x29B1. Detects all
+ * single-bit errors and any burst up to 16 bits — the corruption
+ * modes the channel simulator injects.
+ */
+uint16_t crc16(const uint8_t *data, size_t size);
+
+/** On-air header bytes: mote(2) + seq(4) + len(2) + crc(2). */
+constexpr size_t kHeaderBytes = 10;
+
+/**
+ * Default radio MTU (whole frame, header included). Sized like an
+ * 802.15.4 payload budget and large enough that any single record —
+ * worst-case three varints under the wire-format caps — always fits.
+ */
+constexpr size_t kDefaultMtu = 40;
+
+/** One framed radio packet (payload stored decoded, CRC checked). */
+struct Packet
+{
+    uint16_t mote = 0;
+    uint32_t seq = 0;
+    std::vector<uint8_t> payload;
+};
+
+/** Serialize to on-air bytes: header (little-endian) + payload. */
+std::vector<uint8_t> serializePacket(const Packet &packet);
+
+/**
+ * Parse and validate an on-air frame.
+ * @retval false on short frames, length mismatches, or CRC failure —
+ *         a corrupted frame is never silently decoded.
+ */
+bool parsePacket(const std::vector<uint8_t> &frame, Packet &out);
+
+/**
+ * Split @p trace into radio packets for @p mote. Sequence numbers
+ * start at 0; every payload decodes independently (see file
+ * comment). fatal() when @p mtu cannot fit the header plus one
+ * worst-case record.
+ */
+std::vector<Packet> packetizeTrace(const trace::TimingTrace &trace,
+                                   uint16_t mote,
+                                   size_t mtu = kDefaultMtu);
+
+/**
+ * Decode the records of one self-contained packet payload, appending
+ * to @p out with invocation indices left 0 (the collector assigns
+ * them per mote).
+ * @retval false when the payload is truncated or malformed — on a
+ *         CRC-validated packet from an honest encoder this cannot
+ *         happen, so collectors count it separately from corruption.
+ */
+bool decodePayload(const std::vector<uint8_t> &payload,
+                   std::vector<trace::TimingRecord> &out);
+
+/** Total on-air bytes to ship @p trace at @p mtu (headers included). */
+size_t framedTraceBytes(const trace::TimingTrace &trace,
+                        size_t mtu = kDefaultMtu);
+
+/**
+ * Average on-air bytes per record *including* packet framing (headers
+ * and per-packet delta restarts) — the honest radio cost, always >=
+ * trace::bytesPerRecord(). 0 for an empty trace.
+ */
+double bytesPerRecordFramed(const trace::TimingTrace &trace,
+                            size_t mtu = kDefaultMtu);
+
+} // namespace ct::net
+
+#endif // CT_NET_PACKET_HH

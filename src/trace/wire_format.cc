@@ -43,19 +43,65 @@ zigzagDecode(uint64_t value)
     return int64_t(value >> 1) ^ -int64_t(value & 1);
 }
 
+void
+appendRecord(std::vector<uint8_t> &out, const TimingRecord &record,
+             int64_t &prev_end)
+{
+    appendVarint(out, record.proc);
+    appendVarint(out, zigzagEncode(record.startTick - prev_end));
+    int64_t duration = record.durationTicks();
+    CT_ASSERT(duration >= 0, "wire format: negative duration");
+    appendVarint(out, uint64_t(duration));
+    prev_end = record.endTick;
+}
+
+RecordDecode
+decodeRecord(const std::vector<uint8_t> &bytes, size_t &cursor,
+             int64_t &prev_end, TimingRecord &out)
+{
+    size_t start = cursor;
+    uint64_t proc = 0, gap = 0, duration = 0;
+    for (uint64_t *field : {&proc, &gap, &duration}) {
+        if (!readVarint(bytes, cursor, *field)) {
+            // At the end of the buffer this is a truncated record (a
+            // valid prefix of a longer stream); mid-buffer it is an
+            // overlong varint.
+            if (cursor >= bytes.size()) {
+                cursor = start;
+                return RecordDecode::NeedMore;
+            }
+            return RecordDecode::Malformed;
+        }
+    }
+    if (proc > kMaxWireProc || duration > kMaxWireTicks)
+        return RecordDecode::Malformed;
+    int64_t signed_gap = zigzagDecode(gap);
+    if (signed_gap > int64_t(kMaxWireTicks) ||
+        signed_gap < -int64_t(kMaxWireTicks)) {
+        return RecordDecode::Malformed;
+    }
+    int64_t start_tick = 0, end_tick = 0;
+    if (__builtin_add_overflow(prev_end, signed_gap, &start_tick) ||
+        __builtin_add_overflow(start_tick, int64_t(duration), &end_tick)) {
+        return RecordDecode::Malformed;
+    }
+    out = TimingRecord{};
+    out.proc = ir::ProcId(proc);
+    out.startTick = start_tick;
+    out.endTick = end_tick;
+    out.invocation = 0;
+    out.trueCycles = 0; // the oracle never crosses the air
+    prev_end = end_tick;
+    return RecordDecode::Ok;
+}
+
 std::vector<uint8_t>
 encodeTrace(const TimingTrace &trace)
 {
     std::vector<uint8_t> out;
     int64_t prev_end = 0;
-    for (const auto &record : trace.records()) {
-        appendVarint(out, record.proc);
-        appendVarint(out, zigzagEncode(record.startTick - prev_end));
-        int64_t duration = record.durationTicks();
-        CT_ASSERT(duration >= 0, "wire format: negative duration");
-        appendVarint(out, uint64_t(duration));
-        prev_end = record.endTick;
-    }
+    for (const auto &record : trace.records())
+        appendRecord(out, record, prev_end);
     return out;
 }
 
@@ -68,22 +114,15 @@ decodeTrace(const std::vector<uint8_t> &bytes, TimingTrace &out)
     std::vector<uint64_t> invocation_counters;
 
     while (cursor < bytes.size()) {
-        uint64_t proc = 0, gap = 0, duration = 0;
-        if (!readVarint(bytes, cursor, proc) ||
-            !readVarint(bytes, cursor, gap) ||
-            !readVarint(bytes, cursor, duration)) {
+        TimingRecord record;
+        if (decodeRecord(bytes, cursor, prev_end, record) !=
+            RecordDecode::Ok) {
             out = TimingTrace{};
             return false;
         }
-        TimingRecord record;
-        record.proc = ir::ProcId(proc);
-        record.startTick = prev_end + zigzagDecode(gap);
-        record.endTick = record.startTick + int64_t(duration);
-        if (invocation_counters.size() <= proc)
-            invocation_counters.resize(proc + 1, 0);
-        record.invocation = invocation_counters[proc]++;
-        record.trueCycles = 0; // the oracle never crosses the air
-        prev_end = record.endTick;
+        if (invocation_counters.size() <= record.proc)
+            invocation_counters.resize(record.proc + 1, 0);
+        record.invocation = invocation_counters[record.proc]++;
         out.add(record);
     }
     return true;

@@ -37,6 +37,47 @@ uint64_t zigzagEncode(int64_t value);
 int64_t zigzagDecode(uint64_t value);
 /// @}
 
+/// @name Hardened decode limits
+/// Adversarial (or radio-corrupted) buffers are valid varint streams
+/// for absurd values; these caps bound what a decoder will ever
+/// materialize, so malformed input is rejected instead of causing
+/// huge allocations or signed overflow.
+/// @{
+/** Largest procedure id a wire record may carry (bounds the
+ *  per-procedure invocation-counter allocation during decode). */
+constexpr uint64_t kMaxWireProc = 65'535;
+/** Largest |start gap| or duration, in ticks, a record may carry. */
+constexpr uint64_t kMaxWireTicks = uint64_t(1) << 40;
+/// @}
+
+/** Outcome of decoding one record from a byte stream. */
+enum class RecordDecode {
+    Ok,        //!< record decoded; cursor advanced past it
+    NeedMore,  //!< stream ends mid-record (cursor restored) — a valid
+               //!< prefix; retry once more bytes arrive
+    Malformed, //!< bounds violated / overlong varint / overflow
+};
+
+/**
+ * Append one record to @p out, delta-encoded against @p prev_end
+ * (which is updated to the record's end tick). encodeTrace() is this
+ * helper folded over a whole trace with prev_end starting at 0; the
+ * packet layer (net/packet.hh) restarts prev_end per packet so each
+ * payload decodes independently.
+ */
+void appendRecord(std::vector<uint8_t> &out, const TimingRecord &record,
+                  int64_t &prev_end);
+
+/**
+ * Decode one record starting at @p cursor. On Ok, fills @p out (with
+ * invocation = 0 and trueCycles = 0 — the caller assigns invocation
+ * indices), advances @p cursor past the record and updates
+ * @p prev_end. On NeedMore, @p cursor is restored so the caller can
+ * retry with more data. On Malformed, @p cursor is unspecified.
+ */
+RecordDecode decodeRecord(const std::vector<uint8_t> &bytes, size_t &cursor,
+                          int64_t &prev_end, TimingRecord &out);
+
 /** Encode a trace into the wire format. */
 std::vector<uint8_t> encodeTrace(const TimingTrace &trace);
 

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Tests for the lossy channel simulator: determinism, statistical
+ * behavior of each fault knob, and the Gilbert-Elliott bursty regime.
+ */
+
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "net/channel.hh"
+#include "net/packet.hh"
+
+using namespace ct;
+using namespace ct::net;
+
+namespace {
+
+std::vector<uint8_t>
+frameFor(uint32_t seq)
+{
+    Packet packet;
+    packet.mote = 1;
+    packet.seq = seq;
+    packet.payload = {uint8_t(seq & 0xff), uint8_t(seq >> 8), 0x55};
+    return serializePacket(packet);
+}
+
+/** Push n frames round by round, collecting everything delivered. */
+std::vector<std::vector<uint8_t>>
+pushThrough(LossyChannel &channel, size_t n)
+{
+    std::vector<std::vector<uint8_t>> delivered;
+    for (size_t i = 0; i < n; ++i) {
+        channel.advance();
+        channel.send(frameFor(uint32_t(i)));
+        for (auto &frame : channel.drain())
+            delivered.push_back(std::move(frame));
+    }
+    for (auto &frame : channel.flush())
+        delivered.push_back(std::move(frame));
+    return delivered;
+}
+
+} // namespace
+
+TEST(NetChannel, PerfectLinkIsFifoAndLossless)
+{
+    LossyChannel channel({}, 1);
+    auto delivered = pushThrough(channel, 50);
+    ASSERT_EQ(delivered.size(), 50u);
+    for (size_t i = 0; i < delivered.size(); ++i) {
+        Packet parsed;
+        ASSERT_TRUE(parsePacket(delivered[i], parsed));
+        EXPECT_EQ(parsed.seq, uint32_t(i)); // strict FIFO
+    }
+    EXPECT_EQ(channel.stats().dropped, 0u);
+    EXPECT_EQ(channel.stats().corrupted, 0u);
+}
+
+TEST(NetChannel, SameSeedSameFaults)
+{
+    ChannelConfig config;
+    config.dropRate = 0.3;
+    config.duplicateRate = 0.1;
+    config.reorderWindow = 4;
+    config.bitFlipRate = 0.1;
+
+    LossyChannel a(config, 99), b(config, 99);
+    auto da = pushThrough(a, 300);
+    auto db = pushThrough(b, 300);
+    EXPECT_EQ(da, db); // bit-identical delivery, byte for byte
+    EXPECT_EQ(a.stats().dropped, b.stats().dropped);
+
+    LossyChannel c(config, 100);
+    auto dc = pushThrough(c, 300);
+    EXPECT_NE(da, dc); // a different seed gives a different run
+}
+
+TEST(NetChannel, DropRateIsRespected)
+{
+    ChannelConfig config;
+    config.dropRate = 0.3;
+    LossyChannel channel(config, 7);
+    auto delivered = pushThrough(channel, 10'000);
+    double rate = double(channel.stats().dropped) / 10'000.0;
+    EXPECT_NEAR(rate, 0.3, 0.03);
+    EXPECT_EQ(delivered.size(), 10'000 - channel.stats().dropped);
+}
+
+TEST(NetChannel, DuplicationAndReorderingPreserveContent)
+{
+    ChannelConfig config;
+    config.duplicateRate = 0.2;
+    config.reorderWindow = 5;
+    LossyChannel channel(config, 21);
+    auto delivered = pushThrough(channel, 1'000);
+    ASSERT_EQ(delivered.size(), 1'000 + channel.stats().duplicated);
+    EXPECT_GT(channel.stats().duplicated, 100u);
+
+    // Every delivered frame parses and carries an original seq; the
+    // multiset of seqs is {0..999} plus the duplicates.
+    std::map<uint32_t, size_t> count;
+    bool out_of_order = false;
+    uint32_t prev = 0;
+    for (const auto &frame : delivered) {
+        Packet parsed;
+        ASSERT_TRUE(parsePacket(frame, parsed));
+        out_of_order |= parsed.seq < prev;
+        prev = parsed.seq;
+        ++count[parsed.seq];
+    }
+    EXPECT_TRUE(out_of_order); // the window actually reorders
+    size_t total = 0;
+    for (uint32_t seq = 0; seq < 1'000; ++seq) {
+        ASSERT_GE(count[seq], 1u) << "seq " << seq << " lost";
+        total += count[seq];
+    }
+    EXPECT_EQ(total, delivered.size());
+}
+
+TEST(NetChannel, BitFlipsAlwaysCaughtByCrc)
+{
+    ChannelConfig config;
+    config.bitFlipRate = 1.0;
+    LossyChannel channel(config, 13);
+    auto delivered = pushThrough(channel, 500);
+    EXPECT_EQ(channel.stats().corrupted, 500u);
+    for (const auto &frame : delivered) {
+        Packet parsed;
+        EXPECT_FALSE(parsePacket(frame, parsed));
+    }
+}
+
+TEST(NetChannel, GilbertElliottLossIsBursty)
+{
+    // Good state never drops; the bad state always does. Stationary
+    // P(bad) = enter / (enter + exit) = 0.05 / 0.25 = 0.2.
+    ChannelConfig config;
+    config.burstLoss = true;
+    config.dropRate = 0.0;
+    config.burstEnterProb = 0.05;
+    config.burstExitProb = 0.2;
+    config.burstDropRate = 1.0;
+
+    LossyChannel channel(config, 3);
+    const size_t n = 20'000;
+    std::vector<bool> lost;
+    uint64_t seen_drops = 0;
+    for (size_t i = 0; i < n; ++i) {
+        channel.advance();
+        uint64_t before = channel.stats().dropped;
+        channel.send(frameFor(uint32_t(i)));
+        channel.drain();
+        lost.push_back(channel.stats().dropped > before);
+        seen_drops = channel.stats().dropped;
+    }
+    EXPECT_NEAR(double(seen_drops) / double(n), 0.2, 0.03);
+
+    // Burstiness: mean run length of consecutive drops should be near
+    // 1/exit = 5, far above the ~1.25 an iid 20% loss would give.
+    size_t runs = 0, current = 0, total_in_runs = 0;
+    for (bool l : lost) {
+        if (l) {
+            ++current;
+        } else if (current) {
+            ++runs;
+            total_in_runs += current;
+            current = 0;
+        }
+    }
+    if (current)
+        ++runs, total_in_runs += current;
+    ASSERT_GT(runs, 0u);
+    double mean_run = double(total_in_runs) / double(runs);
+    EXPECT_GT(mean_run, 2.5);
+}
+
+TEST(NetChannel, AckPathSharesTheFaultModel)
+{
+    ChannelConfig config;
+    config.ackDropRate = 0.5;
+    LossyChannel channel(config, 17);
+    size_t survived = 0;
+    for (size_t i = 0; i < 2'000; ++i)
+        survived += channel.ackSurvives();
+    EXPECT_NEAR(double(survived) / 2'000.0, 0.5, 0.05);
+    EXPECT_EQ(channel.stats().acksDropped, 2'000 - survived);
+}
+
+TEST(NetChannelDeath, InvalidProbabilityIsFatal)
+{
+    ChannelConfig config;
+    config.dropRate = 1.5;
+    EXPECT_EXIT(LossyChannel(config, 1), testing::ExitedWithCode(1),
+                "must lie in");
+}

@@ -171,6 +171,102 @@ TEST(Streaming, MatchesBatchEmClosely)
         EXPECT_NEAR(streaming.theta()[b], batch.theta[b], 0.05) << "b" << b;
 }
 
+TEST(Streaming, SameStreamIsBitwiseDeterministic)
+{
+    // The collector's dedup/in-order guarantees only buy exact
+    // sink == mote estimates because the estimator itself is a pure
+    // function of the observation sequence. Pin that down.
+    StreamFixture fx("event_dispatch", 1000);
+    auto durations = fx.run.trace.durations(fx.workload.entry);
+
+    StreamingEstimator a(*fx.model), b(*fx.model);
+    a.observeAll(durations);
+    b.observeAll(durations);
+    ASSERT_EQ(a.theta().size(), b.theta().size());
+    for (size_t i = 0; i < a.theta().size(); ++i)
+        EXPECT_DOUBLE_EQ(a.theta()[i], b.theta()[i]);
+}
+
+TEST(Streaming, DuplicatedObservationsStayBoundedAndCounted)
+{
+    // Why the collector dedupes by sequence number: feeding each
+    // observation twice is not a no-op for stochastic-approximation EM
+    // (duplicates are extra, correlated evidence). The estimate must
+    // nevertheless stay a valid, ballpark-correct theta, and
+    // observations() must account for every fold exactly — so any
+    // dedup failure upstream is visible, not silent.
+    StreamFixture fx("event_dispatch", 2000);
+    auto durations = fx.run.trace.durations(fx.workload.entry);
+
+    StreamingEstimator doubled(*fx.model);
+    for (int64_t d : durations) {
+        doubled.observe(d);
+        doubled.observe(d);
+    }
+    EXPECT_EQ(doubled.observations(), 2 * durations.size());
+    for (size_t b = 0; b < fx.truth.size(); ++b) {
+        EXPECT_GT(doubled.theta()[b], 0.0);
+        EXPECT_LT(doubled.theta()[b], 1.0);
+        EXPECT_NEAR(doubled.theta()[b], fx.truth[b], 0.1) << "b" << b;
+    }
+}
+
+TEST(Streaming, RngShuffledOrderLandsNearTruth)
+{
+    // Why the collector releases records in sequence order: the
+    // estimate is order-dependent at finite n. Any reordering still
+    // lands near the truth (the property the skip-ahead path leans
+    // on), but only identical order reproduces identical estimates —
+    // see SameStreamIsBitwiseDeterministic.
+    StreamFixture fx("event_dispatch", 3000);
+    auto durations = fx.run.trace.durations(fx.workload.entry);
+
+    Rng rng(99);
+    for (size_t i = durations.size(); i > 1; --i)
+        std::swap(durations[i - 1], durations[rng.below(i)]);
+
+    StreamingEstimator shuffled(*fx.model);
+    shuffled.observeAll(durations);
+    for (size_t b = 0; b < fx.truth.size(); ++b)
+        EXPECT_NEAR(shuffled.theta()[b], fx.truth[b], 0.12) << "b" << b;
+}
+
+TEST(Streaming, AdversarialDurationsKeepThetaFiniteAndInterior)
+{
+    // Radio corruption can slip records with arbitrary durations past
+    // everything except the CRC (and the decoder's magnitude caps).
+    // Whatever arrives, theta must remain finite and strictly inside
+    // (0, 1) — degenerate estimates would poison the placement stage.
+    StreamFixture fx("event_dispatch", 200);
+    StreamingEstimator streaming(*fx.model);
+
+    Rng rng(123);
+    for (int i = 0; i < 2'000; ++i) {
+        int64_t duration;
+        switch (rng.below(4)) {
+          case 0:
+            duration = int64_t(rng.below(1'000'000));
+            break;
+          case 1:
+            duration = -int64_t(rng.below(10'000));
+            break;
+          case 2:
+            duration = int64_t(uint64_t(1) << 40);
+            break;
+          default:
+            duration = int64_t(rng.below(60));
+            break;
+        }
+        streaming.observe(duration);
+        for (double t : streaming.theta()) {
+            ASSERT_TRUE(std::isfinite(t));
+            ASSERT_GE(t, 1e-6);
+            ASSERT_LE(t, 1.0 - 1e-6);
+        }
+    }
+    EXPECT_GT(streaming.outliers(), 0u);
+}
+
 TEST(StreamingDeathTest, BadStepExponentPanics)
 {
     StreamFixture fx("blink", 10);

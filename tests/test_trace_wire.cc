@@ -3,9 +3,13 @@
  * Tests for the on-air timing-report wire format.
  */
 
+#include <cstdlib>
+
 #include <gtest/gtest.h>
 
+#include "cfg_fuzz.hh"
 #include "sim/machine.hh"
+#include "stats/rng.hh"
 #include "tomography/estimator.hh"
 #include "trace/wire_format.hh"
 #include "workloads/workload.hh"
@@ -142,4 +146,157 @@ TEST(WireFormat, EmptyTraceIsZeroBytes)
     TimingTrace trace;
     EXPECT_TRUE(encodeTrace(trace).empty());
     EXPECT_DOUBLE_EQ(bytesPerRecord(trace), 0.0);
+}
+
+TEST(WireFormat, RecordDecodeDistinguishesTruncationFromCorruption)
+{
+    TimingRecord record;
+    record.proc = 3;
+    record.startTick = 100;
+    record.endTick = 140;
+    std::vector<uint8_t> bytes;
+    int64_t enc_prev = 0;
+    appendRecord(bytes, record, enc_prev);
+
+    // Every strict prefix is NeedMore (a valid partial stream), with
+    // the cursor restored so a streaming caller can retry later.
+    for (size_t n = 0; n < bytes.size(); ++n) {
+        std::vector<uint8_t> prefix(bytes.begin(), bytes.begin() + n);
+        size_t cursor = 0;
+        int64_t prev = 0;
+        TimingRecord out;
+        EXPECT_EQ(decodeRecord(prefix, cursor, prev, out),
+                  RecordDecode::NeedMore)
+            << "prefix " << n;
+        EXPECT_EQ(cursor, 0u);
+        EXPECT_EQ(prev, 0);
+    }
+    size_t cursor = 0;
+    int64_t prev = 0;
+    TimingRecord out;
+    ASSERT_EQ(decodeRecord(bytes, cursor, prev, out), RecordDecode::Ok);
+    EXPECT_EQ(out.proc, record.proc);
+    EXPECT_EQ(out.durationTicks(), record.durationTicks());
+    EXPECT_EQ(cursor, bytes.size());
+}
+
+namespace {
+
+/** Encode (proc, gap, duration) as raw varints, bypassing the caps. */
+std::vector<uint8_t>
+rawRecord(uint64_t proc, uint64_t zigzag_gap, uint64_t duration)
+{
+    std::vector<uint8_t> bytes;
+    appendVarint(bytes, proc);
+    appendVarint(bytes, zigzag_gap);
+    appendVarint(bytes, duration);
+    return bytes;
+}
+
+} // namespace
+
+TEST(WireFormat, AdversarialValuesRejectedWithoutOverReserving)
+{
+    TimingTrace out;
+    // Proc id beyond the cap: would otherwise size an invocation
+    // counter table from attacker-controlled input.
+    EXPECT_FALSE(decodeTrace(rawRecord(kMaxWireProc + 1, 0, 1), out));
+    EXPECT_TRUE(out.empty());
+    // Absurd duration / gap magnitudes (still valid varints).
+    EXPECT_FALSE(decodeTrace(rawRecord(1, 0, kMaxWireTicks + 1), out));
+    EXPECT_FALSE(
+        decodeTrace(rawRecord(1, zigzagEncode(-int64_t(kMaxWireTicks) - 1), 1),
+                    out));
+    // Tick arithmetic that would overflow int64 if trusted.
+    EXPECT_FALSE(decodeTrace(rawRecord(1, 0xffffffffffffffffull, 1), out));
+    // Values at the caps are fine.
+    EXPECT_TRUE(decodeTrace(rawRecord(kMaxWireProc, 0, kMaxWireTicks), out));
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].proc, kMaxWireProc);
+}
+
+TEST(WireFormat, OverlongVarintRejected)
+{
+    // Eleven continuation bytes: more than a uint64 can carry.
+    std::vector<uint8_t> overlong(11, 0x80);
+    overlong.push_back(0x01);
+    size_t cursor = 0;
+    uint64_t value = 0;
+    EXPECT_FALSE(readVarint(overlong, cursor, value));
+    TimingTrace out;
+    EXPECT_FALSE(decodeTrace(overlong, out));
+}
+
+TEST(WireFormatFuzz, EveryTruncationOfRealTracesFailsCleanly)
+{
+    Rng rng(2024);
+    for (int round = 0; round < 5; ++round) {
+        auto program = testutil::makeFuzzProgram(rng);
+        sim::SimConfig config;
+        config.timingProbes = true;
+        auto inputs = program.makeInputs(rng.next());
+        sim::Simulator simulator(*program.module,
+                                 sim::lowerModule(*program.module), config,
+                                 *inputs, rng.next());
+        auto run = simulator.run(program.entry, 40);
+        auto bytes = encodeTrace(run.trace);
+        ASSERT_FALSE(bytes.empty());
+
+        for (size_t n = 0; n < bytes.size(); ++n) {
+            std::vector<uint8_t> prefix(bytes.begin(), bytes.begin() + n);
+            TimingTrace decoded;
+            bool ok = decodeTrace(prefix, decoded);
+            // A prefix either cuts a record (rejected, trace cleared)
+            // or lands exactly on a record boundary (shorter trace).
+            if (ok)
+                EXPECT_LE(decoded.size(), run.trace.size());
+            else
+                EXPECT_TRUE(decoded.empty());
+        }
+    }
+}
+
+TEST(WireFormatFuzz, RandomMutationsNeverCrashOrOverAllocate)
+{
+    Rng rng(77);
+    auto program = testutil::makeFuzzProgram(rng);
+    sim::SimConfig config;
+    config.timingProbes = true;
+    auto inputs = program.makeInputs(3);
+    sim::Simulator simulator(*program.module,
+                             sim::lowerModule(*program.module), config,
+                             *inputs, 4);
+    auto run = simulator.run(program.entry, 60);
+    auto clean = encodeTrace(run.trace);
+
+    for (int round = 0; round < 2'000; ++round) {
+        auto bytes = clean;
+        size_t mutations = 1 + rng.below(4);
+        for (size_t m = 0; m < mutations; ++m)
+            bytes[rng.below(bytes.size())] = uint8_t(rng.below(256));
+        TimingTrace decoded;
+        if (decodeTrace(bytes, decoded)) {
+            // Whatever decoded stayed within the hardened caps.
+            for (const auto &record : decoded.records()) {
+                EXPECT_LE(uint64_t(record.proc), kMaxWireProc);
+                EXPECT_LE(uint64_t(std::abs(record.durationTicks())),
+                          kMaxWireTicks);
+            }
+        } else {
+            EXPECT_TRUE(decoded.empty());
+        }
+    }
+}
+
+TEST(WireFormatFuzz, RandomByteStringsFailCleanly)
+{
+    Rng rng(4242);
+    for (int round = 0; round < 2'000; ++round) {
+        std::vector<uint8_t> bytes(rng.below(64));
+        for (auto &b : bytes)
+            b = uint8_t(rng.below(256));
+        TimingTrace decoded;
+        if (!decodeTrace(bytes, decoded))
+            EXPECT_TRUE(decoded.empty());
+    }
 }
