@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Seeded generators (and matching shrinkers / printers) for the value
+ * shapes ct::check properties range over: raw byte buffers, branch
+ * probability vectors, timing traces, and frame mutations. Generators
+ * are pure functions of the Rng they are handed, so a case seed alone
+ * regenerates the input bit-for-bit (the reproduction contract in
+ * check/check.hh).
+ */
+
+#ifndef CT_CHECK_GEN_HH
+#define CT_CHECK_GEN_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/rng.hh"
+#include "trace/timing_trace.hh"
+#include "trace/wire_format.hh"
+
+namespace ct::check {
+
+/// @name Scalars and buffers
+/// @{
+
+/** Uniform buffer of 0..maxLen random bytes (length inclusive). */
+inline std::vector<uint8_t>
+genBytes(Rng &rng, size_t max_len)
+{
+    std::vector<uint8_t> out(size_t(rng.range(0, long(max_len))));
+    for (uint8_t &b : out)
+        b = uint8_t(rng.next());
+    return out;
+}
+
+/** Probability vector of @p n entries, each uniform in [0, 1]. */
+inline std::vector<double>
+genProbVector(Rng &rng, size_t n)
+{
+    std::vector<double> out(n);
+    for (double &p : out)
+        p = rng.uniform();
+    return out;
+}
+
+/**
+ * A "nasty" magnitude: mostly small values, sometimes values hugging
+ * the wire-format caps — the regime where varint length and overflow
+ * edges live.
+ */
+inline uint64_t
+genTickMagnitude(Rng &rng, uint64_t cap)
+{
+    switch (rng.range(0, 4)) {
+      case 0: return uint64_t(rng.range(0, 4));
+      case 1: return rng.below(128);
+      case 2: return rng.below(1 << 14);
+      case 3: return rng.below(cap) ;
+      default:
+        // Within a varint-length of the cap itself.
+        return cap - std::min<uint64_t>(cap, rng.below(4));
+    }
+}
+/// @}
+
+/// @name Timing traces
+/// @{
+
+struct TraceGenConfig
+{
+    size_t maxRecords = 40;
+    uint64_t maxProc = 6;
+    /** Gap between consecutive records may be negative (out-of-order
+     *  timestamps stress the zigzag path) up to this magnitude. */
+    uint64_t maxGap = 1 << 12;
+    uint64_t maxDuration = 1 << 12;
+    /** Probability a record uses cap-hugging magnitudes instead. */
+    double nastyProb = 0.1;
+};
+
+/**
+ * Random trace with per-procedure invocation indices assigned in
+ * stream order — the same numbering decodeTrace() reconstructs, so
+ * round-trip comparisons may include the invocation field.
+ */
+inline trace::TimingTrace
+genTrace(Rng &rng, const TraceGenConfig &config = {})
+{
+    trace::TimingTrace out;
+    std::vector<uint64_t> invocations(config.maxProc + 1, 0);
+    size_t n = size_t(rng.range(0, long(config.maxRecords)));
+    int64_t prev_end = 0;
+    for (size_t i = 0; i < n; ++i) {
+        trace::TimingRecord record;
+        record.proc = ir::ProcId(rng.below(config.maxProc + 1));
+        bool nasty = rng.bernoulli(config.nastyProb);
+        uint64_t gap_cap = nasty ? trace::kMaxWireTicks : config.maxGap;
+        uint64_t dur_cap = nasty ? trace::kMaxWireTicks : config.maxDuration;
+        int64_t gap = int64_t(genTickMagnitude(rng, gap_cap));
+        if (rng.bernoulli(0.25))
+            gap = -gap;
+        // Keep absolute ticks well inside int64 so encode never hits
+        // the (tested separately) overflow rejection.
+        if (prev_end > int64_t(trace::kMaxWireTicks) * 2)
+            gap = -int64_t(genTickMagnitude(rng, gap_cap));
+        if (prev_end < -int64_t(trace::kMaxWireTicks) * 2)
+            gap = int64_t(genTickMagnitude(rng, gap_cap));
+        record.startTick = prev_end + gap;
+        record.endTick =
+            record.startTick + int64_t(genTickMagnitude(rng, dur_cap));
+        record.invocation = invocations[record.proc]++;
+        record.trueCycles = 0; // never crosses the wire anyway
+        prev_end = record.endTick;
+        out.add(record);
+    }
+    return out;
+}
+
+/** Trace shrinker: drop record ranges, then simplify tick values. */
+inline std::vector<trace::TimingTrace>
+shrinkTrace(const trace::TimingTrace &trace)
+{
+    std::vector<trace::TimingTrace> out;
+    const auto &records = trace.records();
+    const size_t n = records.size();
+    if (n == 0)
+        return out;
+
+    auto rebuild = [](std::vector<trace::TimingRecord> rs) {
+        // Re-number invocations per proc so shrunk traces keep the
+        // encoder/decoder numbering invariant.
+        std::vector<uint64_t> counters;
+        trace::TimingTrace t;
+        for (auto &r : rs) {
+            if (counters.size() <= r.proc)
+                counters.resize(r.proc + 1, 0);
+            r.invocation = counters[r.proc]++;
+            t.add(r);
+        }
+        return t;
+    };
+
+    auto drop_range = [&](size_t from, size_t to) {
+        std::vector<trace::TimingRecord> rs;
+        for (size_t i = 0; i < n; ++i)
+            if (i < from || i >= to)
+                rs.push_back(records[i]);
+        out.push_back(rebuild(std::move(rs)));
+    };
+    drop_range(n / 2, n);
+    drop_range(0, n / 2);
+    for (size_t i = 0; i < n && i < 12; ++i)
+        drop_range(i, i + 1);
+
+    // Value-level: move a record to small coordinates.
+    for (size_t i = 0; i < n && i < 12; ++i) {
+        const auto &r = records[i];
+        if (r.startTick == 0 && r.endTick == 0 && r.proc == 0)
+            continue;
+        std::vector<trace::TimingRecord> rs(records.begin(), records.end());
+        rs[i].proc = 0;
+        rs[i].startTick = 0;
+        rs[i].endTick = 0;
+        out.push_back(rebuild(std::move(rs)));
+    }
+    return out;
+}
+
+/** Compact rendering: `n records; (proc start end) ...` (elided). */
+inline std::string
+showTrace(const trace::TimingTrace &trace)
+{
+    std::string out = std::to_string(trace.size()) + " records;";
+    size_t shown = std::min<size_t>(trace.size(), 12);
+    for (size_t i = 0; i < shown; ++i) {
+        const auto &r = trace[i];
+        out += " (p" + std::to_string(r.proc) + " " +
+               std::to_string(r.startTick) + ".." +
+               std::to_string(r.endTick) + ")";
+    }
+    if (shown < trace.size())
+        out += " ...";
+    return out;
+}
+/// @}
+
+/// @name Frame mutations
+/// @{
+
+/** Flip @p flips distinct random bits in @p frame (no-op when empty). */
+inline void
+flipDistinctBits(Rng &rng, std::vector<uint8_t> &frame, size_t flips)
+{
+    if (frame.empty())
+        return;
+    std::vector<size_t> chosen;
+    while (chosen.size() < flips &&
+           chosen.size() < frame.size() * 8) {
+        size_t bit = size_t(rng.below(frame.size() * 8));
+        if (std::find(chosen.begin(), chosen.end(), bit) != chosen.end())
+            continue;
+        chosen.push_back(bit);
+        frame[bit / 8] ^= uint8_t(1u << (bit % 8));
+    }
+}
+/// @}
+
+} // namespace ct::check
+
+#endif // CT_CHECK_GEN_HH

@@ -1,0 +1,101 @@
+#include "check/golden.hh"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace ct::check {
+
+bool
+goldenUpdateMode()
+{
+    const char *env = std::getenv("CT_GOLDEN_UPDATE");
+    return env && *env && std::string(env) != "0";
+}
+
+namespace {
+
+/** 1-based line number and column of byte offset @p at in @p text. */
+std::pair<size_t, size_t>
+locate(const std::string &text, size_t at)
+{
+    size_t line = 1, column = 1;
+    for (size_t i = 0; i < at && i < text.size(); ++i) {
+        if (text[i] == '\n') {
+            ++line;
+            column = 1;
+        } else {
+            ++column;
+        }
+    }
+    return {line, column};
+}
+
+std::string
+lineAt(const std::string &text, size_t line)
+{
+    std::istringstream in(text);
+    std::string current;
+    for (size_t i = 0; i < line && std::getline(in, current); ++i) {}
+    return current;
+}
+
+} // namespace
+
+GoldenResult
+compareGolden(const std::string &path, const std::string &actual)
+{
+    GoldenResult result;
+
+    if (goldenUpdateMode()) {
+        std::error_code ec;
+        std::filesystem::create_directories(
+            std::filesystem::path(path).parent_path(), ec);
+        std::ofstream out(path, std::ios::binary);
+        if (!out) {
+            result.message = "cannot write golden file '" + path + "'";
+            return result;
+        }
+        out << actual;
+        result.ok = true;
+        result.updated = true;
+        result.message = "golden file '" + path + "' rewritten (" +
+                         std::to_string(actual.size()) + " bytes)";
+        return result;
+    }
+
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        result.message =
+            "golden file '" + path +
+            "' is missing; generate it with CT_GOLDEN_UPDATE=1";
+        return result;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string expected = buffer.str();
+
+    if (expected == actual) {
+        result.ok = true;
+        return result;
+    }
+
+    size_t at = 0;
+    while (at < expected.size() && at < actual.size() &&
+           expected[at] == actual[at])
+        ++at;
+    auto [line, column] = locate(expected, at);
+    std::ostringstream why;
+    why << "golden mismatch vs '" << path << "' at byte " << at << " (line "
+        << line << ", column " << column << ")\n"
+        << "  expected line: " << lineAt(expected, line) << "\n"
+        << "  actual line:   " << lineAt(actual, line) << "\n"
+        << "  (sizes: golden " << expected.size() << " bytes, actual "
+        << actual.size() << " bytes; intentional change? rerun with "
+        << "CT_GOLDEN_UPDATE=1 and commit the diff)";
+    result.message = why.str();
+    return result;
+}
+
+} // namespace ct::check

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Golden-result regression harness: byte-for-byte comparison of a
+ * freshly computed artifact (a bench CSV subset, a rendered table)
+ * against a snapshot checked into the repository.
+ *
+ * Everything in this library is deterministically seeded, so any
+ * behaviour drift — an estimator update, a cost-model tweak, a CSV
+ * formatting change — shows up as a byte diff in CI before a human
+ * would notice a number moved. Intentional changes are re-snapshotted
+ * with CT_GOLDEN_UPDATE=1 (see docs/TESTING.md for the procedure).
+ */
+
+#ifndef CT_CHECK_GOLDEN_HH
+#define CT_CHECK_GOLDEN_HH
+
+#include <string>
+
+namespace ct::check {
+
+/** Outcome of one golden comparison. */
+struct GoldenResult
+{
+    bool ok = false;
+    /** True when the file was (re)written in update mode. */
+    bool updated = false;
+    std::string message;
+};
+
+/** Whether CT_GOLDEN_UPDATE=1 (or any non-empty, non-"0" value). */
+bool goldenUpdateMode();
+
+/**
+ * Compare @p actual against the snapshot at @p path byte-for-byte.
+ * In update mode the snapshot is rewritten instead and the result is
+ * ok (with updated set, so a test can flag that CI must never run in
+ * update mode). A missing snapshot is a failure outside update mode.
+ * On mismatch the message pinpoints the first differing line and byte.
+ */
+GoldenResult compareGolden(const std::string &path,
+                           const std::string &actual);
+
+} // namespace ct::check
+
+#endif // CT_CHECK_GOLDEN_HH

@@ -1,0 +1,540 @@
+#include "check/oracles.hh"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "api/pipeline.hh"
+#include "check/gen.hh"
+#include "ir/verify.hh"
+#include "net/collector.hh"
+#include "net/fleet.hh"
+#include "net/packet.hh"
+#include "net/uplink.hh"
+#include "sim/lower.hh"
+#include "sim/machine.hh"
+#include "tomography/streaming.hh"
+#include "tomography/timing_model.hh"
+#include "trace/wire_format.hh"
+#include "workloads/workload.hh"
+
+namespace ct::check {
+
+namespace {
+
+std::string
+fmt(const char *format, ...)
+{
+    char buf[512];
+    va_list args;
+    va_start(args, format);
+    std::vsnprintf(buf, sizeof buf, format, args);
+    va_end(args);
+    return buf;
+}
+
+/** Field-by-field bitwise comparison helper for invariance oracles. */
+class Differ
+{
+  public:
+    template <typename T>
+    void
+    eq(const char *name, const T &a, const T &b)
+    {
+        if (!why_.empty() || a == b)
+            return;
+        std::ostringstream os;
+        os << name << " differs";
+        if constexpr (std::is_arithmetic_v<T>)
+            os << ": " << a << " vs " << b;
+        why_ = os.str();
+    }
+
+    void
+    eqTheta(const char *name, const std::vector<double> &a,
+            const std::vector<double> &b)
+    {
+        if (!why_.empty())
+            return;
+        if (a.size() != b.size()) {
+            why_ = fmt("%s length differs: %zu vs %zu", name, a.size(),
+                       b.size());
+            return;
+        }
+        for (size_t i = 0; i < a.size(); ++i) {
+            if (a[i] != b[i]) {
+                why_ = fmt("%s[%zu] differs: %.17g vs %.17g", name, i, a[i],
+                           b[i]);
+                return;
+            }
+        }
+    }
+
+    bool same() const { return why_.empty(); }
+    const std::string &why() const { return why_; }
+
+  private:
+    std::string why_;
+};
+
+void
+diffTraces(Differ &d, const char *label, const trace::TimingTrace &a,
+           const trace::TimingTrace &b)
+{
+    if (!d.same())
+        return;
+    if (a.size() != b.size()) {
+        d.eq(label, a.size(), b.size());
+        return;
+    }
+    for (size_t i = 0; i < a.size(); ++i) {
+        const auto &x = a[i];
+        const auto &y = b[i];
+        if (x.proc != y.proc || x.startTick != y.startTick ||
+            x.endTick != y.endTick || x.invocation != y.invocation) {
+            d.eq(label,
+                 fmt("record %zu (p%u %lld..%lld #%llu)", i, unsigned(x.proc),
+                     (long long)x.startTick, (long long)x.endTick,
+                     (unsigned long long)x.invocation),
+                 fmt("record %zu (p%u %lld..%lld #%llu)", i, unsigned(y.proc),
+                     (long long)y.startTick, (long long)y.endTick,
+                     (unsigned long long)y.invocation));
+            return;
+        }
+    }
+}
+
+struct SimulatedScenario
+{
+    FuzzProgram program;
+    sim::SimConfig config;
+    sim::LoweredModule lowered;
+    sim::RunResult run;
+};
+
+SimulatedScenario
+simulateScenario(const CfgScenario &scenario)
+{
+    SimulatedScenario out;
+    out.program = scenario.build();
+    out.config.cyclesPerTick = 1;
+    out.lowered = sim::lowerModule(*out.program.module);
+    auto inputs = out.program.makeInputs(scenario.simSeed);
+    sim::Simulator simulator(*out.program.module,
+                             sim::lowerModule(*out.program.module),
+                             out.config, *inputs, scenario.simSeed ^ 0x5eed);
+    out.run = simulator.run(out.program.entry, scenario.invocations);
+    return out;
+}
+
+} // namespace
+
+std::optional<std::string>
+estimatorRoundTripOracle(const CfgScenario &scenario,
+                         const RoundTripConfig &config)
+{
+    auto sim = simulateScenario(scenario);
+    if (!ir::verifyModule(*sim.program.module).ok())
+        return "generated module failed IR verification";
+    const auto &proc = sim.program.proc();
+    if (proc.branchBlocks().empty())
+        return skipCase();
+
+    auto estimator = tomography::makeEstimator(config.kind, {});
+    auto estimate = tomography::estimateModule(
+        *sim.program.module, sim.lowered, sim.config.costs, sim.config.policy,
+        sim.config.cyclesPerTick, 2.0 * sim.config.costs.timerRead,
+        sim.run.trace, *estimator);
+
+    // Reward-class aliasing makes some random CFGs fundamentally
+    // unidentifiable from boundary timing; the estimator reports that
+    // through aliasedMass and such scenarios are outside the premise.
+    if (estimate.results[sim.program.entry].aliasedMass >
+        config.maxAliasedMass)
+        return skipCase();
+
+    std::vector<double> no_callees(size_t(sim.program.entry) + 1, 0.0);
+    tomography::TimingModel model(
+        proc, sim.lowered.procs[sim.program.entry], sim.config.costs,
+        sim.config.policy, sim.config.cyclesPerTick, no_callees,
+        2.0 * sim.config.costs.timerRead);
+    auto truth =
+        sim.run.profile[sim.program.entry].branchProbabilities(proc);
+    auto diags = model.branchDiagnostics(truth);
+
+    bool judged = false;
+    for (size_t b = 0; b < truth.size(); ++b) {
+        if (diags[b].separationTicks < config.minSeparationTicks ||
+            diags[b].visitRate < config.minVisitRate)
+            continue;
+        judged = true;
+        double estimated = estimate.thetas[sim.program.entry][b];
+        if (std::abs(estimated - truth[b]) > config.tolerance) {
+            return fmt("branch %zu: estimated %.4f vs true %.4f "
+                       "(tolerance %.3f, separation %.2f ticks, visit rate "
+                       "%.2f) under %s",
+                       b, estimated, truth[b], config.tolerance,
+                       diags[b].separationTicks, diags[b].visitRate,
+                       tomography::estimatorName(config.kind));
+        }
+    }
+    return judged ? std::nullopt : skipCase();
+}
+
+std::optional<std::string>
+emVsMomentOracle(const CfgScenario &scenario)
+{
+    auto sim = simulateScenario(scenario);
+    const auto &proc = sim.program.proc();
+    size_t params = proc.branchBlocks().size();
+    // Two sample moments determine at most two parameters; larger
+    // procedures are outside moment matching's premise (E8).
+    if (params == 0 || params > 2)
+        return skipCase();
+
+    auto em = tomography::makeEstimator(tomography::EstimatorKind::Em, {});
+    auto moment =
+        tomography::makeEstimator(tomography::EstimatorKind::Moment, {});
+    auto em_est = tomography::estimateModule(
+        *sim.program.module, sim.lowered, sim.config.costs, sim.config.policy,
+        sim.config.cyclesPerTick, 2.0 * sim.config.costs.timerRead,
+        sim.run.trace, *em);
+    auto mo_est = tomography::estimateModule(
+        *sim.program.module, sim.lowered, sim.config.costs, sim.config.policy,
+        sim.config.cyclesPerTick, 2.0 * sim.config.costs.timerRead,
+        sim.run.trace, *moment);
+
+    if (em_est.results[sim.program.entry].aliasedMass > 0.02)
+        return skipCase();
+
+    std::vector<double> no_callees(size_t(sim.program.entry) + 1, 0.0);
+    tomography::TimingModel model(
+        proc, sim.lowered.procs[sim.program.entry], sim.config.costs,
+        sim.config.policy, sim.config.cyclesPerTick, no_callees,
+        2.0 * sim.config.costs.timerRead);
+    auto truth =
+        sim.run.profile[sim.program.entry].branchProbabilities(proc);
+    auto diags = model.branchDiagnostics(truth);
+
+    // Moment matching trades the E-step for two sample moments, and on
+    // arbitrary random CFGs its inversion is ill-conditioned (the
+    // variance term can pull theta off a mean-consistent value), so its
+    // bound here is coarser than EM's 0.08 and than its own accuracy on
+    // the curated fixtures (test_tomography_estimators: 0.03). The
+    // values are empirical, found by running this property at high
+    // CT_CHECK_SCALE; tightening them is an open estimator task, not a
+    // test knob.
+    const double mo_tol = params == 1 ? 0.25 : 0.35;
+    const double agree_tol = params == 1 ? 0.30 : 0.40;
+
+    bool judged = false;
+    for (size_t b = 0; b < truth.size(); ++b) {
+        // Moment matching does not model timer quantization, so the
+        // comparison only holds where the arms are clearly separated.
+        if (diags[b].separationTicks < 2.0 || diags[b].visitRate < 0.25)
+            continue;
+        judged = true;
+        double em_theta = em_est.thetas[sim.program.entry][b];
+        double mo_theta = mo_est.thetas[sim.program.entry][b];
+        if (std::abs(em_theta - truth[b]) > 0.08)
+            return fmt("EM off truth on branch %zu: %.4f vs %.4f", b,
+                       em_theta, truth[b]);
+        if (std::abs(mo_theta - truth[b]) > mo_tol)
+            return fmt("moment off truth on branch %zu: %.4f vs %.4f "
+                       "(tolerance %.2f for %zu params)",
+                       b, mo_theta, truth[b], mo_tol, params);
+        if (std::abs(em_theta - mo_theta) > agree_tol)
+            return fmt("estimators disagree on branch %zu: EM %.4f vs "
+                       "moment %.4f (truth %.4f)",
+                       b, em_theta, mo_theta, truth[b]);
+    }
+    return judged ? std::nullopt : skipCase();
+}
+
+std::optional<std::string>
+wireRoundTripOracle(const trace::TimingTrace &trace)
+{
+    auto bytes = trace::encodeTrace(trace);
+    trace::TimingTrace decoded;
+    if (!trace::decodeTrace(bytes, decoded))
+        return fmt("honest %zu-record trace failed to decode", trace.size());
+    Differ d;
+    diffTraces(d, "round-tripped trace", trace, decoded);
+    if (!d.same())
+        return d.why();
+    if (trace.empty() != bytes.empty())
+        return "empty-trace / empty-buffer correspondence violated";
+    return std::nullopt;
+}
+
+std::optional<std::string>
+packetRoundTripOracle(const trace::TimingTrace &trace, uint16_t mote,
+                      size_t mtu)
+{
+    // Packetization premise (net/packet.hh): the per-packet delta
+    // restart encodes each packet's first record at its absolute start
+    // tick, so traces beyond the wire cap in absolute time are outside
+    // the round-trip's domain.
+    for (const auto &record : trace.records())
+        if (std::llabs(record.startTick) >
+            (long long)trace::kMaxWireTicks)
+            return skipCase();
+
+    auto packets = net::packetizeTrace(trace, mote, mtu);
+    if (trace.empty() && !packets.empty())
+        return "empty trace produced packets";
+
+    std::vector<trace::TimingRecord> records;
+    size_t on_air = 0;
+    for (size_t i = 0; i < packets.size(); ++i) {
+        const auto &packet = packets[i];
+        if (packet.seq != i)
+            return fmt("packet %zu has sequence %u", i, packet.seq);
+        auto frame = net::serializePacket(packet);
+        if (frame.size() > mtu)
+            return fmt("packet %zu frame is %zu bytes > MTU %zu", i,
+                       frame.size(), mtu);
+        on_air += frame.size();
+        net::Packet parsed;
+        if (!net::parsePacket(frame, parsed))
+            return fmt("packet %zu failed to re-parse", i);
+        if (parsed.mote != mote || parsed.seq != packet.seq ||
+            parsed.payload != packet.payload)
+            return fmt("packet %zu did not round-trip the header/payload",
+                       i);
+        // Self-containment: each payload decodes on its own.
+        size_t before = records.size();
+        if (!net::decodePayload(parsed.payload, records))
+            return fmt("packet %zu payload not self-contained", i);
+        if (records.size() == before)
+            return fmt("packet %zu carried zero records", i);
+    }
+    if (on_air != net::framedTraceBytes(trace, mtu))
+        return "framedTraceBytes disagrees with actual frame total";
+
+    if (records.size() != trace.size())
+        return fmt("reassembled %zu records from %zu", records.size(),
+                   trace.size());
+    for (size_t i = 0; i < records.size(); ++i) {
+        const auto &x = trace[i];
+        const auto &y = records[i];
+        if (x.proc != y.proc || x.startTick != y.startTick ||
+            x.endTick != y.endTick)
+            return fmt("record %zu changed across the packet layer", i);
+    }
+    return std::nullopt;
+}
+
+std::optional<std::string>
+arqLosslessEquivalenceOracle(const ArqScenario &scenario)
+{
+    // A real workload so the streaming estimators see model-consistent
+    // durations (synthetic traces would all be outliers).
+    auto workload = workloads::workloadByName("crc16");
+    sim::SimConfig config;
+    auto inputs = workload.makeInputs(scenario.traceSeed);
+    auto lowered = sim::lowerModule(*workload.module);
+    sim::Simulator simulator(*workload.module, lowered, config, *inputs,
+                             scenario.traceSeed ^ 0x5eed);
+    auto run = simulator.run(workload.entry, scenario.records);
+    const trace::TimingTrace &trace = run.trace;
+
+    const double nested_probes = 2.0 * config.costs.timerRead;
+
+    // Lossless reference: records straight into an estimator bank.
+    net::EstimatorBank reference(*workload.module, lowered, config.costs,
+                                 config.policy, config.cyclesPerTick, {},
+                                 nested_probes);
+    for (const auto &record : trace.records())
+        reference.observe(1, record);
+
+    // Lossy path: same records through channel + ARQ + collector.
+    net::UplinkConfig uplink;
+    uplink.window = 16;
+    uplink.maxRetries = 64;
+    net::SinkCollector sink({.skipAheadPackets = 0});
+    net::EstimatorBank bank(*workload.module, lowered, config.costs,
+                            config.policy, config.cyclesPerTick, {},
+                            nested_probes);
+    sink.setRecordSink(bank.sink());
+    auto outcome =
+        net::transferTrace(trace, 1, scenario.mtu, scenario.channel, uplink,
+                           sink, scenario.channelSeed);
+    if (!outcome.complete)
+        return skipCase(); // retry budget genuinely exhausted
+
+    Differ d;
+    diffTraces(d, "sink trace", trace, sink.traceFor(1));
+    d.eq("records delivered", uint64_t(trace.size()),
+         sink.recordsDelivered(1));
+    d.eq("observations", reference.observations(), bank.observations());
+    d.eq("outliers", reference.outliers(), bank.outliers());
+    d.eqTheta("theta", reference.theta(1, workload.entry),
+              bank.theta(1, workload.entry));
+    if (!d.same())
+        return "ARQ-complete transfer is distinguishable from lossless: " +
+               d.why();
+    return std::nullopt;
+}
+
+std::vector<ArqScenario>
+shrinkArqScenario(const ArqScenario &s)
+{
+    std::vector<ArqScenario> out;
+    for (uint64_t records : shrinkToward(s.records, 4)) {
+        ArqScenario c = s;
+        c.records = size_t(records);
+        out.push_back(c);
+    }
+    // Disable one fault class at a time: pins the blame.
+    if (s.channel.dropRate > 0.0 || s.channel.burstLoss) {
+        ArqScenario c = s;
+        c.channel.dropRate = 0.0;
+        c.channel.burstLoss = false;
+        out.push_back(c);
+    }
+    if (s.channel.duplicateRate > 0.0) {
+        ArqScenario c = s;
+        c.channel.duplicateRate = 0.0;
+        out.push_back(c);
+    }
+    if (s.channel.reorderWindow > 0) {
+        ArqScenario c = s;
+        c.channel.reorderWindow = 0;
+        out.push_back(c);
+    }
+    if (s.channel.bitFlipRate > 0.0) {
+        ArqScenario c = s;
+        c.channel.bitFlipRate = 0.0;
+        out.push_back(c);
+    }
+    if (s.channel.ackDropRate > 0.0) {
+        ArqScenario c = s;
+        c.channel.ackDropRate = 0.0;
+        out.push_back(c);
+    }
+    return out;
+}
+
+std::string
+showArqScenario(const ArqScenario &s)
+{
+    return fmt("{traceSeed=0x%llx channelSeed=0x%llx records=%zu mtu=%zu "
+               "drop=%.2f dup=%.2f reorder=%zu flip=%.2f burst=%d "
+               "ackDrop=%.2f}",
+               (unsigned long long)s.traceSeed,
+               (unsigned long long)s.channelSeed, s.records, s.mtu,
+               s.channel.dropRate, s.channel.duplicateRate,
+               s.channel.reorderWindow, s.channel.bitFlipRate,
+               int(s.channel.burstLoss), s.channel.ackDropRate);
+}
+
+std::optional<std::string>
+pipelineJobsInvarianceOracle(const std::string &workload_name, uint64_t seed,
+                             size_t measure_invocations,
+                             size_t eval_invocations, size_t jobs)
+{
+    api::PipelineConfig config;
+    config.seed = seed;
+    config.measureInvocations = measure_invocations;
+    config.evalInvocations = eval_invocations;
+
+    config.jobs = 1;
+    api::TomographyPipeline serial(workloads::workloadByName(workload_name),
+                                   config);
+    auto a = serial.run();
+    config.jobs = jobs;
+    api::TomographyPipeline parallel(
+        workloads::workloadByName(workload_name), config);
+    auto b = parallel.run();
+
+    Differ d;
+    d.eqTheta("estimatedTheta", a.estimatedTheta, b.estimatedTheta);
+    d.eqTheta("trueTheta", a.trueTheta, b.trueTheta);
+    d.eq("branchMae", a.branchMae, b.branchMae);
+    d.eq("branchMaxError", a.branchMaxError, b.branchMaxError);
+    d.eq("measure totalCycles", a.measureRun.totalCycles,
+         b.measureRun.totalCycles);
+    diffTraces(d, "measure trace", a.measureRun.trace, b.measureRun.trace);
+    d.eq("outcome count", a.outcomes.size(), b.outcomes.size());
+    if (d.same()) {
+        for (size_t i = 0; i < a.outcomes.size(); ++i) {
+            const auto &x = a.outcomes[i];
+            const auto &y = b.outcomes[i];
+            d.eq("outcome name", x.name, y.name);
+            d.eq((x.name + " totalCycles").c_str(), x.totalCycles,
+                 y.totalCycles);
+            d.eq((x.name + " mispredicted").c_str(), x.mispredicted,
+                 y.mispredicted);
+            d.eq((x.name + " branchesExecuted").c_str(), x.branchesExecuted,
+                 y.branchesExecuted);
+            d.eq((x.name + " mispredictRate").c_str(), x.mispredictRate,
+                 y.mispredictRate);
+            d.eq((x.name + " energy").c_str(), x.energyMicrojoules,
+                 y.energyMicrojoules);
+        }
+    }
+    if (!d.same())
+        return fmt("jobs=1 vs jobs=%zu on '%s': ", jobs,
+                   workload_name.c_str()) +
+               d.why();
+    return std::nullopt;
+}
+
+std::optional<std::string>
+fleetJobsInvarianceOracle(const std::string &workload_name, uint64_t seed,
+                          size_t motes, size_t invocations,
+                          const net::ChannelConfig &channel, size_t jobs)
+{
+    net::FleetConfig config;
+    config.motes = motes;
+    config.invocations = invocations;
+    config.seed = seed;
+    config.channel = channel;
+
+    auto workload = workloads::workloadByName(workload_name);
+    config.jobs = 1;
+    auto a = net::runFleet(workload, config);
+    config.jobs = jobs;
+    auto b = net::runFleet(workload, config);
+
+    Differ d;
+    d.eq("mote count", a.motes.size(), b.motes.size());
+    if (d.same()) {
+        for (size_t i = 0; i < a.motes.size(); ++i) {
+            const auto &x = a.motes[i];
+            const auto &y = b.motes[i];
+            d.eq("mote id", x.mote, y.mote);
+            d.eq("recordsSent", x.recordsSent, y.recordsSent);
+            d.eq("recordsDelivered", x.recordsDelivered,
+                 y.recordsDelivered);
+            d.eq("wireBytes", x.wireBytes, y.wireBytes);
+            d.eq("packets", x.packets, y.packets);
+            d.eq("complete", x.complete, y.complete);
+            d.eq("rounds", x.rounds, y.rounds);
+            d.eq("channel.dropped", x.channel.dropped, y.channel.dropped);
+            d.eq("channel.delivered", x.channel.delivered,
+                 y.channel.delivered);
+            d.eq("uplink.transmissions", x.uplink.transmissions,
+                 y.uplink.transmissions);
+            d.eq("collector.accepted", x.collector.accepted,
+                 y.collector.accepted);
+            d.eq("estObservations", x.estObservations, y.estObservations);
+            d.eq("estOutliers", x.estOutliers, y.estOutliers);
+            d.eqTheta("sinkTheta", x.sinkTheta, y.sinkTheta);
+            d.eqTheta("trueTheta", x.trueTheta, y.trueTheta);
+            d.eq("maxThetaError", x.maxThetaError, y.maxThetaError);
+            if (!d.same())
+                break;
+        }
+    }
+    if (!d.same())
+        return fmt("fleet jobs=1 vs jobs=%zu on '%s': ", jobs,
+                   workload_name.c_str()) +
+               d.why();
+    return std::nullopt;
+}
+
+} // namespace ct::check

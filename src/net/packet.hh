@@ -70,6 +70,14 @@ bool parsePacket(const std::vector<uint8_t> &frame, Packet &out);
  * start at 0; every payload decodes independently (see file
  * comment). fatal() when @p mtu cannot fit the header plus one
  * worst-case record.
+ *
+ * @note Premise found by property fuzzing (tests/prop_packet_net.cc):
+ *       because every payload restarts the delta basis at 0, a
+ *       packet's first record is encoded at its *absolute* start
+ *       tick, so the trace must satisfy |startTick| <=
+ *       trace::kMaxWireTicks (~2^40 ticks) or the hardened decoder
+ *       will reject the payload. Motes that run longer than the cap
+ *       must renormalize their tick epoch before packetizing.
  */
 std::vector<Packet> packetizeTrace(const trace::TimingTrace &trace,
                                    uint16_t mote,

@@ -14,21 +14,35 @@ appendVarint(std::vector<uint8_t> &out, uint64_t value)
     out.push_back(uint8_t(value));
 }
 
+VarintDecode
+readVarintChecked(const std::vector<uint8_t> &in, size_t &cursor,
+                  uint64_t &value)
+{
+    value = 0;
+    for (int i = 0;; ++i) {
+        if (cursor >= in.size())
+            return VarintDecode::Truncated;
+        uint8_t byte = in[cursor++];
+        if (i == 9) {
+            // Tenth byte: bits 63.. — only the lowest bit fits in a
+            // uint64, and it must terminate the varint. Anything else
+            // (set high bits, or an 11th byte) cannot be completed by
+            // more input, so it is Overflow, never Truncated.
+            if (byte > 1)
+                return VarintDecode::Overflow;
+            value |= uint64_t(byte) << 63;
+            return VarintDecode::Ok;
+        }
+        value |= uint64_t(byte & 0x7f) << (7 * i);
+        if (!(byte & 0x80))
+            return VarintDecode::Ok;
+    }
+}
+
 bool
 readVarint(const std::vector<uint8_t> &in, size_t &cursor, uint64_t &value)
 {
-    value = 0;
-    int shift = 0;
-    while (cursor < in.size()) {
-        uint8_t byte = in[cursor++];
-        if (shift >= 64)
-            return false; // overlong
-        value |= uint64_t(byte & 0x7f) << shift;
-        if (!(byte & 0x80))
-            return true;
-        shift += 7;
-    }
-    return false; // truncated
+    return readVarintChecked(in, cursor, value) == VarintDecode::Ok;
 }
 
 uint64_t
@@ -62,14 +76,14 @@ decodeRecord(const std::vector<uint8_t> &bytes, size_t &cursor,
     size_t start = cursor;
     uint64_t proc = 0, gap = 0, duration = 0;
     for (uint64_t *field : {&proc, &gap, &duration}) {
-        if (!readVarint(bytes, cursor, *field)) {
-            // At the end of the buffer this is a truncated record (a
-            // valid prefix of a longer stream); mid-buffer it is an
-            // overlong varint.
-            if (cursor >= bytes.size()) {
-                cursor = start;
-                return RecordDecode::NeedMore;
-            }
+        switch (readVarintChecked(bytes, cursor, *field)) {
+          case VarintDecode::Ok:
+            break;
+          case VarintDecode::Truncated:
+            // A valid prefix of a longer stream: retry with more bytes.
+            cursor = start;
+            return RecordDecode::NeedMore;
+          case VarintDecode::Overflow:
             return RecordDecode::Malformed;
         }
     }

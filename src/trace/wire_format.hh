@@ -30,7 +30,35 @@ namespace ct::trace {
 /// @name Varint primitives (exposed for tests)
 /// @{
 void appendVarint(std::vector<uint8_t> &out, uint64_t value);
-/** @retval false on truncated/overlong input. */
+
+/**
+ * Why one byte of LEB128 needs three outcomes: a stream that ends
+ * mid-varint is a valid *prefix* (more radio bytes may complete it),
+ * but a varint that cannot fit 64 bits is garbage no suffix can fix.
+ * Property-based fuzzing (tests/prop_wire_format.cc) shrank two
+ * counterexamples against the old boolean decoder:
+ *
+ *   [0x80 x9, 0x02]  — ten-byte varint whose final byte carries bits
+ *                      above bit 63: the old decoder shifted them out
+ *                      and silently decoded 0 instead of rejecting;
+ *   [0x80 x10]       — eleven continuation bytes ending the buffer:
+ *                      the old decoder reported "truncated", so a
+ *                      streaming collector would wait forever for
+ *                      bytes that cannot rescue the stream.
+ */
+enum class VarintDecode {
+    Ok,        //!< value decoded; cursor advanced past it
+    Truncated, //!< buffer ended mid-varint (a valid prefix)
+    Overflow,  //!< needs > 64 bits / overlong past 10 bytes: malformed
+};
+
+/** Decode one varint at @p cursor; cursor advances past consumed bytes
+ *  on Ok and is unspecified otherwise. */
+VarintDecode readVarintChecked(const std::vector<uint8_t> &in,
+                               size_t &cursor, uint64_t &value);
+
+/** Boolean convenience wrapper (Ok == true); prefer the checked form
+ *  anywhere Truncated and Overflow must be told apart. */
 bool readVarint(const std::vector<uint8_t> &in, size_t &cursor,
                 uint64_t &value);
 uint64_t zigzagEncode(int64_t value);

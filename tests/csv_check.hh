@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Minimal strict CSV parser for tests (RFC 4180 quoting rules): fields
+ * are separated by commas, rows by '\n' (an optional '\r' before the
+ * '\n' is consumed), and a field containing separators or quotes must
+ * be wrapped in double quotes with embedded quotes doubled. Rejected:
+ * a quote opening mid-field, characters between a closing quote and
+ * the next separator, and an unterminated quoted field.
+ *
+ * Test-only on purpose, mirroring tests/json_check.hh: the library
+ * only *emits* CSV (util/csv.hh), and keeping the strict reader here
+ * keeps that one-way while still letting properties assert that every
+ * exported file re-parses losslessly.
+ */
+
+#ifndef CT_TESTS_CSV_CHECK_HH
+#define CT_TESTS_CSV_CHECK_HH
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ct::testcsv {
+
+using Row = std::vector<std::string>;
+
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    /** Parse the whole input; nullopt (with error()) on any violation. */
+    std::optional<std::vector<Row>> parse()
+    {
+        std::vector<Row> rows;
+        while (pos_ < text_.size()) {
+            Row row;
+            if (!parseRow(row))
+                return std::nullopt;
+            rows.push_back(std::move(row));
+        }
+        return rows;
+    }
+
+    const std::string &error() const { return error_; }
+
+  private:
+    bool fail(const std::string &why)
+    {
+        if (error_.empty())
+            error_ = why + " at offset " + std::to_string(pos_);
+        return false;
+    }
+
+    bool parseRow(Row &row)
+    {
+        while (true) {
+            std::string field;
+            if (!parseField(field))
+                return false;
+            row.push_back(std::move(field));
+            if (pos_ >= text_.size())
+                return true;
+            char c = text_[pos_];
+            if (c == ',') {
+                ++pos_;
+                continue;
+            }
+            // Row terminator: '\n' or '\r\n'.
+            if (c == '\r' && pos_ + 1 < text_.size() &&
+                text_[pos_ + 1] == '\n') {
+                pos_ += 2;
+                return true;
+            }
+            if (c == '\n') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or end of row");
+        }
+    }
+
+    bool parseField(std::string &out)
+    {
+        if (pos_ < text_.size() && text_[pos_] == '"')
+            return parseQuoted(out);
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c == ',' || c == '\n' ||
+                (c == '\r' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '\n'))
+                break;
+            if (c == '"')
+                return fail("bare quote inside unquoted field");
+            out += c;
+            ++pos_;
+        }
+        return true;
+    }
+
+    bool parseQuoted(std::string &out)
+    {
+        ++pos_; // opening '"'
+        while (true) {
+            if (pos_ >= text_.size())
+                return fail("unterminated quoted field");
+            char c = text_[pos_++];
+            if (c != '"') {
+                out += c;
+                continue;
+            }
+            // Either an escaped quote ("") or the closing quote.
+            if (pos_ < text_.size() && text_[pos_] == '"') {
+                out += '"';
+                ++pos_;
+                continue;
+            }
+            if (pos_ < text_.size() && text_[pos_] != ',' &&
+                text_[pos_] != '\n' && text_[pos_] != '\r')
+                return fail("characters after closing quote");
+            return true;
+        }
+    }
+
+    std::string_view text_;
+    size_t pos_ = 0;
+    std::string error_;
+};
+
+/** Parse @p text strictly; nullopt on any violation. */
+inline std::optional<std::vector<Row>>
+parseCsv(std::string_view text, std::string *error = nullptr)
+{
+    Parser parser(text);
+    auto rows = parser.parse();
+    if (error)
+        *error = parser.error();
+    return rows;
+}
+
+} // namespace ct::testcsv
+
+#endif // CT_TESTS_CSV_CHECK_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Cross-estimator differential property: on identifiable,
+ * moment-determined workloads (at most two branch parameters), EM and
+ * moment matching must both land near the ground truth *and* near each
+ * other (check/oracles.hh, emVsMomentOracle). Two independently
+ * derived estimators agreeing is strong evidence neither regressed;
+ * them disagreeing pinpoints which layer moved.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/cfg_gen.hh"
+#include "check/check.hh"
+#include "check/oracles.hh"
+
+#include "prop_util.hh"
+
+namespace {
+
+using namespace ct;
+
+TEST(PropEmVsMoment, EstimatorsAgreeOnMomentDeterminedCfgs)
+{
+    CT_EXPECT_PROP(check::forAll<check::CfgScenario>(
+        "Estimator.EmAndMomentAgree",
+        [](Rng &rng) {
+            // Small CFGs keep the <= 2 branch-parameter premise
+            // satisfied often enough to judge most cases.
+            auto s = check::genCfgScenario(rng, 3'000);
+            s.maxBlocks = 4 + size_t(rng.below(2));
+            return s;
+        },
+        [](const check::CfgScenario &s) -> std::optional<std::string> {
+            // Sample-count floor: below it the tolerances drown in
+            // statistical noise (shrunk scenarios become skips).
+            if (s.invocations < 1'000)
+                return check::skipCase();
+            return check::emVsMomentOracle(s);
+        },
+        check::shrinkCfgScenario, check::showCfgScenario,
+        {.iterations = 8}));
+}
+
+TEST(PropEmVsMoment, AgreementSurvivesMoreData)
+{
+    // Metamorphic variant: doubling the sample count must not break
+    // the agreement (estimates only sharpen with data).
+    CT_EXPECT_PROP(check::forAll<check::CfgScenario>(
+        "Estimator.AgreementSurvivesMoreData",
+        [](Rng &rng) {
+            auto s = check::genCfgScenario(rng, 6'000);
+            s.maxBlocks = 4;
+            return s;
+        },
+        [](const check::CfgScenario &s) -> std::optional<std::string> {
+            if (s.invocations < 1'000)
+                return check::skipCase();
+            return check::emVsMomentOracle(s);
+        },
+        check::shrinkCfgScenario, check::showCfgScenario,
+        {.iterations = 4}));
+}
+
+} // namespace

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Golden-result regression tests (check/golden.hh): deterministic
+ * summaries of the workload suite and of two full pipeline runs are
+ * compared byte-for-byte against snapshots in tests/golden/. Any
+ * behaviour drift — an estimator tweak, a cost-model change, a CSV
+ * formatting change — fails here with the first differing line before
+ * a human would notice a number moved. Intentional changes are
+ * re-snapshotted with CT_GOLDEN_UPDATE=1 (see docs/TESTING.md).
+ */
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "api/pipeline.hh"
+#include "check/golden.hh"
+#include "ir/analysis.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace ct;
+
+#ifndef CT_GOLDEN_DIR
+#error "ct_prop_tests must be built with CT_GOLDEN_DIR"
+#endif
+
+std::string
+goldenPath(const std::string &file)
+{
+    return std::string(CT_GOLDEN_DIR) + "/" + file;
+}
+
+std::string
+fmtRow(const char *format, ...)
+{
+    char buf[256];
+    va_list args;
+    va_start(args, format);
+    std::vsnprintf(buf, sizeof buf, format, args);
+    va_end(args);
+    return buf;
+}
+
+TEST(PropGolden, UpdateModeIsOffDuringNormalRuns)
+{
+    // Running the suite with CT_GOLDEN_UPDATE set would silently bless
+    // whatever the code currently produces; fail loudly instead so CI
+    // (and absent-minded local runs) can never do that.
+    EXPECT_FALSE(check::goldenUpdateMode())
+        << "unset CT_GOLDEN_UPDATE before running the test suite; update "
+           "mode is only for regenerating snapshots";
+}
+
+TEST(PropGolden, WorkloadStructureMatchesSnapshot)
+{
+    // Static structure of every workload in canonical order: integers
+    // only, so the snapshot is platform-independent by construction.
+    std::string csv =
+        "workload,procedures,entry_blocks,entry_edges,entry_branches,"
+        "entry_insts,entry_loops,entry_acyclic_paths\n";
+    for (const auto &workload : workloads::allWorkloads()) {
+        const auto &proc = workload.entryProc();
+        csv += fmtRow("%s,%zu,%zu,%zu,%zu,%zu,%zu,%llu\n",
+                      workload.name.c_str(),
+                      workload.module->procedureCount(), proc.blockCount(),
+                      proc.edges().size(), proc.branchBlocks().size(),
+                      proc.instCount(), ir::findNaturalLoops(proc).size(),
+                      (unsigned long long)ir::countAcyclicPaths(proc));
+    }
+    auto result =
+        check::compareGolden(goldenPath("workload_structure.csv"), csv);
+    EXPECT_TRUE(result.ok) << result.message;
+}
+
+TEST(PropGolden, PipelineSummaryMatchesSnapshot)
+{
+    // Two full measure -> estimate -> optimize -> evaluate runs with
+    // pinned seeds; cycle counts are integers, error metrics printed
+    // with fixed precision.
+    std::string csv = "workload,layout,total_cycles,mispredicted,"
+                      "branches_executed,dynamic_jumps\n";
+    std::string accuracy = "workload,branch_mae,branch_max_error\n";
+    for (const char *name : {"blink", "crc16"}) {
+        api::PipelineConfig config;
+        config.seed = 7;
+        config.measureInvocations = 300;
+        config.evalInvocations = 400;
+        config.jobs = 1;
+        api::TomographyPipeline pipeline(workloads::workloadByName(name),
+                                         config);
+        auto result = pipeline.run();
+        for (const auto &outcome : result.outcomes)
+            csv += fmtRow("%s,%s,%llu,%llu,%llu,%llu\n", name,
+                          outcome.name.c_str(),
+                          (unsigned long long)outcome.totalCycles,
+                          (unsigned long long)outcome.mispredicted,
+                          (unsigned long long)outcome.branchesExecuted,
+                          (unsigned long long)outcome.dynamicJumps);
+        accuracy += fmtRow("%s,%.6f,%.6f\n", name, result.branchMae,
+                           result.branchMaxError);
+    }
+    auto summary =
+        check::compareGolden(goldenPath("pipeline_summary.csv"), csv);
+    EXPECT_TRUE(summary.ok) << summary.message;
+    auto acc =
+        check::compareGolden(goldenPath("pipeline_accuracy.csv"), accuracy);
+    EXPECT_TRUE(acc.ok) << acc.message;
+}
+
+} // namespace

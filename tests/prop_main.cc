@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Entry point for ct_prop_tests: gtest plus the ct::check run controls.
+ *
+ *   ./tests/ct_prop_tests --seed=0xdeadbeef   # replay one failing case
+ *   ./tests/ct_prop_tests --check-scale=10    # longfuzz iteration counts
+ *
+ * Both flags also exist as environment variables (CT_CHECK_SEED,
+ * CT_CHECK_SCALE) so ctest fixtures and CI can set them without
+ * touching the command line; the flags win when both are present.
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "check/check.hh"
+
+int
+main(int argc, char **argv)
+{
+    testing::InitGoogleTest(&argc, argv); // strips gtest's own flags
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value_of = [&](const std::string &prefix) -> const char * {
+            if (arg.rfind(prefix, 0) == 0)
+                return arg.c_str() + prefix.size();
+            return nullptr;
+        };
+        if (const char *v = value_of("--seed=")) {
+            ct::check::setSeedOverride(std::strtoull(v, nullptr, 0));
+        } else if (const char *v = value_of("--check-scale=")) {
+            ct::check::setScaleOverride(std::strtod(v, nullptr));
+        } else {
+            std::fprintf(stderr,
+                         "ct_prop_tests: unknown argument '%s' "
+                         "(supported: --seed=N, --check-scale=X, and any "
+                         "gtest flag)\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+    return RUN_ALL_TESTS();
+}

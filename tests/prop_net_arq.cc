@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Transport-equivalence properties (check/oracles.hh): a lossy channel
+ * under selective-repeat ARQ that *completes* must be bitwise
+ * indistinguishable from a lossless link all the way into the
+ * streaming estimator bank — same sink trace, same observation and
+ * outlier counts, identical thetas. Plus the fire-and-forget bound:
+ * without retransmission, whatever survives arrives unmodified, in
+ * order, as a per-packet subsequence of the original trace.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/check.hh"
+#include "check/gen.hh"
+#include "check/oracles.hh"
+#include "net/collector.hh"
+#include "net/packet.hh"
+#include "net/uplink.hh"
+
+#include "prop_util.hh"
+
+namespace {
+
+using namespace ct;
+
+check::ArqScenario
+genArqScenario(Rng &rng)
+{
+    check::ArqScenario s;
+    s.traceSeed = rng.next();
+    s.channelSeed = rng.next();
+    s.records = 30 + size_t(rng.below(50));
+    s.mtu = net::kHeaderBytes + 16 + size_t(rng.below(40));
+    s.channel.dropRate = rng.uniform(0.0, 0.35);
+    s.channel.duplicateRate = rng.uniform(0.0, 0.25);
+    s.channel.reorderWindow = size_t(rng.below(5));
+    s.channel.bitFlipRate = rng.uniform(0.0, 0.15);
+    s.channel.ackDropRate = rng.uniform(0.0, 0.25);
+    if (rng.bernoulli(0.3))
+        s.channel.burstLoss = true;
+    return s;
+}
+
+TEST(PropNetArq, CompletedArqEqualsLossless)
+{
+    CT_EXPECT_PROP(check::forAll<check::ArqScenario>(
+        "Arq.CompletedTransferEqualsLossless", genArqScenario,
+        check::arqLosslessEquivalenceOracle, check::shrinkArqScenario,
+        check::showArqScenario, {.iterations = 10}));
+}
+
+TEST(PropNetArq, FireAndForgetDeliversAPerPacketSubsequence)
+{
+    // With retransmission off, loss is allowed — but never corruption
+    // or reordering of what does arrive: the delivered records must be
+    // the concatenation of some subset of the packets, in order.
+    CT_EXPECT_PROP(check::forAll<uint64_t>(
+        "Arq.FireAndForgetSubsequence",
+        [](Rng &rng) { return rng.next(); },
+        [](const uint64_t &seed) -> std::optional<std::string> {
+            Rng rng(seed);
+            check::TraceGenConfig gen_config;
+            gen_config.maxRecords = 40;
+            gen_config.nastyProb = 0.0;
+            auto trace = check::genTrace(rng, gen_config);
+
+            net::ChannelConfig channel;
+            channel.dropRate = rng.uniform(0.0, 0.4);
+            channel.duplicateRate = rng.uniform(0.0, 0.2);
+            channel.reorderWindow = size_t(rng.below(4));
+            channel.bitFlipRate = rng.uniform(0.0, 0.1);
+
+            net::UplinkConfig uplink;
+            uplink.retransmit = false;
+
+            net::SinkCollector sink;
+            auto outcome = net::transferTrace(trace, 5, net::kDefaultMtu,
+                                              channel, uplink, sink,
+                                              rng.next());
+            const auto &delivered = sink.traceFor(5);
+            if (delivered.size() > trace.size())
+                return "sink delivered more records than were sent";
+            if (outcome.complete && delivered.size() != trace.size())
+                return "transfer claims complete but records are missing";
+
+            // Greedy subsequence match at packet granularity.
+            auto packets =
+                net::packetizeTrace(trace, 5, net::kDefaultMtu);
+            std::vector<std::vector<trace::TimingRecord>> chunks;
+            for (const auto &p : packets) {
+                chunks.emplace_back();
+                if (!net::decodePayload(p.payload, chunks.back()))
+                    return "honest payload failed to decode";
+            }
+            size_t cursor = 0, chunk = 0;
+            while (cursor < delivered.size() && chunk < chunks.size()) {
+                const auto &records = chunks[chunk++];
+                if (cursor + records.size() > delivered.size())
+                    continue;
+                bool match = true;
+                for (size_t i = 0; i < records.size() && match; ++i) {
+                    const auto &want = records[i];
+                    const auto &got = delivered[cursor + i];
+                    match = got.proc == want.proc &&
+                            got.startTick == want.startTick &&
+                            got.endTick == want.endTick;
+                }
+                if (match)
+                    cursor += records.size();
+            }
+            if (cursor != delivered.size())
+                return "delivered records are not a per-packet "
+                       "subsequence of the sent trace (" +
+                       std::to_string(cursor) + "/" +
+                       std::to_string(delivered.size()) + " matched)";
+            return std::nullopt;
+        },
+        nullptr, nullptr, {.iterations = 60}));
+}
+
+} // namespace

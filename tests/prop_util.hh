@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Glue shared by the tests/prop_*.cc suites: the one macro that turns
+ * a ct::check::Result into a gtest assertion with the full report
+ * (counterexample + reproduction line) attached on failure.
+ */
+
+#ifndef CT_TESTS_PROP_UTIL_HH
+#define CT_TESTS_PROP_UTIL_HH
+
+#include <gtest/gtest.h>
+
+#include "check/check.hh"
+
+#define CT_EXPECT_PROP(result_expr)                                        \
+    do {                                                                   \
+        const ::ct::check::Result ct_prop_result_ = (result_expr);         \
+        EXPECT_TRUE(ct_prop_result_.ok) << ct_prop_result_.report();       \
+    } while (0)
+
+#endif // CT_TESTS_PROP_UTIL_HH

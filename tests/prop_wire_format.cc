@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Properties of the LEB128 wire format (trace/wire_format.hh): varint
+ * and zigzag round-trips, decoder totality on arbitrary bytes, the
+ * prefix-consistency contract behind streaming decode, and regression
+ * pins for the two counterexamples property fuzzing shrank against the
+ * old boolean varint decoder (documented in wire_format.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/check.hh"
+#include "check/gen.hh"
+#include "check/oracles.hh"
+#include "trace/wire_format.hh"
+
+#include "prop_util.hh"
+
+namespace {
+
+using namespace ct;
+using trace::RecordDecode;
+using trace::VarintDecode;
+
+/** Uniform over varint lengths: a 64-bit draw right-shifted 0..63. */
+uint64_t
+genVarintValue(Rng &rng)
+{
+    return rng.next() >> rng.below(64);
+}
+
+TEST(PropWireFormat, VarintRoundTrip)
+{
+    CT_EXPECT_PROP(check::forAll<uint64_t>(
+        "Wire.VarintRoundTrip", genVarintValue,
+        [](const uint64_t &value) -> std::optional<std::string> {
+            std::vector<uint8_t> bytes;
+            trace::appendVarint(bytes, value);
+            if (bytes.size() > 10)
+                return "encoding longer than 10 bytes: " +
+                       std::to_string(bytes.size());
+            size_t cursor = 0;
+            uint64_t decoded = 0;
+            auto rc = trace::readVarintChecked(bytes, cursor, decoded);
+            if (rc != VarintDecode::Ok)
+                return "decode of own encoding not Ok";
+            if (decoded != value)
+                return "decoded " + std::to_string(decoded) +
+                       " != encoded " + std::to_string(value);
+            if (cursor != bytes.size())
+                return "cursor did not consume the whole encoding";
+            return std::nullopt;
+        },
+        [](const uint64_t &v) { return check::shrinkToward(v, 0); },
+        [](const uint64_t &v) { return std::to_string(v); },
+        {.iterations = 400}));
+}
+
+TEST(PropWireFormat, ZigzagRoundTrip)
+{
+    CT_EXPECT_PROP(check::forAll<uint64_t>(
+        "Wire.ZigzagRoundTrip", genVarintValue,
+        [](const uint64_t &bits) -> std::optional<std::string> {
+            int64_t value = int64_t(bits);
+            if (trace::zigzagDecode(trace::zigzagEncode(value)) != value)
+                return "zigzag decode(encode(x)) != x";
+            if (trace::zigzagEncode(trace::zigzagDecode(bits)) != bits)
+                return "zigzag encode(decode(u)) != u";
+            return std::nullopt;
+        },
+        [](const uint64_t &v) { return check::shrinkToward(v, 0); },
+        [](const uint64_t &v) { return std::to_string(v); },
+        {.iterations = 400}));
+}
+
+TEST(PropWireFormat, DecodeIsTotalOnRandomBytes)
+{
+    // Whatever bytes the radio hands us, record decode must terminate
+    // with a definite verdict, restore the cursor on NeedMore, and
+    // never claim NeedMore twice in a row on the same (unchanged)
+    // buffer end.
+    CT_EXPECT_PROP(check::forAll<std::vector<uint8_t>>(
+        "Wire.DecodeIsTotalOnRandomBytes",
+        [](Rng &rng) { return check::genBytes(rng, 64); },
+        [](const std::vector<uint8_t> &bytes)
+            -> std::optional<std::string> {
+            size_t cursor = 0;
+            int64_t prev_end = 0;
+            while (cursor < bytes.size()) {
+                size_t before = cursor;
+                trace::TimingRecord record;
+                auto rc =
+                    trace::decodeRecord(bytes, cursor, prev_end, record);
+                if (rc == RecordDecode::Ok) {
+                    if (cursor <= before)
+                        return "Ok did not advance the cursor";
+                    continue;
+                }
+                if (rc == RecordDecode::NeedMore) {
+                    if (cursor != before)
+                        return "NeedMore did not restore the cursor";
+                    // Retrying with identical input must be stable.
+                    auto again =
+                        trace::decodeRecord(bytes, cursor, prev_end,
+                                            record);
+                    if (again != RecordDecode::NeedMore)
+                        return "NeedMore verdict not stable on retry";
+                }
+                break; // NeedMore or Malformed both end the stream
+            }
+            trace::TimingTrace decoded;
+            trace::decodeTrace(bytes, decoded); // must not crash
+            return std::nullopt;
+        },
+        check::shrinkBytes, check::showBytes, {.iterations = 300}));
+}
+
+TEST(PropWireFormat, HonestPrefixesAreNeverMalformed)
+{
+    // Cutting an honest stream at any byte must read as "valid prefix":
+    // some records decode Ok, then exactly NeedMore — never Malformed.
+    struct Case
+    {
+        trace::TimingTrace trace;
+        uint64_t cutFraction = 0; //!< numerator over 1024
+    };
+    CT_EXPECT_PROP(check::forAll<Case>(
+        "Wire.HonestPrefixesAreNeverMalformed",
+        [](Rng &rng) {
+            Case c;
+            c.trace = check::genTrace(rng);
+            c.cutFraction = rng.below(1025);
+            return c;
+        },
+        [](const Case &c) -> std::optional<std::string> {
+            auto bytes = trace::encodeTrace(c.trace);
+            bytes.resize(size_t(uint64_t(bytes.size()) * c.cutFraction /
+                                1024));
+            size_t cursor = 0;
+            int64_t prev_end = 0;
+            while (cursor < bytes.size()) {
+                trace::TimingRecord record;
+                auto rc =
+                    trace::decodeRecord(bytes, cursor, prev_end, record);
+                if (rc == RecordDecode::Malformed)
+                    return "prefix of an honest stream decoded as "
+                           "Malformed at cursor " + std::to_string(cursor);
+                if (rc == RecordDecode::NeedMore)
+                    break;
+            }
+            return std::nullopt;
+        },
+        nullptr,
+        [](const Case &c) {
+            return check::showTrace(c.trace) + " cut at " +
+                   std::to_string(c.cutFraction) + "/1024";
+        },
+        {.iterations = 150}));
+}
+
+TEST(PropWireFormat, TraceRoundTripIdentity)
+{
+    CT_EXPECT_PROP(check::forAll<trace::TimingTrace>(
+        "Wire.TraceRoundTripIdentity",
+        [](Rng &rng) { return check::genTrace(rng); },
+        check::wireRoundTripOracle, check::shrinkTrace, check::showTrace,
+        {.iterations = 200}));
+}
+
+TEST(PropWireFormat, AllContinuationBytesAreMalformedNotNeedMore)
+{
+    // Ten or more continuation bytes can never be completed into a
+    // 64-bit varint by further input; classifying them as NeedMore
+    // would stall a streaming collector forever (the second documented
+    // counterexample in wire_format.hh).
+    CT_EXPECT_PROP(check::forAll<uint64_t>(
+        "Wire.AllContinuationIsMalformed",
+        [](Rng &rng) { return 10 + rng.below(16); },
+        [](const uint64_t &len) -> std::optional<std::string> {
+            std::vector<uint8_t> bytes(size_t(len), 0x80);
+            size_t cursor = 0;
+            int64_t prev_end = 0;
+            trace::TimingRecord record;
+            auto rc = trace::decodeRecord(bytes, cursor, prev_end, record);
+            if (rc != RecordDecode::Malformed)
+                return "expected Malformed, got " +
+                       std::string(rc == RecordDecode::NeedMore
+                                       ? "NeedMore"
+                                       : "Ok");
+            return std::nullopt;
+        },
+        [](const uint64_t &v) { return check::shrinkToward(v, 10); },
+        [](const uint64_t &v) {
+            return std::to_string(v) + " continuation bytes";
+        },
+        {.iterations = 40}));
+}
+
+// The two shrunk counterexamples from wire_format.hh, pinned exactly.
+
+TEST(PropWireFormat, CounterexampleHighBitsOverflow)
+{
+    // [0x80 x9, 0x02]: tenth byte carries bits above bit 63. The old
+    // boolean decoder shifted them out and decoded 0.
+    std::vector<uint8_t> bytes(9, 0x80);
+    bytes.push_back(0x02);
+    size_t cursor = 0;
+    uint64_t value = 0;
+    EXPECT_EQ(trace::readVarintChecked(bytes, cursor, value),
+              VarintDecode::Overflow);
+
+    // The same stream as a record must be Malformed, not NeedMore.
+    cursor = 0;
+    int64_t prev_end = 0;
+    trace::TimingRecord record;
+    EXPECT_EQ(trace::decodeRecord(bytes, cursor, prev_end, record),
+              RecordDecode::Malformed);
+
+    // Whereas a tenth byte of exactly 1 is the legitimate top bit.
+    std::vector<uint8_t> max_bytes(9, 0x80);
+    max_bytes.push_back(0x01);
+    cursor = 0;
+    EXPECT_EQ(trace::readVarintChecked(max_bytes, cursor, value),
+              VarintDecode::Ok);
+    EXPECT_EQ(value, uint64_t(1) << 63);
+    EXPECT_EQ(cursor, max_bytes.size());
+}
+
+TEST(PropWireFormat, CounterexampleUnfinishableContinuations)
+{
+    // [0x80 x10]: all-continuation buffer. The old decoder reported
+    // "truncated", so callers waited for rescue bytes that cannot
+    // exist; the checked decoder classifies it Overflow.
+    std::vector<uint8_t> bytes(10, 0x80);
+    size_t cursor = 0;
+    uint64_t value = 0;
+    EXPECT_EQ(trace::readVarintChecked(bytes, cursor, value),
+              VarintDecode::Overflow);
+
+    // Nine continuation bytes *are* a completable prefix.
+    std::vector<uint8_t> prefix(9, 0x80);
+    cursor = 0;
+    EXPECT_EQ(trace::readVarintChecked(prefix, cursor, value),
+              VarintDecode::Truncated);
+
+    // And the empty buffer is the trivial valid prefix.
+    std::vector<uint8_t> empty;
+    cursor = 0;
+    EXPECT_EQ(trace::readVarintChecked(empty, cursor, value),
+              VarintDecode::Truncated);
+    trace::TimingTrace decoded;
+    EXPECT_TRUE(trace::decodeTrace(empty, decoded));
+    EXPECT_TRUE(decoded.empty());
+}
+
+} // namespace
