@@ -1,0 +1,174 @@
+/**
+ * @file
+ * store_tool: inspect, check, and compact a ct::store directory — the
+ * operator's view of a durable profile store (docs/STORE.md).
+ *
+ *   store_tool inspect <dir>   list segments, checkpoints, WAL coverage
+ *   store_tool fsck <dir>      read-only integrity check (exit 1 if NOT ok)
+ *   store_tool compact <dir>   drop segments covered by the newest
+ *                              checkpoint and prune old checkpoints
+ *   store_tool demo [<dir>]    build a small store (simulated campaign
+ *                              with a mid-way checkpoint) to poke at
+ *
+ * `fsck` never writes: a store with a torn tail reports ok (that is
+ * the expected crash artifact; opening the store truncates it), while
+ * mid-log corruption or a missing ordinal range reports NOT ok.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "net/collector.hh"
+#include "sim/lower.hh"
+#include "sim/machine.hh"
+#include "store/checkpoint.hh"
+#include "store/format.hh"
+#include "store/store.hh"
+#include "util/cli.hh"
+#include "util/logging.hh"
+#include "workloads/workload.hh"
+
+using namespace ct;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+int
+cmdInspect(const std::string &dir)
+{
+    if (!fs::is_directory(dir))
+        fatal("not a directory: ", dir);
+
+    std::cout << "store: " << dir << "\n\nsegments:\n";
+    for (uint64_t id : store::listSegmentIds(dir)) {
+        auto path = (fs::path(dir) / store::segmentFileName(id)).string();
+        auto scan = store::scanSegment(path, id, nullptr);
+        const char *state =
+            scan.end == store::ScanEnd::CleanEof    ? "clean"
+            : scan.end == store::ScanEnd::TornTail  ? "torn tail"
+                                                    : "BAD HEADER";
+        std::printf("  %s  ordinals [%llu, %llu)  %llu records  "
+                    "%zu bytes  %s\n",
+                    store::segmentFileName(id).c_str(),
+                    (unsigned long long)scan.firstOrdinal,
+                    (unsigned long long)(scan.firstOrdinal + scan.records),
+                    (unsigned long long)scan.records, scan.fileBytes,
+                    state);
+    }
+
+    std::cout << "\ncheckpoints:\n";
+    for (uint64_t id : store::listCheckpointIds(dir)) {
+        auto path = (fs::path(dir) / store::checkpointFileName(id)).string();
+        auto bytes = store::readFileBytes(path);
+        std::cout << "  " << store::checkpointFileName(id) << ":\n";
+        store::CheckpointHeader header;
+        if (!bytes || !store::decodeCheckpointHeader(*bytes, header)) {
+            std::cout << "    (unreadable header)\n";
+            continue;
+        }
+        // Indent the stable header rendering (the golden-snapshot form).
+        std::string desc = store::describeCheckpointHeader(header);
+        size_t pos = 0, nl;
+        while ((nl = desc.find('\n', pos)) != std::string::npos) {
+            std::cout << "    " << desc.substr(pos, nl - pos) << "\n";
+            pos = nl + 1;
+        }
+        store::Checkpoint full;
+        std::cout << "    body: "
+                  << (bytes && store::decodeCheckpoint(*bytes, full)
+                          ? "valid"
+                          : "INVALID")
+                  << "\n";
+    }
+    return 0;
+}
+
+int
+cmdFsck(const std::string &dir)
+{
+    if (!fs::is_directory(dir))
+        fatal("not a directory: ", dir);
+    auto report = store::fsckStore(dir);
+    std::cout << report.text();
+    return report.ok ? 0 : 1;
+}
+
+int
+cmdCompact(const std::string &dir)
+{
+    store::Store store(dir, {});
+    size_t before = store.segments().size();
+    store.compact();
+    std::cout << "compacted: " << before << " -> "
+              << store.segments().size() << " segments, "
+              << store::listCheckpointIds(dir).size()
+              << " checkpoints kept, next ordinal " << store.nextOrdinal()
+              << "\n";
+    return 0;
+}
+
+int
+cmdDemo(const std::string &dir, const CliArgs &args)
+{
+    auto workload =
+        workloads::workloadByName(args.get("workload", "crc16"));
+    size_t samples = size_t(args.getLong("samples", 400));
+    uint64_t seed = uint64_t(args.getLong("seed", 1));
+
+    sim::SimConfig sim_config;
+    auto lowered = sim::lowerModule(*workload.module);
+    auto inputs = workload.makeInputs(seed);
+    sim::Simulator simulator(*workload.module, lowered, sim_config, *inputs,
+                             seed ^ 0x570e);
+    auto trace = simulator.run(workload.entry, samples).trace;
+
+    store::StoreConfig config;
+    config.segmentBytes = 4096; // small segments so rotation is visible
+    store::Store store(dir, config);
+    net::EstimatorBank bank(*workload.module, lowered, sim_config.costs,
+                            sim_config.policy, sim_config.cyclesPerTick, {},
+                            2.0 * sim_config.costs.timerRead);
+    const auto &records = trace.records();
+    for (size_t i = 0; i < records.size(); ++i) {
+        store.append(1, records[i]);
+        bank.observe(1, records[i]);
+        if (i + 1 == records.size() / 2)
+            store.writeCheckpoint(bank.snapshot());
+    }
+    store.flush();
+    std::cout << "demo store at " << dir << ": " << records.size()
+              << " records (" << workload.name << "), "
+              << store.segments().size()
+              << " segments, 1 checkpoint at ordinal "
+              << records.size() / 2 << "\n"
+              << "try: store_tool inspect " << dir << "\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv, {"workload", "samples", "seed"});
+    const auto &pos = args.positional();
+    if (pos.empty())
+        fatal("usage: store_tool inspect|fsck|compact|demo <dir> "
+              "[--workload crc16] [--samples 400] [--seed 1]");
+
+    const std::string &cmd = pos[0];
+    std::string dir = pos.size() > 1 ? pos[1] : "store_demo";
+    if (cmd == "inspect")
+        return cmdInspect(dir);
+    if (cmd == "fsck")
+        return cmdFsck(dir);
+    if (cmd == "compact")
+        return cmdCompact(dir);
+    if (cmd == "demo")
+        return cmdDemo(dir, args);
+    fatal("unknown command: ", cmd,
+          " (expected inspect|fsck|compact|demo)");
+}

@@ -5,6 +5,7 @@
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "stats/metrics.hh"
+#include "store/store.hh"
 #include "util/logging.hh"
 
 namespace ct::api {
@@ -93,7 +94,12 @@ TomographyPipeline::transport(const trace::TimingTrace &trace,
     const TransportConfig &cfg = config_.transport;
     uint64_t seed = cfg.seed ? cfg.seed : config_.seed ^ 0x6e657477;
 
-    net::SinkCollector sink(cfg.collector);
+    net::CollectorConfig collector_cfg = cfg.collector;
+    if (!cfg.storeDir.empty()) {
+        collector_cfg.storeDir = cfg.storeDir;
+        collector_cfg.store = cfg.store;
+    }
+    net::SinkCollector sink(collector_cfg);
     auto transfer = net::transferTrace(trace, cfg.moteId, cfg.mtu,
                                        cfg.channel, cfg.uplink, sink, seed);
 
@@ -106,6 +112,10 @@ TomographyPipeline::transport(const trace::TimingTrace &trace,
     outcome.channel = transfer.channel;
     outcome.uplink = transfer.uplink;
     outcome.collector = sink.stats();
+    if (sink.store()) {
+        sink.store()->flush();
+        outcome.recordsPersisted = sink.store()->stats().recordsAppended;
+    }
 
     if (obs::metricsEnabled()) {
         auto &m = obs::metrics();
@@ -121,7 +131,43 @@ TomographyPipeline::transport(const trace::TimingTrace &trace,
         m.counter("net.records_delivered")
             .add(sink.stats().recordsDelivered);
     }
+
+    if (cfg.resumeFromStore && sink.store()) {
+        // Recovered records first, then this run's, with per-procedure
+        // invocation indices reassigned over the concatenation (wire
+        // records do not carry invocation numbers; see decodeRecord).
+        trace::TimingTrace combined;
+        std::vector<uint64_t> invocations;
+        auto add_renumbered = [&](trace::TimingRecord record) {
+            if (invocations.size() <= record.proc)
+                invocations.resize(record.proc + 1, 0);
+            record.invocation = invocations[record.proc]++;
+            combined.add(record);
+        };
+        for (const auto &entry : sink.store()->recoveredTail())
+            add_renumbered(entry.record);
+        outcome.recordsRecovered = sink.store()->recoveredTail().size();
+        for (const auto &record : sink.traceFor(cfg.moteId).records())
+            add_renumbered(record);
+        return combined;
+    }
     return sink.traceFor(cfg.moteId);
+}
+
+trace::TimingTrace
+TomographyPipeline::recoverTrace(const std::string &store_dir)
+{
+    store::Store store(store_dir);
+    trace::TimingTrace out;
+    std::vector<uint64_t> invocations;
+    for (const auto &entry : store.recoveredTail()) {
+        trace::TimingRecord record = entry.record;
+        if (invocations.size() <= record.proc)
+            invocations.resize(record.proc + 1, 0);
+        record.invocation = invocations[record.proc]++;
+        out.add(record);
+    }
+    return out;
 }
 
 tomography::ModuleEstimate

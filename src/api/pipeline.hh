@@ -50,6 +50,25 @@ struct TransportConfig
     net::CollectorConfig collector;
     /** Channel seed; 0 = derive from the pipeline seed. */
     uint64_t seed = 0;
+
+    /// @name Durability (ct::store)
+    /// @{
+    /**
+     * When non-empty, the sink persists every delivered record to a
+     * durable store at this directory (WAL + crash recovery — see
+     * docs/STORE.md). Shorthand for collector.storeDir.
+     */
+    std::string storeDir;
+    /** Durability knobs, honored only when storeDir is set. */
+    store::StoreConfig store;
+    /**
+     * Resume a persisted campaign: records recovered from storeDir
+     * are prepended to this run's delivered trace (invocations
+     * renumbered per procedure), so an interrupted campaign restarted
+     * on the same directory estimates from the union of both runs.
+     */
+    bool resumeFromStore = false;
+    /// @}
 };
 
 /** Pipeline configuration. */
@@ -103,6 +122,10 @@ struct TransportOutcome
     uint64_t rounds = 0;
     size_t recordsSent = 0;
     size_t recordsDelivered = 0;
+    /** Records appended to the durable store this run (0 without one). */
+    uint64_t recordsPersisted = 0;
+    /** Records recovered from the store and prepended on resume. */
+    uint64_t recordsRecovered = 0;
     net::ChannelStats channel;
     net::UplinkStats uplink;
     net::CollectorStats collector;
@@ -184,6 +207,14 @@ class TomographyPipeline
      */
     trace::TimingTrace transport(const trace::TimingTrace &trace,
                                  TransportOutcome &outcome);
+    /**
+     * Reconstruct the durable record prefix of a store directory as a
+     * timing trace (invocations assigned in replay order per
+     * procedure, oracle cycles unknown — wire records do not carry
+     * them). This is what a resumed run prepends; exposed for
+     * offline inspection of an interrupted campaign.
+     */
+    static trace::TimingTrace recoverTrace(const std::string &store_dir);
     tomography::ModuleEstimate estimate(const trace::TimingTrace &trace);
     std::vector<sim::BlockOrder> optimize(const ir::ModuleProfile &profile);
     LayoutOutcome evaluate(const std::string &name,

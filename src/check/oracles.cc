@@ -1,10 +1,14 @@
 #include "check/oracles.hh"
 
+#include <atomic>
 #include <cmath>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <sstream>
+
+#include <unistd.h>
 
 #include "api/pipeline.hh"
 #include "check/gen.hh"
@@ -15,6 +19,8 @@
 #include "net/uplink.hh"
 #include "sim/lower.hh"
 #include "sim/machine.hh"
+#include "store/format.hh"
+#include "store/store.hh"
 #include "tomography/streaming.hh"
 #include "tomography/timing_model.hh"
 #include "trace/wire_format.hh"
@@ -377,6 +383,285 @@ arqLosslessEquivalenceOracle(const ArqScenario &scenario)
         return "ARQ-complete transfer is distinguishable from lossless: " +
                d.why();
     return std::nullopt;
+}
+
+namespace {
+
+/// @name Independent model of the WAL on-disk framing
+/// Sizes recomputed from first principles (LEB128 + the documented
+/// fixed overheads, docs/STORE.md) rather than by calling the store's
+/// own encoders — so a framing bug shifts the predicted crash
+/// boundaries and the property fails instead of agreeing with itself.
+/// @{
+
+uint64_t
+zigzag64(int64_t v)
+{
+    return (uint64_t(v) << 1) ^ uint64_t(v >> 63);
+}
+
+size_t
+varintLen(uint64_t v)
+{
+    size_t n = 1;
+    while (v >= 0x80) {
+        v >>= 7;
+        ++n;
+    }
+    return n;
+}
+
+size_t
+modelEntryBytes(const trace::TimingRecord &record)
+{
+    // kind + mote + len + payload + crc, payload = proc varint,
+    // zigzag(start) varint (per-entry delta basis 0), duration varint.
+    return 7 + varintLen(record.proc) +
+           varintLen(zigzag64(record.startTick)) +
+           varintLen(uint64_t(record.durationTicks()));
+}
+/// @}
+
+/** Fresh scratch directory under the system temp root. */
+std::string
+makeScratchDir(const char *tag)
+{
+    static std::atomic<uint64_t> counter{0};
+    auto dir = std::filesystem::temp_directory_path() /
+               fmt("ct_%s_%d_%llu", tag, int(::getpid()),
+                   (unsigned long long)counter.fetch_add(1));
+    std::filesystem::remove_all(dir);
+    return dir.string();
+}
+
+void
+flipFileByte(const std::string &path, size_t offset)
+{
+    auto bytes = store::readFileBytes(path);
+    if (!bytes || offset >= bytes->size())
+        return;
+    (*bytes)[offset] ^= 0x5A;
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return;
+    std::fwrite(bytes->data(), 1, bytes->size(), f);
+    std::fclose(f);
+}
+
+} // namespace
+
+std::optional<std::string>
+storeCrashRecoveryOracle(const StoreScenario &scenario)
+{
+    namespace fs = std::filesystem;
+    if (scenario.records == 0 || scenario.motes == 0 ||
+        scenario.segmentBytes <= store::kSegmentHeaderBytes)
+        return skipCase();
+
+    // A real workload so the estimators see model-consistent durations
+    // (and the persisted records carry realistic tick magnitudes).
+    auto workload = workloads::workloadByName("crc16");
+    sim::SimConfig config;
+    auto inputs = workload.makeInputs(scenario.traceSeed);
+    auto lowered = sim::lowerModule(*workload.module);
+    sim::Simulator simulator(*workload.module, lowered, config, *inputs,
+                             scenario.traceSeed ^ 0x570e);
+    auto run = simulator.run(workload.entry, scenario.records);
+    const auto &records = run.trace.records();
+    if (records.empty())
+        return skipCase();
+
+    const double nested_probes = 2.0 * config.costs.timerRead;
+    auto make_bank = [&] {
+        return net::EstimatorBank(*workload.module, lowered, config.costs,
+                                  config.policy, config.cyclesPerTick, {},
+                                  nested_probes);
+    };
+    auto mote_of = [&](size_t i) {
+        return uint16_t(1 + i % scenario.motes);
+    };
+
+    store::StoreConfig store_config;
+    store_config.segmentBytes = scenario.segmentBytes;
+    store_config.fsyncEveryRecords = scenario.fsyncEveryRecords;
+
+    const std::string dir = makeScratchDir("prop_store");
+    std::vector<uint64_t> coverages; // WAL ordinal of each checkpoint
+
+    // Write phase: persist the campaign, checkpointing on cadence.
+    // Closing the store flushes, so the whole stream is durable; the
+    // injected crash below decides how much of it "survived".
+    {
+        store::Store store(dir, store_config);
+        auto writer = make_bank();
+        for (size_t i = 0; i < records.size(); ++i) {
+            store.append(mote_of(i), records[i]);
+            writer.observe(mote_of(i), records[i]);
+            if (scenario.checkpointEvery != 0 &&
+                (i + 1) % scenario.checkpointEvery == 0) {
+                store.writeCheckpoint(writer.snapshot());
+                coverages.push_back(i + 1);
+            }
+        }
+    }
+
+    auto verdict = [&]() -> std::optional<std::string> {
+        // Independent layout model: where every entry's bytes landed.
+        struct Span
+        {
+            size_t file;
+            size_t begin; //!< global offset across concatenated segments
+            size_t end;
+        };
+        std::vector<Span> spans;
+        std::vector<size_t> file_start; // global offset of each segment
+        size_t global_base = 0;
+        size_t file_bytes = store::kSegmentHeaderBytes;
+        file_start.push_back(0);
+        spans.reserve(records.size());
+        for (const auto &record : records) {
+            size_t e = modelEntryBytes(record);
+            if (file_bytes + e > scenario.segmentBytes &&
+                file_bytes > store::kSegmentHeaderBytes) {
+                global_base += file_bytes;
+                file_start.push_back(global_base);
+                file_bytes = store::kSegmentHeaderBytes;
+            }
+            spans.push_back({file_start.size() - 1,
+                             global_base + file_bytes,
+                             global_base + file_bytes + e});
+            file_bytes += e;
+        }
+        const size_t total_bytes = global_base + file_bytes;
+
+        // The model must agree with the disk before any crash goes in.
+        std::vector<std::string> seg_paths;
+        size_t disk_bytes = 0;
+        std::error_code ec;
+        for (uint64_t id : store::listSegmentIds(dir)) {
+            auto p = fs::path(dir) / store::segmentFileName(id);
+            seg_paths.push_back(p.string());
+            disk_bytes += size_t(fs::file_size(p, ec));
+        }
+        if (seg_paths.size() != file_start.size())
+            return fmt("framing model predicts %zu segments, disk has %zu",
+                       file_start.size(), seg_paths.size());
+        if (disk_bytes != total_bytes)
+            return fmt("framing model predicts %zu WAL bytes, disk has %zu",
+                       total_bytes, disk_bytes);
+
+        // Crash injection + the model's surviving-prefix prediction.
+        size_t surviving = records.size();
+        uint64_t expect_discarded = 0;
+        if (scenario.crash == StoreCrash::TruncateTail ||
+            scenario.crash == StoreCrash::CorruptByte) {
+            size_t c = std::min(
+                size_t(scenario.crashFraction * double(total_bytes)),
+                total_bytes - 1);
+            size_t file = file_start.size() - 1;
+            while (file_start[file] > c)
+                --file;
+            size_t local = c - file_start[file];
+
+            if (scenario.crash == StoreCrash::TruncateTail) {
+                // A crash ends the byte stream at c: the segment under
+                // the pen is torn, later segments never existed.
+                fs::resize_file(seg_paths[file], local, ec);
+                for (size_t f = file + 1; f < seg_paths.size(); ++f)
+                    fs::remove(seg_paths[f], ec);
+                surviving = 0;
+                for (const auto &span : spans)
+                    surviving += span.end <= c ? 1 : 0;
+            } else {
+                flipFileByte(seg_paths[file], local);
+                // Prefix rule: everything from the damaged byte's
+                // entry (or, for a damaged header, segment) onward is
+                // outside the durable prefix.
+                surviving = 0;
+                if (local < store::kSegmentHeaderBytes) {
+                    for (const auto &span : spans)
+                        surviving += span.file < file ? 1 : 0;
+                } else {
+                    for (size_t i = 0; i < spans.size(); ++i) {
+                        if (spans[i].begin <= c && c < spans[i].end) {
+                            surviving = i;
+                            break;
+                        }
+                    }
+                }
+            }
+        } else if (scenario.crash == StoreCrash::CorruptCheckpoint) {
+            auto ckpt_ids = store::listCheckpointIds(dir);
+            if (!ckpt_ids.empty()) {
+                auto p = fs::path(dir) /
+                         store::checkpointFileName(ckpt_ids.back());
+                size_t size = size_t(fs::file_size(p, ec));
+                flipFileByte(p.string(),
+                             std::min(size_t(scenario.crashFraction *
+                                             double(size)),
+                                      size - 1));
+                expect_discarded = 1;
+                coverages.pop_back(); // recovery must fall back
+            }
+        }
+        const uint64_t covered = coverages.empty() ? 0 : coverages.back();
+        const uint64_t expected =
+            std::max<uint64_t>(surviving, covered);
+
+        // fsck is read-only and must classify the damage sanely.
+        auto report = store::fsckStore(dir);
+        if (scenario.crash == StoreCrash::None) {
+            if (!report.ok || report.records != records.size())
+                return "fsck misjudges a cleanly closed store:\n" +
+                       report.text();
+        }
+        if (scenario.crash == StoreCrash::TruncateTail && !report.ok)
+            return "fsck flags a pure crash artifact as data loss:\n" +
+                   report.text();
+
+        // Recovery: reopen, rebuild a bank, compare against a
+        // from-scratch replay of the predicted durable prefix.
+        store::Store reopened(dir, store_config);
+        auto recovered = make_bank();
+        net::resumeBank(reopened, recovered);
+
+        auto expected_bank = make_bank();
+        for (size_t i = 0; i < expected; ++i)
+            expected_bank.observe(mote_of(i), records[i]);
+
+        if (reopened.nextOrdinal() != expected)
+            return fmt("recovered nextOrdinal %llu != expected prefix %llu "
+                       "(wal prefix %zu, checkpoint coverage %llu)",
+                       (unsigned long long)reopened.nextOrdinal(),
+                       (unsigned long long)expected, surviving,
+                       (unsigned long long)covered);
+        if (reopened.stats().checkpointsDiscarded != expect_discarded)
+            return fmt("recovery discarded %llu checkpoints, expected %llu",
+                       (unsigned long long)
+                           reopened.stats().checkpointsDiscarded,
+                       (unsigned long long)expect_discarded);
+
+        auto want = expected_bank.snapshot();
+        auto got = recovered.snapshot();
+        if (want.size() != got.size())
+            return fmt("recovered bank has %zu estimator slots, prefix "
+                       "replay has %zu",
+                       got.size(), want.size());
+        for (size_t i = 0; i < want.size(); ++i) {
+            if (!(want[i] == got[i]))
+                return fmt("slot %zu (mote %u, proc %u) diverges from the "
+                           "prefix replay (count %llu vs %llu)",
+                           i, unsigned(want[i].mote),
+                           unsigned(want[i].proc),
+                           (unsigned long long)want[i].state.count,
+                           (unsigned long long)got[i].state.count);
+        }
+        return std::nullopt;
+    }();
+
+    std::error_code cleanup_ec;
+    fs::remove_all(dir, cleanup_ec);
+    return verdict;
 }
 
 std::vector<ArqScenario>

@@ -34,6 +34,7 @@
 
 #include "check/cfg_gen.hh"
 #include "check/check.hh"
+#include "check/store_scenario.hh"
 #include "net/channel.hh"
 #include "tomography/estimator.hh"
 #include "trace/timing_trace.hh"
@@ -107,6 +108,22 @@ arqLosslessEquivalenceOracle(const ArqScenario &scenario);
 
 std::vector<ArqScenario> shrinkArqScenario(const ArqScenario &s);
 std::string showArqScenario(const ArqScenario &s);
+/// @}
+
+/// @name Durable-store crash recovery
+/// @{
+/**
+ * Persist a simulated campaign into a throwaway store directory,
+ * inject the scenario's crash (torn byte stream, flipped WAL byte, or
+ * damaged checkpoint), reopen, and require the recovered estimator
+ * bank to equal — bitwise — a from-scratch replay of the durable
+ * record prefix. The surviving prefix is predicted by an independent
+ * model of the on-disk framing (varint sizes + fixed overheads), so
+ * the store cannot grade its own homework. Also checks nextOrdinal
+ * continuity and that fsckStore stays consistent with recovery.
+ */
+std::optional<std::string>
+storeCrashRecoveryOracle(const StoreScenario &scenario);
 /// @}
 
 /// @name Parallel determinism

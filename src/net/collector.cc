@@ -8,6 +8,9 @@ namespace ct::net {
 
 SinkCollector::SinkCollector(const CollectorConfig &config) : config_(config)
 {
+    if (!config_.storeDir.empty())
+        store_ = std::make_unique<store::Store>(config_.storeDir,
+                                                config_.store);
 }
 
 std::optional<Ack>
@@ -72,6 +75,11 @@ SinkCollector::deliver(uint16_t mote, MoteState &state,
         state.trace.add(record);
         ++state.records;
         ++stats_.recordsDelivered;
+        // WAL before sink: a record the estimators saw is always at
+        // least buffered for durability (group-commit bounds the loss
+        // window, Store::flush closes it).
+        if (store_)
+            store_->append(mote, record);
         if (sink_)
             sink_(mote, record);
     }
@@ -102,6 +110,8 @@ SinkCollector::finalize(uint16_t mote)
         state.nextExpected = resume;
         drainPending(mote, state);
     }
+    if (store_)
+        store_->flush();
 }
 
 Ack
@@ -215,6 +225,58 @@ EstimatorBank::outliers() const
     for (const auto &[key, estimator] : estimators_)
         total += estimator->outliers();
     return total;
+}
+
+std::vector<store::EstimatorSlot>
+EstimatorBank::snapshot() const
+{
+    std::vector<store::EstimatorSlot> slots;
+    slots.reserve(estimators_.size());
+    // estimators_ is an ordered map keyed by (mote, proc), so the
+    // slot order — and therefore the checkpoint encoding — is already
+    // deterministic.
+    for (const auto &[key, estimator] : estimators_) {
+        store::EstimatorSlot slot;
+        slot.mote = key.first;
+        slot.proc = key.second;
+        slot.state = estimator->snapshot();
+        slots.push_back(std::move(slot));
+    }
+    return slots;
+}
+
+void
+EstimatorBank::restoreSlot(uint16_t mote, ir::ProcId proc,
+                           const tomography::StreamingState &state)
+{
+    if (proc >= models_.size()) {
+        // A checkpoint written against a different module build; the
+        // same policy as observe(): count it, restore nothing.
+        ++unknownProc_;
+        return;
+    }
+    auto key = std::make_pair(mote, proc);
+    auto found = estimators_.find(key);
+    if (found == estimators_.end()) {
+        found = estimators_
+                    .emplace(key,
+                             std::make_unique<tomography::StreamingEstimator>(
+                                 *models_[proc], options_))
+                    .first;
+    }
+    found->second->restore(state);
+}
+
+void
+resumeBank(const store::Store &store, EstimatorBank &bank)
+{
+    store.replayInto(
+        [&](const store::EstimatorSlot &slot) {
+            bank.restoreSlot(slot.mote, slot.proc, slot.state);
+        },
+        [&](uint16_t mote, const trace::TimingRecord &record) {
+            bank.observe(mote, record);
+        });
 }
 
 } // namespace ct::net

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "net/packet.hh"
+#include "store/store.hh"
 #include "tomography/streaming.hh"
 #include "trace/timing_trace.hh"
 
@@ -47,6 +48,15 @@ struct CollectorConfig
      * behind it (0 = never skip: wait forever / until finalize()).
      */
     size_t skipAheadPackets = 32;
+    /**
+     * When non-empty, open a ct::store::Store at this directory and
+     * append every delivered record to its WAL: a sink process that
+     * crashes can then be reopened on the same directory and resume
+     * from the durable prefix (see resumeBank()).
+     */
+    std::string storeDir;
+    /** Durability knobs, honored only when storeDir is set. */
+    store::StoreConfig store;
 };
 
 /** Sink-side accounting. */
@@ -119,6 +129,10 @@ class SinkCollector
     /** Motes seen so far, ascending. */
     std::vector<uint16_t> motes() const;
 
+    /** The durable store, or nullptr when storeDir was empty. */
+    store::Store *store() { return store_.get(); }
+    const store::Store *store() const { return store_.get(); }
+
     const CollectorStats &stats() const { return stats_; }
 
   private:
@@ -141,6 +155,7 @@ class SinkCollector
     CollectorConfig config_;
     CollectorStats stats_;
     RecordSink sink_;
+    std::unique_ptr<store::Store> store_;
     std::map<uint16_t, MoteState> motes_;
 };
 
@@ -189,6 +204,23 @@ class EstimatorBank
     /** Records whose proc id was outside the module (dropped). */
     uint64_t unknownProcRecords() const { return unknownProc_; }
 
+    /// @name Durability (ct::store integration)
+    /// @{
+    /**
+     * Checkpoint every estimator's state, sorted by (mote, proc) so
+     * the encoding is deterministic. Feed to Store::writeCheckpoint.
+     */
+    std::vector<store::EstimatorSlot> snapshot() const;
+    /**
+     * Restore one (mote, proc) estimator to a checkpointed state,
+     * creating it if needed. Because StreamingEstimator::restore is
+     * exact, a bank restored from a snapshot continues bit-for-bit
+     * like the bank that produced it.
+     */
+    void restoreSlot(uint16_t mote, ir::ProcId proc,
+                     const tomography::StreamingState &state);
+    /// @}
+
   private:
     const ir::Module *module_;
     tomography::EstimatorOptions options_;
@@ -198,6 +230,14 @@ class EstimatorBank
         estimators_;
     uint64_t unknownProc_ = 0;
 };
+
+/**
+ * Rebuild @p bank from @p store's recovered state: restore every
+ * checkpoint slot, then replay the durable WAL tail in order. After
+ * this, @p bank equals the bank of an uninterrupted run over the
+ * store's durable record prefix.
+ */
+void resumeBank(const store::Store &store, EstimatorBank &bank);
 
 } // namespace ct::net
 

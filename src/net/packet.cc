@@ -43,19 +43,6 @@ get32(const std::vector<uint8_t> &in, size_t at)
 
 } // namespace
 
-uint16_t
-crc16(const uint8_t *data, size_t size)
-{
-    uint16_t crc = 0xffff;
-    for (size_t i = 0; i < size; ++i) {
-        crc ^= uint16_t(data[i]) << 8;
-        for (int bit = 0; bit < 8; ++bit)
-            crc = crc & 0x8000 ? uint16_t(crc << 1) ^ 0x1021
-                               : uint16_t(crc << 1);
-    }
-    return crc;
-}
-
 std::vector<uint8_t>
 serializePacket(const Packet &packet)
 {

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "trace/timing_trace.hh"
+#include "util/crc16.hh"
 
 namespace ct::net {
 
@@ -33,9 +34,10 @@ namespace ct::net {
  * CRC-16/CCITT-FALSE (polynomial 0x1021, init 0xFFFF, no reflection).
  * Check value: crc16 over "123456789" == 0x29B1. Detects all
  * single-bit errors and any burst up to 16 bits — the corruption
- * modes the channel simulator injects.
+ * modes the channel simulator injects. The implementation lives in
+ * util/crc16.hh so the durable store's on-disk framing shares it.
  */
-uint16_t crc16(const uint8_t *data, size_t size);
+using ct::crc16;
 
 /** On-air header bytes: mote(2) + seq(4) + len(2) + crc(2). */
 constexpr size_t kHeaderBytes = 10;

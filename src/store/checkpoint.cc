@@ -1,0 +1,136 @@
+#include "store/checkpoint.hh"
+
+#include <cstring>
+
+#include "store/format.hh"
+#include "util/crc16.hh"
+#include "util/logging.hh"
+
+namespace ct::store {
+
+const uint8_t kCheckpointMagic[8] = {'C', 'T', 'C', 'K', 'P', 'T',
+                                     '_', '1'};
+
+namespace {
+
+/** Bound against absurd slot / parameter counts in damaged files: a
+ *  decoder must never size an allocation from unvalidated bytes. */
+constexpr uint32_t kMaxSlots = 1u << 24;
+constexpr uint32_t kMaxParams = 1u << 20;
+
+} // namespace
+
+std::vector<uint8_t>
+encodeCheckpoint(const Checkpoint &checkpoint)
+{
+    std::vector<uint8_t> out;
+    out.reserve(kCheckpointHeaderBytes + 2);
+    out.insert(out.end(), kCheckpointMagic, kCheckpointMagic + 8);
+    putU32(out, kCheckpointVersion);
+    putU64(out, checkpoint.id);
+    putU64(out, checkpoint.walOrdinal);
+    putU32(out, uint32_t(checkpoint.slots.size()));
+    for (const auto &slot : checkpoint.slots) {
+        const auto &s = slot.state;
+        CT_ASSERT(s.statTaken.size() == s.theta.size() &&
+                      s.statFall.size() == s.theta.size(),
+                  "checkpoint slot with ragged state vectors");
+        putU16(out, slot.mote);
+        putU32(out, slot.proc);
+        putU64(out, s.count);
+        putU64(out, s.outliers);
+        putU32(out, uint32_t(s.theta.size()));
+        for (double v : s.theta)
+            putF64(out, v);
+        for (double v : s.statTaken)
+            putF64(out, v);
+        for (double v : s.statFall)
+            putF64(out, v);
+    }
+    putU16(out, crc16(out.data(), out.size()));
+    return out;
+}
+
+bool
+decodeCheckpoint(const std::vector<uint8_t> &bytes, Checkpoint &out)
+{
+    out = Checkpoint{};
+    if (bytes.size() < kCheckpointHeaderBytes + 2 ||
+        std::memcmp(bytes.data(), kCheckpointMagic, 8) != 0) {
+        return false;
+    }
+
+    // Whole-body CRC first: everything after this reads trusted bytes.
+    uint16_t stored = uint16_t(bytes[bytes.size() - 2]) |
+                      uint16_t(bytes[bytes.size() - 1]) << 8;
+    if (stored != crc16(bytes.data(), bytes.size() - 2))
+        return false;
+
+    size_t cursor = 8;
+    uint32_t version = 0, slot_count = 0;
+    if (!getU32(bytes, cursor, version) || version != kCheckpointVersion ||
+        !getU64(bytes, cursor, out.id) ||
+        !getU64(bytes, cursor, out.walOrdinal) ||
+        !getU32(bytes, cursor, slot_count) || slot_count > kMaxSlots) {
+        return false;
+    }
+
+    const size_t body_end = bytes.size() - 2;
+    out.slots.reserve(slot_count);
+    for (uint32_t i = 0; i < slot_count; ++i) {
+        EstimatorSlot slot;
+        uint32_t params = 0;
+        if (!getU16(bytes, cursor, slot.mote) ||
+            !getU32(bytes, cursor, slot.proc) ||
+            !getU64(bytes, cursor, slot.state.count) ||
+            !getU64(bytes, cursor, slot.state.outliers) ||
+            !getU32(bytes, cursor, params) || params > kMaxParams ||
+            cursor > body_end ||
+            body_end - cursor < size_t(params) * 3 * 8) {
+            return false;
+        }
+        slot.state.theta.resize(params);
+        slot.state.statTaken.resize(params);
+        slot.state.statFall.resize(params);
+        for (auto *vec :
+             {&slot.state.theta, &slot.state.statTaken,
+              &slot.state.statFall}) {
+            for (double &v : *vec)
+                getF64(bytes, cursor, v);
+        }
+        out.slots.push_back(std::move(slot));
+    }
+    return cursor == body_end;
+}
+
+bool
+decodeCheckpointHeader(const std::vector<uint8_t> &bytes,
+                       CheckpointHeader &out)
+{
+    out = CheckpointHeader{};
+    if (bytes.size() < kCheckpointHeaderBytes)
+        return false;
+    out.magicOk = std::memcmp(bytes.data(), kCheckpointMagic, 8) == 0;
+    size_t cursor = 8;
+    getU32(bytes, cursor, out.version);
+    getU64(bytes, cursor, out.id);
+    getU64(bytes, cursor, out.walOrdinal);
+    getU32(bytes, cursor, out.slotCount);
+    return true;
+}
+
+std::string
+describeCheckpointHeader(const CheckpointHeader &header)
+{
+    std::string out;
+    out += "magic: ";
+    out += header.magicOk ? "CTCKPT_1" : "INVALID";
+    out += "\nversion: " + std::to_string(header.version);
+    out += "\ncheckpoint_id: " + std::to_string(header.id);
+    out += "\nwal_ordinal: " + std::to_string(header.walOrdinal);
+    out += "\nslot_count: " + std::to_string(header.slotCount);
+    out += "\n";
+    return out;
+}
+
+} // namespace ct::store

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Versioned, CRC-guarded binary checkpoints of sink estimator state.
+ *
+ * A checkpoint snapshots every per-(mote, procedure) streaming
+ * estimator's mutable state (tomography::StreamingState) together with
+ * the WAL ordinal it covers: all records with ordinal < walOrdinal are
+ * folded into the snapshot, so recovery restores the snapshot and
+ * replays only the WAL tail at ordinal >= walOrdinal. Doubles persist
+ * as IEEE-754 bit patterns, which is what makes "restore + replay
+ * tail" bitwise-equal to "replay everything from scratch" — the
+ * crash-recovery invariant tests/prop_store_recovery.cc checks.
+ *
+ * File layout (little-endian, one CRC-16 over the whole body at the
+ * end; see docs/STORE.md):
+ *
+ *   8 bytes magic   "CTCKPT_1"
+ *   u32 version     1
+ *   u64 checkpointId
+ *   u64 walOrdinal
+ *   u32 slotCount
+ *   slotCount slots:
+ *     u16 mote, u32 proc, u64 count, u64 outliers, u32 nParams,
+ *     nParams f64 theta, nParams f64 statTaken, nParams f64 statFall
+ *   u16 crc16       over everything above
+ */
+
+#ifndef CT_STORE_CHECKPOINT_HH
+#define CT_STORE_CHECKPOINT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tomography/streaming.hh"
+
+namespace ct::store {
+
+constexpr uint32_t kCheckpointVersion = 1;
+extern const uint8_t kCheckpointMagic[8]; // "CTCKPT_1"
+constexpr size_t kCheckpointHeaderBytes = 8 + 4 + 8 + 8 + 4;
+
+/** One (mote, procedure) estimator's checkpointed state. */
+struct EstimatorSlot
+{
+    uint16_t mote = 0;
+    uint32_t proc = 0;
+    tomography::StreamingState state;
+
+    bool operator==(const EstimatorSlot &other) const = default;
+};
+
+/** A whole checkpoint: id, WAL coverage, and every estimator slot. */
+struct Checkpoint
+{
+    uint64_t id = 0;
+    /** Records with ordinal < this are folded into the slots. */
+    uint64_t walOrdinal = 0;
+    std::vector<EstimatorSlot> slots;
+};
+
+std::vector<uint8_t> encodeCheckpoint(const Checkpoint &checkpoint);
+
+/** @retval false on any framing, version, bounds, or CRC violation —
+ *  a damaged checkpoint is rejected whole, never partially loaded. */
+bool decodeCheckpoint(const std::vector<uint8_t> &bytes, Checkpoint &out);
+
+/** The fixed-width header fields alone (store_tool / golden tests). */
+struct CheckpointHeader
+{
+    bool magicOk = false;
+    uint32_t version = 0;
+    uint64_t id = 0;
+    uint64_t walOrdinal = 0;
+    uint32_t slotCount = 0;
+};
+
+/** Decode just the header prefix; false when @p bytes is too short. */
+bool decodeCheckpointHeader(const std::vector<uint8_t> &bytes,
+                            CheckpointHeader &out);
+
+/** Stable multi-line rendering of a header (golden-snapshot format —
+ *  changing it is a format-spec change, see docs/STORE.md). */
+std::string describeCheckpointHeader(const CheckpointHeader &header);
+
+} // namespace ct::store
+
+#endif // CT_STORE_CHECKPOINT_HH

@@ -1,0 +1,254 @@
+#include "store/format.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/logging.hh"
+
+namespace fs = std::filesystem;
+
+namespace ct::store {
+
+void
+putU16(std::vector<uint8_t> &out, uint16_t value)
+{
+    out.push_back(uint8_t(value & 0xff));
+    out.push_back(uint8_t(value >> 8));
+}
+
+void
+putU32(std::vector<uint8_t> &out, uint32_t value)
+{
+    for (int shift = 0; shift < 32; shift += 8)
+        out.push_back(uint8_t(value >> shift));
+}
+
+void
+putU64(std::vector<uint8_t> &out, uint64_t value)
+{
+    for (int shift = 0; shift < 64; shift += 8)
+        out.push_back(uint8_t(value >> shift));
+}
+
+void
+putF64(std::vector<uint8_t> &out, double value)
+{
+    putU64(out, std::bit_cast<uint64_t>(value));
+}
+
+bool
+getU16(const std::vector<uint8_t> &in, size_t &cursor, uint16_t &value)
+{
+    if (cursor > in.size() || in.size() - cursor < 2)
+        return false;
+    value = uint16_t(in[cursor]) | uint16_t(in[cursor + 1]) << 8;
+    cursor += 2;
+    return true;
+}
+
+bool
+getU32(const std::vector<uint8_t> &in, size_t &cursor, uint32_t &value)
+{
+    if (cursor > in.size() || in.size() - cursor < 4)
+        return false;
+    value = 0;
+    for (int i = 3; i >= 0; --i)
+        value = value << 8 | in[cursor + size_t(i)];
+    cursor += 4;
+    return true;
+}
+
+bool
+getU64(const std::vector<uint8_t> &in, size_t &cursor, uint64_t &value)
+{
+    if (cursor > in.size() || in.size() - cursor < 8)
+        return false;
+    value = 0;
+    for (int i = 7; i >= 0; --i)
+        value = value << 8 | in[cursor + size_t(i)];
+    cursor += 8;
+    return true;
+}
+
+bool
+getF64(const std::vector<uint8_t> &in, size_t &cursor, double &value)
+{
+    uint64_t bits = 0;
+    if (!getU64(in, cursor, bits))
+        return false;
+    value = std::bit_cast<double>(bits);
+    return true;
+}
+
+namespace {
+
+std::string
+numberedName(const char *prefix, uint64_t id, const char *suffix)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s%08llx%s", prefix,
+                  (unsigned long long)id, suffix);
+    return buf;
+}
+
+std::optional<uint64_t>
+parseNumberedName(const std::string &name, const std::string &prefix,
+                  const std::string &suffix)
+{
+    if (name.size() != prefix.size() + 8 + suffix.size() ||
+        name.compare(0, prefix.size(), prefix) != 0 ||
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+            0) {
+        return std::nullopt;
+    }
+    uint64_t id = 0;
+    for (size_t i = prefix.size(); i < prefix.size() + 8; ++i) {
+        char c = name[i];
+        int digit;
+        if (c >= '0' && c <= '9')
+            digit = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            digit = 10 + c - 'a';
+        else
+            return std::nullopt;
+        id = id << 4 | uint64_t(digit);
+    }
+    return id;
+}
+
+std::vector<uint64_t>
+listNumbered(const std::string &dir, const std::string &prefix,
+             const std::string &suffix)
+{
+    std::vector<uint64_t> ids;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        if (!entry.is_regular_file())
+            continue;
+        if (auto id = parseNumberedName(entry.path().filename().string(),
+                                        prefix, suffix)) {
+            ids.push_back(*id);
+        }
+    }
+    std::sort(ids.begin(), ids.end());
+    return ids;
+}
+
+} // namespace
+
+std::string
+segmentFileName(uint64_t id)
+{
+    return numberedName("wal-", id, ".seg");
+}
+
+std::string
+checkpointFileName(uint64_t id)
+{
+    return numberedName("ckpt-", id, ".ckpt");
+}
+
+std::optional<uint64_t>
+parseSegmentFileName(const std::string &name)
+{
+    return parseNumberedName(name, "wal-", ".seg");
+}
+
+std::optional<uint64_t>
+parseCheckpointFileName(const std::string &name)
+{
+    return parseNumberedName(name, "ckpt-", ".ckpt");
+}
+
+std::vector<uint64_t>
+listSegmentIds(const std::string &dir)
+{
+    return listNumbered(dir, "wal-", ".seg");
+}
+
+std::vector<uint64_t>
+listCheckpointIds(const std::string &dir)
+{
+    return listNumbered(dir, "ckpt-", ".ckpt");
+}
+
+std::optional<std::vector<uint8_t>>
+readFileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                               std::istreambuf_iterator<char>());
+    if (in.bad())
+        return std::nullopt;
+    return bytes;
+}
+
+void
+writeFileAtomic(const std::string &dir, const std::string &name,
+                const std::vector<uint8_t> &bytes)
+{
+    fs::path target = fs::path(dir) / name;
+    fs::path temp = fs::path(dir) / (name + ".tmp");
+
+    int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        fatal("store: cannot create ", temp.string());
+    size_t done = 0;
+    while (done < bytes.size()) {
+        ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
+        if (n < 0) {
+            ::close(fd);
+            fatal("store: short write to ", temp.string());
+        }
+        done += size_t(n);
+    }
+    if (::fsync(fd) != 0) {
+        ::close(fd);
+        fatal("store: fsync failed for ", temp.string());
+    }
+    ::close(fd);
+
+    std::error_code ec;
+    fs::rename(temp, target, ec);
+    if (ec)
+        fatal("store: rename ", temp.string(), " -> ", target.string(),
+              " failed: ", ec.message());
+    syncDirectory(dir);
+}
+
+size_t
+removeStaleTempFiles(const std::string &dir)
+{
+    size_t removed = 0;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        if (entry.is_regular_file() &&
+            entry.path().extension() == ".tmp") {
+            fs::remove(entry.path(), ec);
+            ++removed;
+        }
+    }
+    if (removed)
+        syncDirectory(dir);
+    return removed;
+}
+
+void
+syncDirectory(const std::string &dir)
+{
+    int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        return;
+    ::fsync(fd);
+    ::close(fd);
+}
+
+} // namespace ct::store

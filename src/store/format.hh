@@ -1,0 +1,81 @@
+/**
+ * @file
+ * On-disk primitives shared by the durable profile store: fixed-width
+ * little-endian field codecs, IEEE-754 bit-pattern round-tripping for
+ * doubles, store file naming, and crash-safe file writes.
+ *
+ * Everything the store persists is framed from these primitives plus
+ * the LEB128 wire format (trace/wire_format.hh) and the CRC-16 the
+ * radio layer already uses (util/crc16.hh) — see docs/STORE.md for
+ * the byte-level layouts built on top.
+ */
+
+#ifndef CT_STORE_FORMAT_HH
+#define CT_STORE_FORMAT_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ct::store {
+
+/// @name Fixed-width little-endian field codecs
+/// The get* forms advance @p cursor past the field on success and
+/// return false (cursor unspecified) when the buffer is too short.
+/// @{
+void putU16(std::vector<uint8_t> &out, uint16_t value);
+void putU32(std::vector<uint8_t> &out, uint32_t value);
+void putU64(std::vector<uint8_t> &out, uint64_t value);
+/** Doubles persist as their IEEE-754 bit pattern in a u64, so a
+ *  checkpointed estimator restores bit-for-bit. */
+void putF64(std::vector<uint8_t> &out, double value);
+
+bool getU16(const std::vector<uint8_t> &in, size_t &cursor, uint16_t &value);
+bool getU32(const std::vector<uint8_t> &in, size_t &cursor, uint32_t &value);
+bool getU64(const std::vector<uint8_t> &in, size_t &cursor, uint64_t &value);
+bool getF64(const std::vector<uint8_t> &in, size_t &cursor, double &value);
+/// @}
+
+/// @name Store file naming
+/// WAL segments are `wal-<id 8 hex>.seg`, checkpoints
+/// `ckpt-<id 8 hex>.ckpt`; ids are monotonically increasing, so the
+/// lexicographic order of names equals the logical order.
+/// @{
+std::string segmentFileName(uint64_t id);
+std::string checkpointFileName(uint64_t id);
+/** Parse an id back out of a file name; nullopt for foreign files. */
+std::optional<uint64_t> parseSegmentFileName(const std::string &name);
+std::optional<uint64_t> parseCheckpointFileName(const std::string &name);
+/** Ascending ids of all well-named segment / checkpoint files in
+ *  @p dir (an absent directory yields an empty list). */
+std::vector<uint64_t> listSegmentIds(const std::string &dir);
+std::vector<uint64_t> listCheckpointIds(const std::string &dir);
+/// @}
+
+/// @name Crash-safe file IO
+/// @{
+/** Whole file as bytes; nullopt when it cannot be read. */
+std::optional<std::vector<uint8_t>> readFileBytes(const std::string &path);
+
+/**
+ * Write @p bytes to @p dir/@p name atomically: write a temp file in
+ * the same directory, fsync it, rename() over the target, fsync the
+ * directory. A crash at any point leaves either the old file (or no
+ * file) or the complete new one — never a torn file under the real
+ * name. fatal() on IO errors.
+ */
+void writeFileAtomic(const std::string &dir, const std::string &name,
+                     const std::vector<uint8_t> &bytes);
+
+/** Delete stray `*.tmp` files (crashed atomic writes) in @p dir. */
+size_t removeStaleTempFiles(const std::string &dir);
+
+/** fsync the directory itself (metadata durability after create /
+ *  rename / unlink). No-op on failure: not all filesystems allow it. */
+void syncDirectory(const std::string &dir);
+/// @}
+
+} // namespace ct::store
+
+#endif // CT_STORE_FORMAT_HH

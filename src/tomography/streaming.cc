@@ -89,6 +89,33 @@ StreamingEstimator::observe(int64_t duration_ticks)
     }
 }
 
+StreamingState
+StreamingEstimator::snapshot() const
+{
+    StreamingState state;
+    state.theta = theta_;
+    state.statTaken = statTaken_;
+    state.statFall = statFall_;
+    state.count = count_;
+    state.outliers = outliers_;
+    return state;
+}
+
+void
+StreamingEstimator::restore(const StreamingState &state)
+{
+    CT_ASSERT(state.theta.size() == theta_.size() &&
+                  state.statTaken.size() == statTaken_.size() &&
+                  state.statFall.size() == statFall_.size(),
+              "streaming snapshot parameter count mismatch for '",
+              model_.proc().name(), "'");
+    theta_ = state.theta;
+    statTaken_ = state.statTaken;
+    statFall_ = state.statFall;
+    count_ = state.count;
+    outliers_ = state.outliers;
+}
+
 void
 StreamingEstimator::observeAll(const std::vector<int64_t> &durations)
 {

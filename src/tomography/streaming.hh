@@ -20,6 +20,27 @@
 
 namespace ct::tomography {
 
+/**
+ * The complete mutable state of a StreamingEstimator, exposed so a
+ * sink can persist online estimation across process restarts (see
+ * store/checkpoint.hh). The latent path set, rewards and variances are
+ * *not* part of the state: they are a pure function of the timing
+ * model and enumeration options, rebuilt identically by the
+ * constructor. Restoring a snapshot into a freshly constructed
+ * estimator for the same (model, options) therefore continues the
+ * observation stream bit-for-bit where the snapshot left off.
+ */
+struct StreamingState
+{
+    std::vector<double> theta;
+    std::vector<double> statTaken;
+    std::vector<double> statFall;
+    uint64_t count = 0;
+    uint64_t outliers = 0;
+
+    bool operator==(const StreamingState &other) const = default;
+};
+
 class StreamingEstimator
 {
   public:
@@ -58,6 +79,18 @@ class StreamingEstimator
 
     /** Size of the latent path set. */
     size_t pathCount() const { return features_.size(); }
+
+    /** Copy out the mutable state (checkpointing). */
+    StreamingState snapshot() const;
+
+    /**
+     * Adopt @p state wholesale, as if this estimator had processed the
+     * snapshot's observation stream itself. The vectors must match
+     * this model's paramCount() — panics otherwise (a snapshot from a
+     * different procedure or module version must never be folded in
+     * silently).
+     */
+    void restore(const StreamingState &state);
 
   private:
     const TimingModel &model_;

@@ -1,0 +1,18 @@
+#include "util/crc16.hh"
+
+namespace ct {
+
+uint16_t
+crc16(const uint8_t *data, size_t size)
+{
+    uint16_t crc = 0xffff;
+    for (size_t i = 0; i < size; ++i) {
+        crc ^= uint16_t(data[i]) << 8;
+        for (int bit = 0; bit < 8; ++bit)
+            crc = crc & 0x8000 ? uint16_t(crc << 1) ^ 0x1021
+                               : uint16_t(crc << 1);
+    }
+    return crc;
+}
+
+} // namespace ct

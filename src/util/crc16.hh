@@ -1,0 +1,25 @@
+/**
+ * @file
+ * CRC-16/CCITT-FALSE (polynomial 0x1021, init 0xFFFF, no reflection).
+ *
+ * One checksum shared by every framing layer in the library: the radio
+ * packet format (net/packet.hh) and the durable profile store
+ * (store/wal.hh, store/checkpoint.hh) guard their frames with the same
+ * code, so a corrupted byte is caught identically on the air and on
+ * disk. Check value: crc16 over "123456789" == 0x29B1. Detects all
+ * single-bit errors and any burst up to 16 bits.
+ */
+
+#ifndef CT_UTIL_CRC16_HH
+#define CT_UTIL_CRC16_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ct {
+
+uint16_t crc16(const uint8_t *data, size_t size);
+
+} // namespace ct
+
+#endif // CT_UTIL_CRC16_HH

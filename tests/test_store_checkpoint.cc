@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Checkpoint codec (store/checkpoint.hh): exact round-trips including
+ * IEEE-754 bit patterns, reject-whole behaviour under every
+ * single-byte corruption, version gating, and the fixed-header decode
+ * that store_tool and the golden snapshot rely on.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "store/checkpoint.hh"
+#include "util/crc16.hh"
+
+namespace {
+
+using namespace ct;
+
+store::Checkpoint
+sampleCheckpoint()
+{
+    store::Checkpoint ckpt;
+    ckpt.id = 7;
+    ckpt.walOrdinal = 123456;
+    store::EstimatorSlot a;
+    a.mote = 1;
+    a.proc = 0;
+    a.state.theta = {0.25, 0.75};
+    a.state.statTaken = {12.5, 0.0};
+    a.state.statFall = {3.0, -1.0};
+    a.state.count = 40;
+    a.state.outliers = 2;
+    store::EstimatorSlot b;
+    b.mote = 2;
+    b.proc = 5;
+    // Bit patterns that only survive exact (non-text) round-trips.
+    b.state.theta = {1.0 / 3.0};
+    b.state.statTaken = {std::nextafter(1.0, 2.0)};
+    b.state.statFall = {-0.0};
+    b.state.count = 1;
+    ckpt.slots = {a, b};
+    return ckpt;
+}
+
+TEST(StoreCheckpoint, RoundTripIsBitwiseExact)
+{
+    auto ckpt = sampleCheckpoint();
+    auto bytes = store::encodeCheckpoint(ckpt);
+    store::Checkpoint decoded;
+    ASSERT_TRUE(store::decodeCheckpoint(bytes, decoded));
+    EXPECT_EQ(decoded.id, ckpt.id);
+    EXPECT_EQ(decoded.walOrdinal, ckpt.walOrdinal);
+    ASSERT_EQ(decoded.slots.size(), ckpt.slots.size());
+    for (size_t i = 0; i < ckpt.slots.size(); ++i)
+        EXPECT_TRUE(decoded.slots[i] == ckpt.slots[i]) << "slot " << i;
+    // -0.0 == 0.0 under operator==, so pin the bit pattern explicitly.
+    EXPECT_TRUE(std::signbit(decoded.slots[1].state.statFall[0]));
+}
+
+TEST(StoreCheckpoint, EmptyCheckpointRoundTrips)
+{
+    store::Checkpoint ckpt;
+    ckpt.id = 1;
+    auto bytes = store::encodeCheckpoint(ckpt);
+    store::Checkpoint decoded;
+    ASSERT_TRUE(store::decodeCheckpoint(bytes, decoded));
+    EXPECT_TRUE(decoded.slots.empty());
+    EXPECT_EQ(decoded.walOrdinal, 0u);
+}
+
+TEST(StoreCheckpoint, EverySingleByteCorruptionIsRejectedWhole)
+{
+    auto bytes = store::encodeCheckpoint(sampleCheckpoint());
+    for (size_t at = 0; at < bytes.size(); ++at) {
+        auto damaged = bytes;
+        damaged[at] ^= 0x5A;
+        store::Checkpoint decoded;
+        EXPECT_FALSE(store::decodeCheckpoint(damaged, decoded))
+            << "byte " << at;
+    }
+    // Truncations too: a checkpoint is all-or-nothing.
+    for (size_t len = 0; len < bytes.size(); len += 7) {
+        std::vector<uint8_t> cut(bytes.begin(), bytes.begin() + len);
+        store::Checkpoint decoded;
+        EXPECT_FALSE(store::decodeCheckpoint(cut, decoded))
+            << "length " << len;
+    }
+}
+
+TEST(StoreCheckpoint, FutureVersionIsRejectedEvenWithValidCrc)
+{
+    auto bytes = store::encodeCheckpoint(sampleCheckpoint());
+    bytes[8] = uint8_t(store::kCheckpointVersion + 1); // version u32 LE
+    uint16_t crc = crc16(bytes.data(), bytes.size() - 2);
+    bytes[bytes.size() - 2] = uint8_t(crc & 0xFF);
+    bytes[bytes.size() - 1] = uint8_t(crc >> 8);
+    store::Checkpoint decoded;
+    EXPECT_FALSE(store::decodeCheckpoint(bytes, decoded));
+}
+
+TEST(StoreCheckpoint, HeaderDecodeMatchesFullDecode)
+{
+    auto ckpt = sampleCheckpoint();
+    auto bytes = store::encodeCheckpoint(ckpt);
+    store::CheckpointHeader header;
+    ASSERT_TRUE(store::decodeCheckpointHeader(bytes, header));
+    EXPECT_TRUE(header.magicOk);
+    EXPECT_EQ(header.version, store::kCheckpointVersion);
+    EXPECT_EQ(header.id, ckpt.id);
+    EXPECT_EQ(header.walOrdinal, ckpt.walOrdinal);
+    EXPECT_EQ(header.slotCount, uint32_t(ckpt.slots.size()));
+
+    std::vector<uint8_t> short_buf(bytes.begin(), bytes.begin() + 10);
+    EXPECT_FALSE(store::decodeCheckpointHeader(short_buf, header));
+}
+
+} // namespace

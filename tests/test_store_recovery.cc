@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Store lifecycle and end-to-end crash recovery (store/store.hh):
+ * append/rotate/reopen round-trips, torn-tail truncation, checkpoint
+ * + compaction retention, bitwise estimator-bank resume, and the
+ * acceptance scenario — a sink restarted mid-campaign resumes from
+ * its store and lands on exactly the estimates of an uninterrupted
+ * run.
+ */
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/pipeline.hh"
+#include "net/collector.hh"
+#include "sim/lower.hh"
+#include "sim/machine.hh"
+#include "store/format.hh"
+#include "store/store.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace ct;
+namespace fs = std::filesystem;
+
+std::string
+scratchDir(const std::string &name)
+{
+    auto dir = fs::path(testing::TempDir()) / ("ct_store_" + name);
+    fs::remove_all(dir);
+    return dir.string();
+}
+
+trace::TimingRecord
+rec(uint32_t proc, int64_t start, int64_t duration)
+{
+    trace::TimingRecord r;
+    r.proc = proc;
+    r.startTick = start;
+    r.endTick = start + duration;
+    return r;
+}
+
+/** The simulated measurement campaign the bank-level tests persist. */
+struct Campaign
+{
+    workloads::Workload workload = workloads::workloadByName("crc16");
+    sim::SimConfig config;
+    sim::LoweredModule lowered;
+    trace::TimingTrace trace;
+
+    explicit Campaign(size_t invocations, uint64_t seed = 42)
+    {
+        lowered = sim::lowerModule(*workload.module);
+        auto inputs = workload.makeInputs(seed);
+        sim::Simulator simulator(*workload.module, lowered, config, *inputs,
+                                 seed ^ 0x570e);
+        trace = simulator.run(workload.entry, invocations).trace;
+    }
+
+    net::EstimatorBank
+    bank() const
+    {
+        return net::EstimatorBank(*workload.module, lowered, config.costs,
+                                  config.policy, config.cyclesPerTick, {},
+                                  2.0 * config.costs.timerRead);
+    }
+};
+
+TEST(StoreRecovery, AppendRotateAndReopenLosslessly)
+{
+    auto dir = scratchDir("rotate");
+    store::StoreConfig config;
+    config.segmentBytes = 128; // force several rotations
+    config.fsyncEveryRecords = 4;
+
+    std::vector<trace::TimingRecord> written;
+    {
+        store::Store store(dir, config);
+        for (int i = 0; i < 60; ++i) {
+            written.push_back(rec(uint32_t(i % 5), i * 100, 10 + i));
+            store.append(uint16_t(1 + i % 2), written.back());
+        }
+        EXPECT_GT(store.segments().size(), 1u);
+        EXPECT_EQ(store.nextOrdinal(), 60u);
+    }
+
+    store::Store reopened(dir, config);
+    EXPECT_EQ(reopened.nextOrdinal(), 60u);
+    ASSERT_EQ(reopened.recoveredTail().size(), written.size());
+    for (size_t i = 0; i < written.size(); ++i) {
+        const auto &entry = reopened.recoveredTail()[i];
+        EXPECT_EQ(entry.ordinal, i);
+        EXPECT_EQ(entry.mote, uint16_t(1 + i % 2));
+        EXPECT_EQ(entry.record.proc, written[i].proc);
+        EXPECT_EQ(entry.record.startTick, written[i].startTick);
+        EXPECT_EQ(entry.record.endTick, written[i].endTick);
+    }
+    EXPECT_EQ(reopened.stats().tornBytesDropped, 0u);
+
+    // Appending after recovery continues the ordinal sequence.
+    reopened.append(1, rec(0, 100000, 5));
+    EXPECT_EQ(reopened.nextOrdinal(), 61u);
+}
+
+TEST(StoreRecovery, TornTailIsTruncatedOnceAndStaysStable)
+{
+    auto dir = scratchDir("torn");
+    store::StoreConfig config;
+    config.segmentBytes = 1 << 16; // single segment
+    {
+        store::Store store(dir, config);
+        for (int i = 0; i < 10; ++i)
+            store.append(1, rec(0, i * 10, 3));
+    }
+    auto ids = store::listSegmentIds(dir);
+    ASSERT_EQ(ids.size(), 1u);
+    auto path = (fs::path(dir) / store::segmentFileName(ids[0])).string();
+    std::error_code ec;
+    auto size = fs::file_size(path, ec);
+    fs::resize_file(path, size - 3, ec); // tear the last entry
+
+    {
+        store::Store store(dir, config);
+        EXPECT_EQ(store.recoveredTail().size(), 9u);
+        EXPECT_EQ(store.nextOrdinal(), 9u);
+        EXPECT_GT(store.stats().tornBytesDropped, 0u);
+    }
+    // Second recovery: the truncation already happened, nothing more
+    // to drop, and fsck agrees the store is clean again.
+    store::Store again(dir, config);
+    EXPECT_EQ(again.recoveredTail().size(), 9u);
+    EXPECT_EQ(again.stats().tornBytesDropped, 0u);
+    EXPECT_TRUE(store::fsckStore(dir).ok);
+}
+
+TEST(StoreRecovery, CheckpointCompactAndRetention)
+{
+    auto dir = scratchDir("compact");
+    store::StoreConfig config;
+    config.segmentBytes = 128;
+    config.keepCheckpoints = 2;
+
+    Campaign campaign(60);
+    auto writer = campaign.bank();
+    {
+        store::Store store(dir, config);
+        const auto &records = campaign.trace.records();
+        for (size_t i = 0; i < records.size(); ++i) {
+            store.append(1, records[i]);
+            writer.observe(1, records[i]);
+            if ((i + 1) % 15 == 0)
+                store.writeCheckpoint(writer.snapshot());
+        }
+        size_t sealed_before = store.segments().size();
+        store.compact();
+        // Everything below the newest checkpoint's ordinal is gone;
+        // only the active segment plus any uncovered tail remains.
+        EXPECT_LT(store.segments().size(), sealed_before);
+        ASSERT_TRUE(store.recoveredCheckpoint().has_value());
+        uint64_t covered = store.recoveredCheckpoint()->walOrdinal;
+        for (const auto &seg : store.segments())
+            EXPECT_TRUE(seg.active || seg.firstOrdinal + seg.records > covered);
+        EXPECT_LE(store::listCheckpointIds(dir).size(),
+                  config.keepCheckpoints);
+    }
+
+    // Recovery over the compacted store still reproduces the full
+    // campaign's estimator state: checkpoint + surviving tail.
+    store::Store reopened(dir, config);
+    auto resumed = campaign.bank();
+    net::resumeBank(reopened, resumed);
+    EXPECT_EQ(reopened.nextOrdinal(), campaign.trace.size());
+    EXPECT_TRUE(writer.snapshot() == resumed.snapshot());
+    EXPECT_TRUE(store::fsckStore(dir).ok);
+}
+
+TEST(StoreRecovery, BankResumeIsBitwiseEqualToUninterruptedBank)
+{
+    auto dir = scratchDir("bank");
+    Campaign campaign(40);
+    const auto &records = campaign.trace.records();
+    const size_t checkpoint_at = 25;
+
+    auto uninterrupted = campaign.bank();
+    for (const auto &r : records)
+        uninterrupted.observe(1, r);
+
+    {
+        store::Store store(dir, {});
+        auto writer = campaign.bank();
+        for (size_t i = 0; i < records.size(); ++i) {
+            store.append(1, records[i]);
+            writer.observe(1, records[i]);
+            if (i + 1 == checkpoint_at)
+                store.writeCheckpoint(writer.snapshot());
+        }
+    } // "crash" after the WAL is durable
+
+    store::Store reopened(dir, {});
+    ASSERT_TRUE(reopened.recoveredCheckpoint().has_value());
+    EXPECT_EQ(reopened.recoveredCheckpoint()->walOrdinal, checkpoint_at);
+    EXPECT_EQ(reopened.recoveredTail().size(),
+              records.size() - checkpoint_at);
+    auto resumed = campaign.bank();
+    net::resumeBank(reopened, resumed);
+    EXPECT_TRUE(uninterrupted.snapshot() == resumed.snapshot());
+    EXPECT_EQ(uninterrupted.observations(), resumed.observations());
+    EXPECT_EQ(uninterrupted.outliers(), resumed.outliers());
+}
+
+TEST(StoreRecovery, RestartedSinkConvergesToUninterruptedEstimates)
+{
+    // The acceptance scenario: a campaign's sink dies mid-way; the
+    // restarted sink opens the same store directory, recovers the
+    // durable prefix, collects the rest, and the estimate must equal
+    // the uninterrupted run's bitwise.
+    auto dir = scratchDir("pipeline");
+    auto make_pipeline = [&](bool with_store, bool resume) {
+        api::PipelineConfig config;
+        config.seed = 7;
+        config.measureInvocations = 120;
+        config.transport.enabled = true;
+        if (with_store) {
+            config.transport.storeDir = dir;
+            config.transport.resumeFromStore = resume;
+        }
+        return api::TomographyPipeline(workloads::workloadByName("crc16"),
+                                       config);
+    };
+
+    auto baseline = make_pipeline(false, false);
+    auto trace = baseline.measure().trace;
+    const auto &records = trace.records();
+    size_t split = records.size() / 2;
+    trace::TimingTrace first_half, second_half;
+    for (size_t i = 0; i < records.size(); ++i)
+        (i < split ? first_half : second_half).add(records[i]);
+
+    // Uninterrupted reference: the whole trace over one link.
+    api::TransportOutcome whole_outcome;
+    auto whole = baseline.transport(trace, whole_outcome);
+    auto reference = baseline.estimate(whole);
+
+    // Interrupted run: first half persisted, process dies, second
+    // half collected by a fresh sink resuming from the store.
+    {
+        auto before = make_pipeline(true, false);
+        api::TransportOutcome outcome;
+        before.transport(first_half, outcome);
+        EXPECT_EQ(outcome.recordsPersisted, first_half.size());
+    }
+    auto after = make_pipeline(true, true);
+    api::TransportOutcome resumed_outcome;
+    auto combined = after.transport(second_half, resumed_outcome);
+    EXPECT_EQ(resumed_outcome.recordsRecovered, first_half.size());
+    ASSERT_EQ(combined.size(), trace.size());
+    for (size_t i = 0; i < combined.size(); ++i) {
+        EXPECT_EQ(combined[i].proc, whole[i].proc);
+        EXPECT_EQ(combined[i].startTick, whole[i].startTick);
+        EXPECT_EQ(combined[i].endTick, whole[i].endTick);
+        EXPECT_EQ(combined[i].invocation, whole[i].invocation);
+    }
+    auto resumed = after.estimate(combined);
+    ASSERT_EQ(resumed.thetas.size(), reference.thetas.size());
+    for (size_t p = 0; p < reference.thetas.size(); ++p)
+        EXPECT_EQ(resumed.thetas[p], reference.thetas[p]) << "proc " << p;
+
+    // recoverTrace exposes the same durable prefix standalone.
+    auto recovered = api::TomographyPipeline::recoverTrace(dir);
+    EXPECT_EQ(recovered.size(), trace.size());
+}
+
+} // namespace
