@@ -200,6 +200,52 @@ TomographyPipeline::estimateWith(const trace::TimingTrace &trace,
     return estimate;
 }
 
+causal::CausalProfile
+TomographyPipeline::causalProfile(const sim::RunResult &measure_run,
+                                  const tomography::ModuleEstimate &estimate)
+{
+    return causalWith(sim::lowerModule(*workload_.module), measure_run,
+                      estimate);
+}
+
+causal::CausalProfile
+TomographyPipeline::causalWith(const sim::LoweredModule &lowered,
+                               const sim::RunResult &measure_run,
+                               const tomography::ModuleEstimate &estimate)
+{
+    CT_SPAN("pipeline.causal");
+    obs::StopwatchUs watch;
+    const CausalConfig &cfg = config_.causalProfile;
+
+    causal::ModuleTheta theta =
+        cfg.useTrueProfile
+            ? causal::thetaFromProfile(*workload_.module,
+                                       measure_run.profile)
+            : causal::normalizeTheta(*workload_.module, estimate.thetas);
+    causal::Engine engine(*workload_.module, lowered, config_.sim.costs,
+                          config_.sim.policy, workload_.entry,
+                          std::move(theta));
+
+    causal::ProfileOptions options;
+    options.dials = cfg.dials;
+    options.perBlock = cfg.perBlock;
+    options.workload = workload_.name;
+    auto profile = engine.profile(options);
+
+    if (obs::metricsEnabled())
+        obs::metrics().histogram("pipeline.causal_us")
+            .record(watch.elapsedUs());
+    if (!cfg.jsonOut.empty()) {
+        profile.writeJson(cfg.jsonOut);
+        inform("wrote causal profile ", cfg.jsonOut);
+    }
+    if (!cfg.csvOut.empty()) {
+        profile.writeCsv(cfg.csvOut);
+        inform("wrote causal profile ", cfg.csvOut);
+    }
+    return profile;
+}
+
 std::vector<sim::BlockOrder>
 TomographyPipeline::optimize(const ir::ModuleProfile &profile)
 {
@@ -331,6 +377,10 @@ TomographyPipeline::runStages()
         result.branchMaxError =
             maxAbsoluteError(result.estimatedTheta, result.trueTheta);
     }
+
+    if (config_.causalProfile.enabled)
+        result.causal =
+            causalWith(lowered, result.measureRun, result.estimate);
 
     // Candidate placements.
     Rng rng(config_.seed ^ 0x72616e64);

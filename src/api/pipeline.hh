@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "causal/causal.hh"
 #include "layout/placement.hh"
 #include "net/channel.hh"
 #include "net/collector.hh"
@@ -71,6 +72,35 @@ struct TransportConfig
     /// @}
 };
 
+/**
+ * Opt-in analysis stage: build a ct::causal what-if profile on the
+ * natural layout, ranking procedures by the end-to-end cycles (and
+ * TelosB energy) a perfect placement of each would recover — the
+ * prioritizer that tells the placement loop which procedure to fix
+ * first (docs/CAUSAL.md).
+ */
+struct CausalConfig
+{
+    /** Off by default: the stage costs one chain solve per procedure
+     *  plus one linear fold per (procedure, dial). */
+    bool enabled = false;
+    /** Dial sweep per procedure (1.0 is always implied). */
+    std::vector<double> dials = {0.25, 0.5, 0.75, 1.0};
+    /** Also rank individual branch blocks. */
+    bool perBlock = false;
+    /**
+     * Parameterize the chains from the measured ground-truth edge
+     * profile instead of the estimator's thetas. With the true profile
+     * the analytic deltas match re-simulation exactly (the ct::check
+     * differential oracle); with estimated thetas the ranking reflects
+     * what tomography alone can see.
+     */
+    bool useTrueProfile = false;
+    /** When non-empty, write the ranked profile as JSON / CSV here. */
+    std::string jsonOut;
+    std::string csvOut;
+};
+
 /** Pipeline configuration. */
 struct PipelineConfig
 {
@@ -111,6 +141,9 @@ struct PipelineConfig
 
     /** Simulated mote-to-sink link between measure and estimate. */
     TransportConfig transport;
+
+    /** What-if causal profiling after estimation (off by default). */
+    CausalConfig causalProfile;
 };
 
 /** What the transport stage did (all zero when disabled). */
@@ -168,6 +201,9 @@ struct PipelineResult
     /** Outcomes in order: natural, random, dfs, tomography, perfect. */
     std::vector<LayoutOutcome> outcomes;
 
+    /** Ranked what-if profile (empty when the stage is disabled). */
+    causal::CausalProfile causal;
+
     /** Convenience accessors; fatal() if the name is absent. */
     const LayoutOutcome &outcome(const std::string &name) const;
 
@@ -216,6 +252,15 @@ class TomographyPipeline
      */
     static trace::TimingTrace recoverTrace(const std::string &store_dir);
     tomography::ModuleEstimate estimate(const trace::TimingTrace &trace);
+    /**
+     * Build the what-if causal profile per config.causalProfile from a
+     * measurement run and the estimate derived from it (the estimate is
+     * unused when useTrueProfile is set). Writes the configured JSON /
+     * CSV exports and records causal.* metrics.
+     */
+    causal::CausalProfile causalProfile(
+        const sim::RunResult &measure_run,
+        const tomography::ModuleEstimate &estimate);
     std::vector<sim::BlockOrder> optimize(const ir::ModuleProfile &profile);
     LayoutOutcome evaluate(const std::string &name,
                            const std::vector<sim::BlockOrder> &orders);
@@ -235,6 +280,9 @@ class TomographyPipeline
     sim::RunResult measureWith(const sim::LoweredModule &lowered);
     tomography::ModuleEstimate estimateWith(const trace::TimingTrace &trace,
                                             const sim::LoweredModule &lowered);
+    causal::CausalProfile causalWith(
+        const sim::LoweredModule &lowered, const sim::RunResult &measure_run,
+        const tomography::ModuleEstimate &estimate);
     /// @}
 
     workloads::Workload workload_;

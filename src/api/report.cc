@@ -94,6 +94,27 @@ renderReport(const workloads::Workload &workload,
         table.print(os);
     }
 
+    if (!result.causal.procs.empty()) {
+        const auto &cp = result.causal;
+        os << "\n";
+        TablePrinter table("causal what-if ranking (analytic, dial 1.0)");
+        table.setHeader({"procedure", "causal rank", "flat rank",
+                         "delta cyc/event", "speedup %", "delta uJ/event",
+                         "flat share %"});
+        for (const auto &p : cp.procs) {
+            table.row(p.name, p.causalRank, p.flatRank,
+                      p.deltaCyclesPerEvent, p.virtualSpeedupPct,
+                      p.deltaEnergyMicrojoulesPerEvent, p.flatSharePct);
+        }
+        table.print(os);
+        os << "baseline " << formatDouble(cp.baselineCyclesPerEvent, 2)
+           << " cycles/event; perfect placement everywhere recovers at most "
+           << formatDouble(cp.totalPenaltyCyclesPerEvent, 2)
+           << " of them; " << cp.rankDisagreements << " of "
+           << cp.procs.size()
+           << " procedures rank differently than in the flat profile\n";
+    }
+
     os << "\nbottom line: the tomography-guided placement saves "
        << formatDouble(result.cyclesImprovementPct(), 2) << "% cycles and "
        << formatDouble(result.energyImprovementPct(), 2)

@@ -11,6 +11,7 @@
 #include <unistd.h>
 
 #include "api/pipeline.hh"
+#include "causal/causal.hh"
 #include "check/gen.hh"
 #include "ir/verify.hh"
 #include "net/collector.hh"
@@ -714,6 +715,109 @@ showArqScenario(const ArqScenario &s)
                s.channel.dropRate, s.channel.duplicateRate,
                s.channel.reorderWindow, s.channel.bitFlipRate,
                int(s.channel.burstLoss), s.channel.ackDropRate);
+}
+
+namespace {
+
+/**
+ * Shared core of the causal differential oracles: one baseline run, one
+ * counterfactual re-simulation per invoked procedure, exact agreement
+ * with the analytic engine demanded throughout. Probes and interrupts
+ * are off (the analytic model prices neither), and no workload reads
+ * the timer, so identical input seeds replay identical control flow in
+ * every counterfactual — the agreement is an identity, not an estimate.
+ */
+std::optional<std::string>
+causalAgreementCore(
+    const ir::Module &module, ir::ProcId entry,
+    const std::function<std::unique_ptr<sim::ScriptedInputs>(uint64_t)>
+        &make_inputs,
+    uint64_t input_seed, uint64_t machine_seed, size_t invocations)
+{
+    sim::SimConfig cfg;
+    cfg.timingProbes = false;
+    auto lowered = sim::lowerModule(module);
+
+    auto run_with = [&](std::vector<uint8_t> zero) {
+        sim::SimConfig c = cfg;
+        c.zeroCtrlPenalty = std::move(zero);
+        auto inputs = make_inputs(input_seed);
+        sim::Simulator simulator(module, lowered, c, *inputs, machine_seed);
+        return simulator.run(entry, invocations);
+    };
+
+    auto base = run_with({});
+    if (base.invocations[entry] == 0)
+        return skipCase();
+    const double events = double(base.invocations[entry]);
+
+    auto theta = causal::thetaFromProfile(module, base.profile);
+    causal::Engine engine(module, lowered, cfg.costs, cfg.policy, entry,
+                          std::move(theta));
+
+    double empirical = double(base.procCycles[entry]) / events;
+    double analytic = engine.baselineCyclesPerEvent();
+    double tol = 1e-6 * std::max(1.0, empirical);
+    if (std::abs(analytic - empirical) > tol) {
+        return fmt("baseline identity: analytic %.9g vs simulated %.9g "
+                   "cycles/event",
+                   analytic, empirical);
+    }
+
+    for (ir::ProcId p = 0; p < module.procedureCount(); ++p) {
+        if (base.invocations[p] == 0)
+            continue;
+        std::vector<uint8_t> zero(module.procedureCount(), 0);
+        zero[p] = 1;
+        auto counter = run_with(std::move(zero));
+        if (counter.branches.executed != base.branches.executed ||
+            counter.instructions != base.instructions) {
+            return fmt("proc '%s': counterfactual run diverged from "
+                       "baseline control flow",
+                       module.procedure(p).name().c_str());
+        }
+        double zeroed = double(counter.procCycles[entry]) / events;
+        double sim_delta = empirical - zeroed;
+        double ana_delta = analytic - engine.whatIf(p, 1.0);
+        if (std::abs(sim_delta - ana_delta) > tol) {
+            return fmt("proc '%s': analytic whatIf(1.0) delta %.9g vs "
+                       "re-simulated %.9g cycles/event",
+                       module.procedure(p).name().c_str(), ana_delta,
+                       sim_delta);
+        }
+        double half_delta = analytic - engine.whatIf(p, 0.5);
+        if (std::abs(half_delta - 0.5 * ana_delta) > tol) {
+            return fmt("proc '%s': dial not linear: whatIf(0.5) recovers "
+                       "%.9g, expected %.9g",
+                       module.procedure(p).name().c_str(), half_delta,
+                       0.5 * ana_delta);
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+std::optional<std::string>
+causalResimulationOracle(const CfgScenario &scenario)
+{
+    auto program = scenario.build();
+    if (!ir::verifyModule(*program.module).ok())
+        return "generated module failed IR verification";
+    return causalAgreementCore(
+        *program.module, program.entry,
+        [&](uint64_t seed) { return program.makeInputs(seed); },
+        scenario.simSeed, scenario.simSeed ^ 0x5eed, scenario.invocations);
+}
+
+std::optional<std::string>
+causalWorkloadResimulationOracle(const std::string &workload_name,
+                                 uint64_t seed, size_t invocations)
+{
+    auto workload = workloads::workloadByName(workload_name);
+    return causalAgreementCore(*workload.module, workload.entry,
+                               workload.makeInputs, seed, seed ^ 0x636175,
+                               invocations);
 }
 
 std::optional<std::string>

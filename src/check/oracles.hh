@@ -23,7 +23,10 @@
  *    streaming estimator's state;
  *  - **parallelism**: jobs=1 and jobs=N are bitwise-identical on
  *    pipeline and fleet outputs (the determinism contract of
- *    exec/thread_pool.hh).
+ *    exec/thread_pool.hh);
+ *  - **causal**: the analytic what-if deltas of ct::causal match
+ *    re-simulating a genuinely zero-penalty layout on the real core
+ *    (the model grades its own counterfactuals, docs/CAUSAL.md).
  */
 
 #ifndef CT_CHECK_ORACLES_HH
@@ -124,6 +127,30 @@ std::string showArqScenario(const ArqScenario &s);
  */
 std::optional<std::string>
 storeCrashRecoveryOracle(const StoreScenario &scenario);
+/// @}
+
+/// @name Causal what-if vs re-simulation
+/// @{
+/**
+ * Simulate @p scenario (probes off), build a ct::causal engine from the
+ * run's own empirical edge profile, and require — to floating-point
+ * tolerance, not statistically — that
+ *  - the analytic baseline equals the run's measured mean cycles per
+ *    invocation (the visit-identity argument of docs/CAUSAL.md), and
+ *  - for every invoked procedure, the analytic `whatIf(p, 1.0)` delta
+ *    equals the measured delta of re-simulating on the same input
+ *    streams with that procedure's control penalties genuinely zeroed
+ *    (SimConfig::zeroCtrlPenalty), and
+ *  - the dial is linear: `whatIf(p, 0.5)` recovers exactly half.
+ * Skips runs whose entry was never invoked.
+ */
+std::optional<std::string>
+causalResimulationOracle(const CfgScenario &scenario);
+
+/** The same invariant on a named paper workload. */
+std::optional<std::string>
+causalWorkloadResimulationOracle(const std::string &workload_name,
+                                 uint64_t seed, size_t invocations);
 /// @}
 
 /// @name Parallel determinism

@@ -246,12 +246,17 @@ Simulator::execProcedure(ir::ProcId proc_id, RunResult &result,
             bool transfer = ir::evalCond(lb.cond, regs[lb.lhs], regs[lb.rhs]);
             bool predicted = predictsTaken(config_.policy, pos,
                                            placed.positionOf[lb.condTarget]);
+            // Counterfactual mode: the penalties vanish but the events
+            // still count, so profiles and branch stats match baseline.
+            bool zeroed = proc_id < config_.zeroCtrlPenalty.size() &&
+                          config_.zeroCtrlPenalty[proc_id];
             ++result.branches.executed;
             if (transfer)
                 ++result.branches.taken;
             if (transfer != predicted) {
                 ++result.branches.mispredicted;
-                spend(costs.mispredictPenalty, Activity::CpuActive);
+                if (!zeroed)
+                    spend(costs.mispredictPenalty, Activity::CpuActive);
             }
             ir::BlockId next_block;
             if (transfer) {
@@ -259,7 +264,8 @@ Simulator::execProcedure(ir::ProcId proc_id, RunResult &result,
             } else {
                 next_block = lb.otherTarget;
                 if (lb.ctrl == CtrlKind::CondBrPlusJmp) {
-                    spend(costs.jump, Activity::CpuActive);
+                    if (!zeroed)
+                        spend(costs.jump, Activity::CpuActive);
                     ++result.dynamicJumps;
                 }
             }

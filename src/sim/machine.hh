@@ -33,6 +33,18 @@ struct SimConfig
     uint64_t maxStepsPerInvocation = 5'000'000;
     uint32_t maxCallDepth = 64;
 
+    /**
+     * Per-ProcId counterfactual flags: when a procedure's entry is set,
+     * the core charges none of its control-placement penalties — no
+     * mispredict flush and no trailing untaken jump cycles — while still
+     * counting the events in the run statistics. This is the "genuinely
+     * zero-penalty layout" ct::causal prices analytically; the
+     * differential oracle in ct::check re-simulates it here. Shorter
+     * than the procedure count (or empty, the default) means no
+     * procedure is zeroed.
+     */
+    std::vector<uint8_t> zeroCtrlPenalty;
+
     /// @name Interrupt preemption model
     /// @{
     /** Probability that an unrelated ISR fires at a block boundary

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Properties of the ct::causal what-if engine (check/oracles.hh,
+ * causalResimulationOracle; docs/CAUSAL.md).
+ *
+ * The engine's claims are algebraic, so the tolerances here are
+ * floating-point, not statistical: dial 0 *is* the baseline, expected
+ * cycles are linear (hence monotone non-increasing) in the dial, the
+ * full-dial delta equals the procedure's penalty mass exactly
+ * (sum-consistency), and — the differential anchor — the analytic
+ * deltas match re-simulating a genuinely zero-penalty layout on the
+ * real core, for random CFGs and for every paper workload.
+ */
+
+#include <cmath>
+#include <memory>
+#include <optional>
+
+#include <gtest/gtest.h>
+
+#include "causal/causal.hh"
+#include "check/cfg_gen.hh"
+#include "check/check.hh"
+#include "check/oracles.hh"
+#include "sim/machine.hh"
+#include "workloads/workload.hh"
+
+#include "prop_util.hh"
+
+namespace {
+
+using namespace ct;
+
+/** A causal engine built from a scenario's own simulated profile. */
+struct BuiltEngine
+{
+    check::FuzzProgram program; //!< keeps the module alive
+    sim::LoweredModule lowered;
+    std::unique_ptr<causal::Engine> engine;
+};
+
+std::optional<BuiltEngine>
+buildEngine(const check::CfgScenario &scenario)
+{
+    BuiltEngine out;
+    out.program = scenario.build();
+    sim::SimConfig config;
+    config.timingProbes = false;
+    out.lowered = sim::lowerModule(*out.program.module);
+    auto inputs = out.program.makeInputs(scenario.simSeed);
+    sim::Simulator simulator(*out.program.module, out.lowered, config,
+                             *inputs, scenario.simSeed ^ 0x5eed);
+    auto run = simulator.run(out.program.entry, scenario.invocations);
+    if (run.invocations[out.program.entry] == 0)
+        return std::nullopt;
+    auto theta = causal::thetaFromProfile(*out.program.module, run.profile);
+    out.engine = std::make_unique<causal::Engine>(
+        *out.program.module, out.lowered, config.costs, config.policy,
+        out.program.entry, std::move(theta));
+    return out;
+}
+
+check::CfgScenario
+genSmallScenario(Rng &rng)
+{
+    // The algebraic properties hold for *any* valid theta; a short run
+    // just has to produce one, so keep the campaigns small.
+    auto s = check::genCfgScenario(rng, 400, /*loop_prob=*/0.3);
+    return s;
+}
+
+TEST(PropCausal, ZeroDialIsBaseline)
+{
+    CT_EXPECT_PROP(check::forAll<check::CfgScenario>(
+        "Causal.ZeroDialIsBaseline", genSmallScenario,
+        [](const check::CfgScenario &s) -> std::optional<std::string> {
+            auto built = buildEngine(s);
+            if (!built)
+                return check::skipCase();
+            const auto &e = *built->engine;
+            double baseline = e.baselineCyclesPerEvent();
+            double at_zero = e.whatIf(built->program.entry, 0.0);
+            if (at_zero != baseline) {
+                char buf[128];
+                std::snprintf(buf, sizeof buf,
+                              "whatIf(entry, 0) = %.17g != baseline %.17g",
+                              at_zero, baseline);
+                return std::string(buf);
+            }
+            return std::nullopt;
+        },
+        check::shrinkCfgScenario, check::showCfgScenario,
+        {.iterations = 30}));
+}
+
+TEST(PropCausal, MonotoneNonIncreasingInDial)
+{
+    CT_EXPECT_PROP(check::forAll<check::CfgScenario>(
+        "Causal.MonotoneInDial", genSmallScenario,
+        [](const check::CfgScenario &s) -> std::optional<std::string> {
+            auto built = buildEngine(s);
+            if (!built)
+                return check::skipCase();
+            const auto &e = *built->engine;
+            ir::ProcId entry = built->program.entry;
+            double tol = 1e-9 * std::max(1.0, e.baselineCyclesPerEvent());
+            double prev = e.whatIf(entry, 0.0);
+            for (int i = 1; i <= 10; ++i) {
+                double cycles = e.whatIf(entry, 0.1 * i);
+                if (cycles > prev + tol) {
+                    char buf[160];
+                    std::snprintf(buf, sizeof buf,
+                                  "dial %.1f: %.9g cycles > %.9g at the "
+                                  "previous dial",
+                                  0.1 * i, cycles, prev);
+                    return std::string(buf);
+                }
+                prev = cycles;
+            }
+            return std::nullopt;
+        },
+        check::shrinkCfgScenario, check::showCfgScenario,
+        {.iterations = 30}));
+}
+
+TEST(PropCausal, SumConsistencyWithFlatProfile)
+{
+    // Expected cycles are linear in the dial with no cross terms, so
+    // the full-dial delta must equal the flat profile's penalty mass
+    // for the procedure exactly — and can never exceed its total flat
+    // attribution (a procedure cannot recover more than it costs).
+    CT_EXPECT_PROP(check::forAll<check::CfgScenario>(
+        "Causal.SumConsistency", genSmallScenario,
+        [](const check::CfgScenario &s) -> std::optional<std::string> {
+            auto built = buildEngine(s);
+            if (!built)
+                return check::skipCase();
+            const auto &e = *built->engine;
+            ir::ProcId entry = built->program.entry;
+            double baseline = e.baselineCyclesPerEvent();
+            double tol = 1e-9 * std::max(1.0, baseline);
+            double delta = baseline - e.whatIf(entry, 1.0);
+            double penalty =
+                e.callRate(entry) * e.penaltyCyclesPerInvocation(entry);
+            double flat =
+                e.callRate(entry) * e.selfCyclesPerInvocation(entry);
+            char buf[200];
+            if (std::abs(delta - penalty) > tol) {
+                std::snprintf(buf, sizeof buf,
+                              "delta %.9g != penalty mass %.9g", delta,
+                              penalty);
+                return std::string(buf);
+            }
+            if (delta > flat + tol) {
+                std::snprintf(buf, sizeof buf,
+                              "delta %.9g exceeds flat attribution %.9g",
+                              delta, flat);
+                return std::string(buf);
+            }
+            return std::nullopt;
+        },
+        check::shrinkCfgScenario, check::showCfgScenario,
+        {.iterations = 30}));
+}
+
+TEST(PropCausal, AnalyticMatchesResimulation)
+{
+    CT_EXPECT_PROP(check::forAll<check::CfgScenario>(
+        "Causal.AnalyticMatchesResimulation",
+        [](Rng &rng) { return check::genCfgScenario(rng, 600, 0.3); },
+        [](const check::CfgScenario &s) -> std::optional<std::string> {
+            return check::causalResimulationOracle(s);
+        },
+        check::shrinkCfgScenario, check::showCfgScenario,
+        {.iterations = 15}));
+}
+
+TEST(PropCausal, EveryWorkloadEveryProcedureAgrees)
+{
+    // The acceptance bar from ISSUE 6: on every paper workload, the
+    // analytic whatIf(proc, 1.0) delta of every procedure matches the
+    // zero-penalty re-simulation, to solver tolerance.
+    for (const auto &workload : workloads::allWorkloads()) {
+        auto verdict = check::causalWorkloadResimulationOracle(
+            workload.name, /*seed=*/7, /*invocations=*/400);
+        EXPECT_EQ(verdict, std::nullopt)
+            << workload.name << ": " << verdict.value_or("");
+    }
+}
+
+} // namespace
