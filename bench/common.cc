@@ -2,8 +2,12 @@
 
 #include <sys/stat.h>
 
+#include <cctype>
 #include <cerrno>
+#include <cmath>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 
 #include "exec/thread_pool.hh"
@@ -41,13 +45,77 @@ csvPath(const std::string &name)
     return "results/" + name + ".csv";
 }
 
+namespace {
+
+/** True when @p cell is a finite JSON number token verbatim. */
+bool
+isJsonNumber(const std::string &cell)
+{
+    if (cell.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    double value = std::strtod(cell.c_str(), &end);
+    return end == cell.c_str() + cell.size() && errno == 0 &&
+           std::isfinite(value) && cell != "-" &&
+           (std::isdigit(uint8_t(cell[0])) || cell[0] == '-');
+}
+
+std::string
+jsonString(const std::string &text)
+{
+    std::string out = "\"";
+    for (char c : text) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
 void
-emit(const TablePrinter &table, const std::string &csv_name)
+writeTableJson(const TablePrinter &table, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot open JSON output '", path, "'");
+        return;
+    }
+    out << "{\"title\":" << jsonString(table.title()) << ",\"header\":[";
+    for (size_t i = 0; i < table.header().size(); ++i)
+        out << (i ? "," : "") << jsonString(table.header()[i]);
+    out << "],\"rows\":[";
+    for (size_t r = 0; r < table.rows().size(); ++r) {
+        out << (r ? "," : "") << '[';
+        const auto &row = table.rows()[r];
+        for (size_t c = 0; c < row.size(); ++c) {
+            out << (c ? "," : "");
+            if (isJsonNumber(row[c]))
+                out << row[c];
+            else
+                out << jsonString(row[c]);
+        }
+        out << ']';
+    }
+    out << "]}\n";
+}
+
+void
+emit(const TablePrinter &table, const std::string &csv_name, bool json)
 {
     table.print(std::cout);
     CsvWriter csv(csvPath(csv_name));
     table.writeCsv(csv);
     inform("wrote ", csv.path());
+    if (json) {
+        ensureDir("results");
+        std::string json_path = "results/" + csv_name + ".json";
+        writeTableJson(table, json_path);
+        inform("wrote ", json_path);
+    }
     // With metrics on (CT_METRICS_OUT set, or enabled in code), mirror
     // the registry next to the results so every bench run leaves its
     // telemetry record alongside the numbers it produced.

@@ -28,8 +28,21 @@ std::string csvPath(const std::string &name);
  * Print a table and mirror it to results/<csv_name>.csv, reporting the
  * written path. When metrics recording is on (CT_METRICS_OUT set), the
  * obs registry is also dumped to results/<csv_name>.metrics.json.
+ * With @p json, the table is additionally mirrored machine-readably to
+ * results/<csv_name>.json (see writeTableJson) — the artifact CI
+ * uploads for the perf-tracking benches (e.g. BENCH_fleet.json).
  */
-void emit(const TablePrinter &table, const std::string &csv_name);
+void emit(const TablePrinter &table, const std::string &csv_name,
+          bool json = false);
+
+/**
+ * Write @p table to @p path as one JSON object:
+ * `{"title": ..., "header": [...], "rows": [[...], ...]}`.
+ * Cells that parse as finite JSON numbers are emitted as numbers,
+ * everything else as strings, so downstream tooling gets typed values
+ * without a schema.
+ */
+void writeTableJson(const TablePrinter &table, const std::string &path);
 
 /** Parse --estimator into a kind; fatal() on bad names. */
 tomography::EstimatorKind parseEstimator(const std::string &name);

@@ -20,6 +20,7 @@
 #include <iostream>
 #include <string>
 
+#include "fleet/fleet.hh"
 #include "net/collector.hh"
 #include "sim/lower.hh"
 #include "sim/machine.hh"
@@ -91,9 +92,26 @@ cmdFsck(const std::string &dir)
 {
     if (!fs::is_directory(dir))
         fatal("not a directory: ", dir);
-    auto report = store::fsckStore(dir);
-    std::cout << report.text();
-    return report.ok ? 0 : 1;
+    // A sharded fleet root (shard-NNN subdirectories) is fscked shard
+    // by shard with a per-shard verdict; one damaged shard fails the
+    // whole check but never hides the others' reports.
+    auto shards = fleet::shardStoreDirs(dir);
+    if (shards.empty()) {
+        auto report = store::fsckStore(dir);
+        std::cout << report.text();
+        return report.ok ? 0 : 1;
+    }
+    size_t bad = 0;
+    for (const auto &shard_dir : shards) {
+        auto report = store::fsckStore(shard_dir);
+        std::cout << fs::path(shard_dir).filename().string() << ": "
+                  << (report.ok ? "ok" : "DAMAGED") << "\n";
+        std::cout << report.text();
+        bad += report.ok ? 0 : 1;
+    }
+    std::cout << "sharded store: " << shards.size() << " shards, " << bad
+              << " damaged\n";
+    return bad == 0 ? 0 : 1;
 }
 
 int

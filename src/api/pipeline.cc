@@ -1,6 +1,7 @@
 #include "api/pipeline.hh"
 
 #include "exec/thread_pool.hh"
+#include "fleet/fleet.hh"
 #include "layout/evaluator.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
@@ -157,15 +158,26 @@ TomographyPipeline::transport(const trace::TimingTrace &trace,
 trace::TimingTrace
 TomographyPipeline::recoverTrace(const std::string &store_dir)
 {
-    store::Store store(store_dir);
     trace::TimingTrace out;
     std::vector<uint64_t> invocations;
-    for (const auto &entry : store.recoveredTail()) {
-        trace::TimingRecord record = entry.record;
-        if (invocations.size() <= record.proc)
-            invocations.resize(record.proc + 1, 0);
-        record.invocation = invocations[record.proc]++;
-        out.add(record);
+    auto replay = [&](const std::string &dir) {
+        store::Store store(dir);
+        for (const auto &entry : store.recoveredTail()) {
+            trace::TimingRecord record = entry.record;
+            if (invocations.size() <= record.proc)
+                invocations.resize(record.proc + 1, 0);
+            record.invocation = invocations[record.proc]++;
+            out.add(record);
+        }
+    };
+    auto shards = fleet::shardStoreDirs(store_dir);
+    if (shards.empty()) {
+        replay(store_dir);
+    } else {
+        // A sharded fleet root: recover each shard's durable prefix in
+        // shard order (deterministic — shardStoreDirs sorts).
+        for (const auto &dir : shards)
+            replay(dir);
     }
     return out;
 }

@@ -248,7 +248,10 @@ class TomographyPipeline
      * timing trace (invocations assigned in replay order per
      * procedure, oracle cycles unknown — wire records do not carry
      * them). This is what a resumed run prepends; exposed for
-     * offline inspection of an interrupted campaign.
+     * offline inspection of an interrupted campaign. A sharded fleet
+     * root (holding `shard-NNN` subdirectories, see docs/FLEET.md) is
+     * recovered shard by shard in shard order, each shard's prefix
+     * replayed via the unchanged single-store invariant.
      */
     static trace::TimingTrace recoverTrace(const std::string &store_dir);
     tomography::ModuleEstimate estimate(const trace::TimingTrace &trace);

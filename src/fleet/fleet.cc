@@ -1,0 +1,494 @@
+#include "fleet/fleet.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+
+#include "exec/thread_pool.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "sim/machine.hh"
+#include "stats/rng.hh"
+#include "util/logging.hh"
+
+namespace fs = std::filesystem;
+
+namespace ct::fleet {
+
+ShardLayout::ShardLayout(size_t shards) : shards_(shards)
+{
+    CT_ASSERT(shards >= 1 && shards <= 256,
+              "fleet: shard count must lie in [1, 256]");
+    width_ = (65536 + shards - 1) / shards;
+}
+
+uint16_t
+ShardLayout::firstMote(size_t shard) const
+{
+    CT_ASSERT(shard < shards_, "fleet: shard index out of range");
+    return uint16_t(shard * width_);
+}
+
+uint16_t
+ShardLayout::lastMote(size_t shard) const
+{
+    CT_ASSERT(shard < shards_, "fleet: shard index out of range");
+    size_t end = (shard + 1) * width_;
+    return uint16_t(std::min<size_t>(end, 65536) - 1);
+}
+
+std::string
+shardDirName(size_t shard)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "shard-%03zu", shard);
+    return buf;
+}
+
+std::vector<std::string>
+shardStoreDirs(const std::string &root)
+{
+    std::vector<std::string> dirs;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(root, ec)) {
+        if (!entry.is_directory())
+            continue;
+        std::string name = entry.path().filename().string();
+        if (name.rfind("shard-", 0) == 0)
+            dirs.push_back(entry.path().string());
+    }
+    std::sort(dirs.begin(), dirs.end());
+    return dirs;
+}
+
+uint64_t
+snapshotDigest(const std::vector<store::EstimatorSlot> &slots)
+{
+    store::Checkpoint checkpoint;
+    checkpoint.id = 0;
+    checkpoint.walOrdinal = 0;
+    checkpoint.slots = slots;
+    auto bytes = encodeCheckpoint(checkpoint);
+    uint64_t hash = 14695981039346656037ULL; // FNV-1a offset basis
+    for (uint8_t byte : bytes) {
+        hash ^= byte;
+        hash *= 1099511628211ULL;
+    }
+    return hash;
+}
+
+struct ShardedCollector::Shard
+{
+    Shard(const ir::Module &module, const sim::LoweredModule &lowered,
+          const sim::CostModel &costs, sim::PredictPolicy policy,
+          uint64_t cycles_per_tick, const net::CollectorConfig &collector,
+          const tomography::EstimatorOptions &options,
+          double nested_probe_cycles)
+        : sink(collector),
+          bank(module, lowered, costs, policy, cycles_per_tick, options,
+               nested_probe_cycles)
+    {
+    }
+
+    std::mutex mutex;
+    net::SinkCollector sink;
+    net::EstimatorBank bank;
+};
+
+ShardedCollector::ShardedCollector(
+    const ir::Module &module, const sim::LoweredModule &lowered,
+    const sim::CostModel &costs, sim::PredictPolicy policy,
+    uint64_t cycles_per_tick, const ShardedCollectorConfig &config,
+    const tomography::EstimatorOptions &options, double nested_probe_cycles)
+    : config_(config), layout_(config.shards)
+{
+    shards_.reserve(layout_.shards());
+    for (size_t shard = 0; shard < layout_.shards(); ++shard) {
+        net::CollectorConfig collector;
+        collector.skipAheadPackets = config_.skipAheadPackets;
+        collector.retainTraces = config_.retainTraces;
+        if (!config_.storeDir.empty()) {
+            collector.storeDir =
+                (fs::path(config_.storeDir) / shardDirName(shard)).string();
+            collector.store = config_.store;
+            collector.store.metricsScope = config_.metricsScope + "shard." +
+                                           std::to_string(shard) + ".store.";
+        }
+        shards_.push_back(std::make_unique<Shard>(
+            module, lowered, costs, policy, cycles_per_tick, collector,
+            options, nested_probe_cycles));
+        Shard &slot = *shards_.back();
+        slot.sink.setRecordSink(slot.bank.sink());
+        // Opening the shard directory already recovered the durable
+        // prefix (ct::store's invariant, unchanged per shard); resume
+        // feeds it into this shard's bank.
+        if (slot.sink.store() && config_.resumeFromStore)
+            net::resumeBank(*slot.sink.store(), slot.bank);
+    }
+}
+
+ShardedCollector::ShardedCollector(ShardedCollector &&) noexcept = default;
+ShardedCollector::~ShardedCollector() = default;
+
+std::unique_lock<std::mutex>
+ShardedCollector::lockFor(size_t shard)
+{
+    size_t victim = config_.locking == Locking::Global ? 0 : shard;
+    return std::unique_lock<std::mutex>(shards_[victim]->mutex);
+}
+
+std::optional<net::Ack>
+ShardedCollector::offer(const uint8_t *frame, size_t size)
+{
+    // Route on the raw mote field; validation happens inside the
+    // shard (see the header comment on corrupted mote bytes).
+    uint16_t mote =
+        size >= 2 ? uint16_t(uint16_t(frame[0]) | uint16_t(frame[1]) << 8)
+                  : 0;
+    size_t shard = layout_.shardOf(mote);
+    auto lock = lockFor(shard);
+    return shards_[shard]->sink.offer(frame, size);
+}
+
+std::optional<net::Ack>
+ShardedCollector::offer(const std::vector<uint8_t> &frame)
+{
+    return offer(frame.data(), frame.size());
+}
+
+void
+ShardedCollector::finalizeMote(uint16_t mote)
+{
+    size_t shard = layout_.shardOf(mote);
+    auto lock = lockFor(shard);
+    shards_[shard]->sink.finalize(mote);
+}
+
+void
+ShardedCollector::evictMote(uint16_t mote)
+{
+    size_t shard = layout_.shardOf(mote);
+    auto lock = lockFor(shard);
+    shards_[shard]->sink.evictMote(mote);
+}
+
+void
+ShardedCollector::flush()
+{
+    for (size_t shard = 0; shard < shards_.size(); ++shard) {
+        auto lock = lockFor(shard);
+        if (shards_[shard]->sink.store())
+            shards_[shard]->sink.store()->flush();
+    }
+}
+
+void
+ShardedCollector::checkpoint()
+{
+    for (auto &shard : shards_) {
+        if (!shard->sink.store())
+            continue;
+        shard->sink.store()->writeCheckpoint(shard->bank.snapshot());
+        shard->sink.store()->compact();
+    }
+}
+
+net::SinkCollector &
+ShardedCollector::collector(size_t shard)
+{
+    CT_ASSERT(shard < shards_.size(), "fleet: shard index out of range");
+    return shards_[shard]->sink;
+}
+
+net::EstimatorBank &
+ShardedCollector::bank(size_t shard)
+{
+    CT_ASSERT(shard < shards_.size(), "fleet: shard index out of range");
+    return shards_[shard]->bank;
+}
+
+const net::EstimatorBank &
+ShardedCollector::bank(size_t shard) const
+{
+    CT_ASSERT(shard < shards_.size(), "fleet: shard index out of range");
+    return shards_[shard]->bank;
+}
+
+net::CollectorStats
+ShardedCollector::stats() const
+{
+    net::CollectorStats total;
+    for (const auto &shard : shards_) {
+        const auto &s = shard->sink.stats();
+        total.framesOffered += s.framesOffered;
+        total.rejected += s.rejected;
+        total.malformedPayloads += s.malformedPayloads;
+        total.duplicates += s.duplicates;
+        total.stale += s.stale;
+        total.accepted += s.accepted;
+        total.skippedPackets += s.skippedPackets;
+        total.recordsDelivered += s.recordsDelivered;
+    }
+    return total;
+}
+
+size_t
+ShardedCollector::estimatorCount() const
+{
+    size_t total = 0;
+    for (const auto &shard : shards_)
+        total += shard->bank.estimatorCount();
+    return total;
+}
+
+std::vector<store::EstimatorSlot>
+ShardedCollector::mergedSnapshot() const
+{
+    std::vector<store::EstimatorSlot> merged;
+    for (const auto &shard : shards_) {
+        auto slots = shard->bank.snapshot();
+        if (!merged.empty() && !slots.empty()) {
+            // Contiguous-range routing makes shard-order concatenation
+            // globally sorted; guard the premise rather than re-sort.
+            const auto &last = merged.back();
+            const auto &next = slots.front();
+            CT_ASSERT(std::make_pair(last.mote, last.proc) <
+                          std::make_pair(next.mote, next.proc),
+                      "fleet: shard snapshots out of order");
+        }
+        merged.insert(merged.end(),
+                      std::make_move_iterator(slots.begin()),
+                      std::make_move_iterator(slots.end()));
+    }
+    return merged;
+}
+
+void
+ShardedCollector::mergeInto(net::EstimatorBank &target) const
+{
+    for (const auto &shard : shards_)
+        target.mergeFrom(shard->bank);
+}
+
+namespace {
+
+int64_t
+monotonicNanos()
+{
+    using namespace std::chrono;
+    return duration_cast<nanoseconds>(
+               steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Independent seed stream for one template mote. */
+struct TemplateSeeds
+{
+    uint64_t sim, inputs;
+};
+
+TemplateSeeds
+seedsFor(uint64_t fleet_seed, size_t index)
+{
+    uint64_t state =
+        fleet_seed ^ 0x9e3779b97f4a7c15ULL * (uint64_t(index) + 1);
+    TemplateSeeds seeds;
+    seeds.sim = splitmix64(state);
+    seeds.inputs = splitmix64(state);
+    return seeds;
+}
+
+/** One logical mote's frames inside the arena. */
+struct MotePlan
+{
+    uint16_t wire = 0;
+    uint32_t firstFrame = 0;
+    uint32_t frameCount = 0;
+};
+
+/** Pre-framed campaign traffic: every frame of every logical mote,
+ *  flat, grouped per shard — built outside the timed region. */
+struct FrameArena
+{
+    std::vector<uint8_t> bytes;
+    std::vector<std::pair<size_t, size_t>> frames; //!< (offset, size)
+    std::vector<std::vector<MotePlan>> perShard;
+};
+
+FrameArena
+buildArena(const workloads::Workload &workload,
+           const sim::LoweredModule &lowered, const sim::SimConfig &sim_config,
+           const ShardedFleetConfig &config, const ShardLayout &layout)
+{
+    // Simulate a few template motes; a campaign's motes re-stamp the
+    // template payloads with their own wire id (the header + CRC are
+    // per mote, the payload bytes are not).
+    size_t templates = std::max<size_t>(1, std::min(config.templates,
+                                                    config.motes));
+    std::vector<std::vector<std::vector<uint8_t>>> payloads(templates);
+    for (size_t t = 0; t < templates; ++t) {
+        TemplateSeeds seeds = seedsFor(config.seed, t);
+        auto inputs = workload.makeInputs(seeds.inputs);
+        sim::Simulator simulator(*workload.module, lowered, sim_config,
+                                 *inputs, seeds.sim);
+        auto run = simulator.run(workload.entry, config.invocations);
+        for (auto &packet :
+             net::packetizeTrace(run.trace, /*mote=*/0, config.mtu))
+            payloads[t].push_back(std::move(packet.payload));
+    }
+
+    FrameArena arena;
+    arena.perShard.resize(layout.shards());
+    for (size_t i = 0; i < config.motes; ++i) {
+        // 48271 is coprime to 65535, so i -> wire is a bijection per
+        // 65535-mote wave that *spreads* ids across the space — every
+        // shard range gets its share of any campaign size — while
+        // staying independent of the shard count (the digest
+        // invariant). Id 0 is reserved, as in net::runFleet.
+        uint16_t wire = uint16_t(1 + (i % 65535) * 48271ULL % 65535);
+        const auto &split = payloads[i % templates];
+        MotePlan plan;
+        plan.wire = wire;
+        plan.firstFrame = uint32_t(arena.frames.size());
+        plan.frameCount = uint32_t(split.size());
+        for (size_t seq = 0; seq < split.size(); ++seq) {
+            net::Packet packet;
+            packet.mote = wire;
+            packet.seq = uint32_t(seq);
+            packet.payload = split[seq];
+            auto frame = net::serializePacket(packet);
+            arena.frames.emplace_back(arena.bytes.size(), frame.size());
+            arena.bytes.insert(arena.bytes.end(), frame.begin(),
+                               frame.end());
+        }
+        arena.perShard[layout.shardOf(wire)].push_back(plan);
+    }
+    return arena;
+}
+
+} // namespace
+
+uint64_t
+ShardedFleetResult::totalFrames() const
+{
+    uint64_t total = 0;
+    for (const auto &shard : shards)
+        total += shard.frames;
+    return total;
+}
+
+uint64_t
+ShardedFleetResult::totalRecords() const
+{
+    uint64_t total = 0;
+    for (const auto &shard : shards)
+        total += shard.records;
+    return total;
+}
+
+uint64_t
+ShardedFleetResult::totalMotes() const
+{
+    uint64_t total = 0;
+    for (const auto &shard : shards)
+        total += shard.motes;
+    return total;
+}
+
+double
+ShardedFleetResult::recordsPerSecond() const
+{
+    return ingestSeconds > 0.0 ? double(totalRecords()) / ingestSeconds
+                               : 0.0;
+}
+
+ShardedFleetResult
+runShardedFleet(const workloads::Workload &workload,
+                const ShardedFleetConfig &config)
+{
+    CT_SPAN("fleet.campaign");
+    CT_ASSERT(workload.module != nullptr, "fleet workload has no module");
+    CT_ASSERT(config.motes > 0, "fleet: motes must be >= 1");
+
+    auto lowered = sim::lowerModule(*workload.module);
+    sim::SimConfig sim_config;
+    sim_config.cyclesPerTick = config.cyclesPerTick;
+    sim_config.timingProbes = true;
+
+    ShardLayout layout(config.collector.shards);
+    obs::StopwatchUs build_watch;
+    FrameArena arena =
+        buildArena(workload, lowered, sim_config, config, layout);
+
+    ShardedCollector sharded(
+        *workload.module, lowered, sim_config.costs, sim_config.policy,
+        config.cyclesPerTick, config.collector, config.estimator,
+        2.0 * double(sim_config.costs.timerRead));
+
+    ShardedFleetResult result;
+    result.buildSeconds = double(build_watch.elapsedUs()) / 1e6;
+
+    // The measured region: per-shard frame streams fan out over the
+    // pool, each worker ingesting whole shards (round-robin static
+    // assignment, exec/thread_pool.hh), so shard locks never contend.
+    obs::StopwatchUs ingest_watch;
+    std::vector<ExactHistogram> latencies(layout.shards());
+    exec::ThreadPool pool(config.jobs);
+    result.shards = exec::parallelMap(pool, layout.shards(), [&](size_t s) {
+        ShardOutcome out;
+        out.shard = s;
+        int64_t shard_start = obs::monotonicMicros();
+        for (const MotePlan &plan : arena.perShard[s]) {
+            int64_t mote_start = monotonicNanos();
+            for (uint32_t f = 0; f < plan.frameCount; ++f) {
+                const auto &[offset, size] =
+                    arena.frames[plan.firstFrame + f];
+                sharded.offer(arena.bytes.data() + offset, size);
+            }
+            sharded.evictMote(plan.wire);
+            latencies[s].add(monotonicNanos() - mote_start);
+            ++out.motes;
+            out.frames += plan.frameCount;
+        }
+        out.ingestUs = obs::monotonicMicros() - shard_start;
+        out.records = sharded.collector(s).stats().recordsDelivered;
+        out.estimators = sharded.bank(s).estimatorCount();
+        out.estObservations = sharded.bank(s).observations();
+        if (latencies[s].total() > 0) {
+            out.p50IngestNs = latencies[s].percentile(0.50);
+            out.p99IngestNs = latencies[s].percentile(0.99);
+        }
+        return out;
+    });
+    result.ingestSeconds = double(ingest_watch.elapsedUs()) / 1e6;
+
+    if (config.checkpointAtEnd)
+        sharded.checkpoint();
+
+    result.estimators = sharded.estimatorCount();
+    result.mergedDigest = snapshotDigest(sharded.mergedSnapshot());
+
+    if (obs::metricsEnabled()) {
+        auto &m = obs::metrics();
+        const std::string &scope = config.collector.metricsScope;
+        m.counter(scope + "frames_offered").add(result.totalFrames());
+        m.counter(scope + "records_delivered").add(result.totalRecords());
+        m.counter(scope + "motes_ingested").add(result.totalMotes());
+        m.gauge(scope + "shards").set(double(layout.shards()));
+        ExactHistogram campaign;
+        for (const auto &hist : latencies)
+            campaign.merge(hist);
+        if (campaign.total() > 0) {
+            m.gauge(scope + "ingest.p50_ns")
+                .set(double(campaign.percentile(0.50)));
+            m.gauge(scope + "ingest.p99_ns")
+                .set(double(campaign.percentile(0.99)));
+        }
+        for (const auto &shard : result.shards)
+            m.histogram(scope + "shard_ingest_us").record(shard.ingestUs);
+    }
+    return result;
+}
+
+} // namespace ct::fleet

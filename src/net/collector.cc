@@ -16,9 +16,15 @@ SinkCollector::SinkCollector(const CollectorConfig &config) : config_(config)
 std::optional<Ack>
 SinkCollector::offer(const std::vector<uint8_t> &frame)
 {
+    return offer(frame.data(), frame.size());
+}
+
+std::optional<Ack>
+SinkCollector::offer(const uint8_t *frame, size_t size)
+{
     ++stats_.framesOffered;
     Packet packet;
-    if (!parsePacket(frame, packet)) {
+    if (!parsePacket(frame, size, packet)) {
         ++stats_.rejected;
         return std::nullopt;
     }
@@ -72,7 +78,8 @@ SinkCollector::deliver(uint16_t mote, MoteState &state,
         if (state.invocations.size() <= record.proc)
             state.invocations.resize(record.proc + 1, 0);
         record.invocation = state.invocations[record.proc]++;
-        state.trace.add(record);
+        if (config_.retainTraces)
+            state.trace.add(record);
         ++state.records;
         ++stats_.recordsDelivered;
         // WAL before sink: a record the estimators saw is always at
@@ -112,6 +119,13 @@ SinkCollector::finalize(uint16_t mote)
     }
     if (store_)
         store_->flush();
+}
+
+void
+SinkCollector::evictMote(uint16_t mote)
+{
+    finalize(mote);
+    motes_.erase(mote);
 }
 
 Ack
@@ -174,6 +188,27 @@ EstimatorBank::EstimatorBank(const ir::Module &module,
             module.procedure(id), lowered.procs[id], costs, policy,
             cycles_per_tick, no_callees, nested_probe_cycles));
     }
+    tables_.resize(module.procedureCount());
+}
+
+tomography::StreamingEstimator &
+EstimatorBank::estimatorFor(uint16_t mote, ir::ProcId proc)
+{
+    auto key = std::make_pair(mote, proc);
+    auto found = estimators_.find(key);
+    if (found == estimators_.end()) {
+        // One path table per procedure, enumerated on the procedure's
+        // first estimator and shared by every later mote.
+        if (!tables_[proc])
+            tables_[proc] =
+                tomography::PathTable::build(*models_[proc], options_);
+        found = estimators_
+                    .emplace(key,
+                             std::make_unique<tomography::StreamingEstimator>(
+                                 *models_[proc], tables_[proc], options_))
+                    .first;
+    }
+    return *found->second;
 }
 
 void
@@ -183,16 +218,7 @@ EstimatorBank::observe(uint16_t mote, const trace::TimingRecord &record)
         ++unknownProc_;
         return;
     }
-    auto key = std::make_pair(mote, record.proc);
-    auto found = estimators_.find(key);
-    if (found == estimators_.end()) {
-        found = estimators_
-                    .emplace(key,
-                             std::make_unique<tomography::StreamingEstimator>(
-                                 *models_[record.proc], options_))
-                    .first;
-    }
-    found->second->observe(record.durationTicks());
+    estimatorFor(mote, record.proc).observe(record.durationTicks());
 }
 
 const tomography::StreamingEstimator *
@@ -255,16 +281,26 @@ EstimatorBank::restoreSlot(uint16_t mote, ir::ProcId proc,
         ++unknownProc_;
         return;
     }
-    auto key = std::make_pair(mote, proc);
-    auto found = estimators_.find(key);
-    if (found == estimators_.end()) {
-        found = estimators_
-                    .emplace(key,
-                             std::make_unique<tomography::StreamingEstimator>(
-                                 *models_[proc], options_))
-                    .first;
+    estimatorFor(mote, proc).restore(state);
+}
+
+void
+EstimatorBank::mergeSlot(uint16_t mote, ir::ProcId proc,
+                         const tomography::StreamingState &state)
+{
+    if (proc >= models_.size()) {
+        ++unknownProc_;
+        return;
     }
-    found->second->restore(state);
+    estimatorFor(mote, proc).mergeFrom(state);
+}
+
+void
+EstimatorBank::mergeFrom(const EstimatorBank &other)
+{
+    for (const auto &[key, estimator] : other.estimators_)
+        mergeSlot(key.first, key.second, estimator->snapshot());
+    unknownProc_ += other.unknownProc_;
 }
 
 void

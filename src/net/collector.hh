@@ -57,6 +57,14 @@ struct CollectorConfig
     std::string storeDir;
     /** Durability knobs, honored only when storeDir is set. */
     store::StoreConfig store;
+    /**
+     * Keep each mote's reassembled in-order trace (traceFor()). The
+     * default suits interactive analysis; a fleet-scale sink turns it
+     * off so per-mote memory stays O(reorder window + estimator
+     * state) instead of O(records) — estimators, the WAL, and the
+     * stats all still see every record.
+     */
+    bool retainTraces = true;
 };
 
 /** Sink-side accounting. */
@@ -108,11 +116,28 @@ class SinkCollector
      */
     std::optional<Ack> offer(const std::vector<uint8_t> &frame);
 
+    /** Same, over a raw byte span (zero-copy ingest from a frame
+     *  arena; see parsePacket(const uint8_t*, size_t, Packet&)). */
+    std::optional<Ack> offer(const uint8_t *frame, size_t size);
+
     /**
      * End of a mote's transfer: release everything still buffered, in
      * sequence order, accepting the remaining gaps as lost.
      */
     void finalize(uint16_t mote);
+
+    /**
+     * finalize(@p mote), then drop its per-mote state (reorder
+     * buffers, dedupe set, trace, counters). The fleet ingest loop
+     * calls this after each mote's transfer so collector memory tracks
+     * the motes *in flight*, not every mote ever seen. Global stats()
+     * keep counting the evicted mote's traffic; the per-mote accessors
+     * (packetsAccepted, recordsDelivered, traceFor) forget it, and a
+     * straggler frame arriving afterwards reopens fresh state — at
+     * seq 0, so post-eviction traffic is effectively dropped by the
+     * dedupe/stale rules, same as any stale frame.
+     */
+    void evictMote(uint16_t mote);
 
     /** Distinct valid packets accepted so far for @p mote. */
     size_t packetsAccepted(uint16_t mote) const;
@@ -120,10 +145,10 @@ class SinkCollector
     /** Records released so far for @p mote. */
     uint64_t recordsDelivered(uint16_t mote) const;
 
-    /** Reassembled in-order trace for @p mote (empty if unseen).
-     *  Invocation indices are assigned per (mote, procedure) in
-     *  delivery order — identical to the mote's own numbering when
-     *  nothing was lost. */
+    /** Reassembled in-order trace for @p mote (empty if unseen or
+     *  when CollectorConfig::retainTraces is off). Invocation indices
+     *  are assigned per (mote, procedure) in delivery order —
+     *  identical to the mote's own numbering when nothing was lost. */
     const trace::TimingTrace &traceFor(uint16_t mote) const;
 
     /** Motes seen so far, ascending. */
@@ -219,12 +244,42 @@ class EstimatorBank
      */
     void restoreSlot(uint16_t mote, ir::ProcId proc,
                      const tomography::StreamingState &state);
+    /**
+     * Fold one (mote, proc) state in with merge semantics (see
+     * StreamingEstimator::mergeFrom): creates the estimator when
+     * absent — then exact, identical to restoreSlot — and merges
+     * states when both sides hold observations.
+     */
+    void mergeSlot(uint16_t mote, ir::ProcId proc,
+                   const tomography::StreamingState &state);
+    /**
+     * Fold every estimator of @p other in via mergeSlot. When the two
+     * banks cover *disjoint* (mote, proc) sets — which mote-range
+     * sharding guarantees — the merge is exact: the result is bitwise
+     * the bank an unsharded run over the union stream would hold, and
+     * the operation is associative and commutative (property-tested
+     * in tests/prop_fleet_merge.cc). unknownProcRecords() adds.
+     */
+    void mergeFrom(const EstimatorBank &other);
     /// @}
 
+    /** Estimators currently held (one per active (mote, proc)). */
+    size_t estimatorCount() const { return estimators_.size(); }
+
   private:
+    tomography::StreamingEstimator &estimatorFor(uint16_t mote,
+                                                 ir::ProcId proc);
+
     const ir::Module *module_;
     tomography::EstimatorOptions options_;
     std::vector<std::unique_ptr<tomography::TimingModel>> models_;
+    /**
+     * Latent path tables, one per procedure, built on the first
+     * estimator that needs them and shared by every mote's estimator
+     * of that procedure — at fleet scale the dominant setup cost and
+     * footprint win (see tomography::PathTable).
+     */
+    std::vector<std::shared_ptr<const tomography::PathTable>> tables_;
     std::map<std::pair<uint16_t, ir::ProcId>,
              std::unique_ptr<tomography::StreamingEstimator>>
         estimators_;

@@ -26,21 +26,6 @@ put32(std::vector<uint8_t> &out, uint32_t value)
         out.push_back(uint8_t(value >> shift));
 }
 
-uint16_t
-get16(const std::vector<uint8_t> &in, size_t at)
-{
-    return uint16_t(in[at]) | uint16_t(in[at + 1]) << 8;
-}
-
-uint32_t
-get32(const std::vector<uint8_t> &in, size_t at)
-{
-    uint32_t value = 0;
-    for (int i = 3; i >= 0; --i)
-        value = value << 8 | in[at + i];
-    return value;
-}
-
 } // namespace
 
 std::vector<uint8_t>
@@ -68,22 +53,31 @@ serializePacket(const Packet &packet)
 bool
 parsePacket(const std::vector<uint8_t> &frame, Packet &out)
 {
-    if (frame.size() < kHeaderBytes)
+    return parsePacket(frame.data(), frame.size(), out);
+}
+
+bool
+parsePacket(const uint8_t *frame, size_t size, Packet &out)
+{
+    if (size < kHeaderBytes)
         return false;
-    uint16_t length = get16(frame, 6);
-    if (frame.size() != kHeaderBytes + size_t(length))
+    uint16_t length = uint16_t(frame[6]) | uint16_t(frame[7]) << 8;
+    if (size != kHeaderBytes + size_t(length))
         return false;
-    uint16_t stored_crc = get16(frame, 8);
-    // Recompute over the CRC-covered bytes: header sans crc + payload.
-    std::vector<uint8_t> covered;
-    covered.reserve(frame.size() - 2);
-    covered.insert(covered.end(), frame.begin(), frame.begin() + 8);
-    covered.insert(covered.end(), frame.begin() + kHeaderBytes, frame.end());
-    if (crc16(covered.data(), covered.size()) != stored_crc)
+    uint16_t stored_crc = uint16_t(frame[8]) | uint16_t(frame[9]) << 8;
+    // Recompute over the CRC-covered bytes — header sans crc, then
+    // payload — chained across the crc field instead of copied into
+    // one buffer.
+    uint16_t crc = crc16Update(0xffff, frame, 8);
+    crc = crc16Update(crc, frame + kHeaderBytes, size - kHeaderBytes);
+    if (crc != stored_crc)
         return false;
-    out.mote = get16(frame, 0);
-    out.seq = get32(frame, 2);
-    out.payload.assign(frame.begin() + kHeaderBytes, frame.end());
+    out.mote = uint16_t(frame[0]) | uint16_t(frame[1]) << 8;
+    uint32_t seq = 0;
+    for (int i = 5; i >= 2; --i)
+        seq = seq << 8 | frame[i];
+    out.seq = seq;
+    out.payload.assign(frame + kHeaderBytes, frame + size);
     return true;
 }
 

@@ -68,6 +68,14 @@ std::vector<uint8_t> serializePacket(const Packet &packet);
 bool parsePacket(const std::vector<uint8_t> &frame, Packet &out);
 
 /**
+ * Same, over a raw byte span — the zero-copy ingest path. A fleet
+ * frontend holding pre-framed bytes in a flat arena (bench/fleet, the
+ * sharded collector) validates and decodes straight out of the arena;
+ * only the accepted payload is copied (into Packet::payload).
+ */
+bool parsePacket(const uint8_t *frame, size_t size, Packet &out);
+
+/**
  * Split @p trace into radio packets for @p mote. Sequence numbers
  * start at 0; every payload decodes independently (see file
  * comment). fatal() when @p mtu cannot fit the header plus one

@@ -20,6 +20,23 @@ monotonicMicros()
         .count();
 }
 
+namespace detail {
+
+size_t
+threadStripe()
+{
+    // Dense ordinals (0, 1, 2, ...) rather than a thread-id hash:
+    // consecutive pool workers land on distinct stripes instead of
+    // gambling on hash spread. The ordinal survives for the thread's
+    // lifetime, so the stripe pick costs one TLS read per add().
+    static std::atomic<size_t> next{0};
+    thread_local const size_t stripe =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return stripe;
+}
+
+} // namespace detail
+
 int64_t
 Histogram::min() const
 {

@@ -45,18 +45,46 @@ namespace ct::obs {
 /** Monotonic wall-clock microseconds (steady_clock). */
 int64_t monotonicMicros();
 
-/** Monotonically increasing event count; adds are atomic and exact. */
+namespace detail {
+/** Small per-thread ordinal (stable for the thread's lifetime) used to
+ *  spread concurrent writers across counter stripes. */
+size_t threadStripe();
+} // namespace detail
+
+/**
+ * Monotonically increasing event count; adds are atomic, relaxed, and
+ * exact. Internally striped: each writing thread lands on one of a
+ * few cache-line-padded cells (chosen by a per-thread ordinal), so a
+ * fleet of shard workers bumping the *same* counter never ping-pongs
+ * one cache line between cores. value() sums the stripes — no write
+ * is ever lost, so totals read after parallel work joins are exact
+ * (the export contract in the file comment). Reading concurrently
+ * with writers yields a monotonic approximation, same as before.
+ */
 class Counter
 {
   public:
     void add(uint64_t n = 1)
     {
-        value_.fetch_add(n, std::memory_order_relaxed);
+        cells_[detail::threadStripe() & (kStripes - 1)].value.fetch_add(
+            n, std::memory_order_relaxed);
     }
-    uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+    uint64_t value() const
+    {
+        uint64_t total = 0;
+        for (const Cell &cell : cells_)
+            total += cell.value.load(std::memory_order_relaxed);
+        return total;
+    }
 
   private:
-    std::atomic<uint64_t> value_{0};
+    /** Power of two so the stripe pick is a mask, not a division. */
+    static constexpr size_t kStripes = 8;
+    struct alignas(64) Cell
+    {
+        std::atomic<uint64_t> value{0};
+    };
+    Cell cells_[kStripes];
 };
 
 /** Last-written point-in-time value; set/read are atomic. */
@@ -87,6 +115,19 @@ class Histogram
     {
         std::lock_guard<std::mutex> lock(mutex_);
         hist_.add(value);
+    }
+
+    /**
+     * Fold a locally aggregated histogram in wholesale (one lock for
+     * the whole batch). The fleet ingest path records per-mote
+     * latencies into a thread-local ExactHistogram per shard and
+     * merges here after the fan-out joins — export-time merge instead
+     * of a per-sample mutex on the hot path.
+     */
+    void merge(const ExactHistogram &other)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        hist_.merge(other);
     }
 
     uint64_t count() const

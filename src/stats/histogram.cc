@@ -13,6 +13,14 @@ ExactHistogram::add(int64_t value, uint64_t count)
     total_ += count;
 }
 
+void
+ExactHistogram::merge(const ExactHistogram &other)
+{
+    for (const auto &[value, count] : other.cells_)
+        cells_[value] += count;
+    total_ += other.total_;
+}
+
 uint64_t
 ExactHistogram::count(int64_t value) const
 {
@@ -74,6 +82,25 @@ ExactHistogram::mode() const
         }
     }
     return best;
+}
+
+int64_t
+ExactHistogram::percentile(double p) const
+{
+    CT_ASSERT(total_ > 0, "percentile of empty histogram");
+    CT_ASSERT(p >= 0.0 && p <= 1.0, "percentile fraction out of [0, 1]");
+    // Nearest rank: the first cell whose cumulative count reaches
+    // ceil(p * total). p == 0 degenerates to the minimum.
+    uint64_t rank = uint64_t(std::ceil(p * double(total_)));
+    if (rank == 0)
+        rank = 1;
+    uint64_t seen = 0;
+    for (const auto &[value, count] : cells_) {
+        seen += count;
+        if (seen >= rank)
+            return value;
+    }
+    return cells_.rbegin()->first;
 }
 
 BinnedHistogram::BinnedHistogram(double lo, double hi, size_t bins)

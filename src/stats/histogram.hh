@@ -24,6 +24,11 @@ class ExactHistogram
     /** Record one observation. */
     void add(int64_t value, uint64_t count = 1);
 
+    /** Fold every cell of @p other in (export-time merge of per-shard
+     *  or per-thread histograms). Equivalent to replaying other's
+     *  observations; order never matters for a histogram. */
+    void merge(const ExactHistogram &other);
+
     /** Number of observations recorded. */
     uint64_t total() const { return total_; }
 
@@ -44,6 +49,14 @@ class ExactHistogram
 
     /** Mode (smallest value among ties); total() must be > 0. */
     int64_t mode() const;
+
+    /**
+     * Nearest-rank percentile: the smallest observed value v such that
+     * at least ceil(p * total()) observations are <= v. @p p must lie
+     * in [0, 1]; total() must be > 0. percentile(0.5) is the median,
+     * percentile(0.99) the tail latency figure the fleet bench reports.
+     */
+    int64_t percentile(double p) const;
 
     bool empty() const { return total_ == 0; }
 

@@ -156,13 +156,14 @@ Store::recover()
 
     if (obs::metricsEnabled()) {
         auto &m = obs::metrics();
-        m.counter("store.recovery.opens").add(1);
-        m.counter("store.recovery.replayed_records").add(tail_.size());
-        m.counter("store.recovery.restored_slots")
+        const std::string &scope = config_.metricsScope;
+        m.counter(scope + "recovery.opens").add(1);
+        m.counter(scope + "recovery.replayed_records").add(tail_.size());
+        m.counter(scope + "recovery.restored_slots")
             .add(stats_.recoveredSlots);
-        m.counter("store.recovery.torn_bytes_dropped")
+        m.counter(scope + "recovery.torn_bytes_dropped")
             .add(stats_.tornBytesDropped);
-        m.counter("store.recovery.checkpoints_discarded")
+        m.counter(scope + "recovery.checkpoints_discarded")
             .add(stats_.checkpointsDiscarded);
     }
 }
@@ -195,7 +196,7 @@ Store::sealActiveSegment()
     fd_ = -1;
     segments_.back().active = false;
     ++stats_.segmentsSealed;
-    bumpCounter("store.segments_sealed", 1);
+    bumpCounter(ctrSegmentsSealed_, "segments_sealed", 1);
 }
 
 void
@@ -219,8 +220,8 @@ Store::append(uint16_t mote, const trace::TimingRecord &record)
     ++pendingRecords_;
     ++stats_.recordsAppended;
     stats_.bytesAppended += entry.size();
-    bumpCounter("store.records_appended", 1);
-    bumpCounter("store.bytes_appended", entry.size());
+    bumpCounter(ctrRecordsAppended_, "records_appended", 1);
+    bumpCounter(ctrBytesAppended_, "bytes_appended", entry.size());
 
     if (pendingRecords_ >= config_.fsyncEveryRecords)
         flush();
@@ -255,7 +256,7 @@ Store::writeBuffered(bool sync)
                   segmentFileName(segments_.back().id));
         ++stats_.fsyncs;
         pendingRecords_ = 0;
-        bumpCounter("store.fsyncs", 1);
+        bumpCounter(ctrFsyncs_, "fsyncs", 1);
     }
 }
 
@@ -275,7 +276,7 @@ Store::writeCheckpoint(std::vector<EstimatorSlot> slots)
     checkpointIds_.push_back(checkpoint.id);
     checkpoint_ = std::move(checkpoint);
     ++stats_.checkpointsWritten;
-    bumpCounter("store.checkpoints_written", 1);
+    bumpCounter(ctrCheckpointsWritten_, "checkpoints_written", 1);
 }
 
 void
@@ -290,7 +291,7 @@ Store::compact()
             std::error_code ec;
             fs::remove(fs::path(dir_) / segmentFileName(it->id), ec);
             ++stats_.segmentsDeleted;
-            bumpCounter("store.compaction.segments_deleted", 1);
+            bumpCounter(ctrSegmentsDeleted_, "compaction.segments_deleted", 1);
             it = segments_.erase(it);
         } else {
             ++it;
@@ -305,7 +306,7 @@ Store::compact()
                    ec);
         checkpointIds_.erase(checkpointIds_.begin());
         ++stats_.checkpointsDeleted;
-        bumpCounter("store.compaction.checkpoints_deleted", 1);
+        bumpCounter(ctrCheckpointsDeleted_, "compaction.checkpoints_deleted", 1);
     }
     syncDirectory(dir_);
 }
@@ -327,10 +328,14 @@ Store::replayInto(
 }
 
 void
-Store::bumpCounter(const char *name, uint64_t delta) const
+Store::bumpCounter(obs::Counter *&slot, const char *name,
+                   uint64_t delta) const
 {
-    if (obs::metricsEnabled())
-        obs::metrics().counter(name).add(delta);
+    if (!obs::metricsEnabled())
+        return;
+    if (slot == nullptr)
+        slot = &obs::metrics().counter(config_.metricsScope + name);
+    slot->add(delta);
 }
 
 namespace {

@@ -44,6 +44,10 @@
 #include "store/checkpoint.hh"
 #include "store/wal.hh"
 
+namespace ct::obs {
+class Counter;
+}
+
 namespace ct::store {
 
 /** Durability and retention knobs. */
@@ -64,6 +68,13 @@ struct StoreConfig
     size_t fsyncEveryRecords = 256;
     /** Checkpoints kept by compact(); older ones are deleted. */
     size_t keepCheckpoints = 2;
+    /**
+     * Prefix for the obs counters this store records (the `store.*`
+     * family by default). A sharded fleet gives each shard's store its
+     * own scope (e.g. `fleet.shard.3.store.`) so per-shard durability
+     * accounting stays separable in the export.
+     */
+    std::string metricsScope = "store.";
 };
 
 /** Everything the store counted since (and during) open(). */
@@ -181,7 +192,14 @@ class Store
                            bool fresh);
     void sealActiveSegment();
     void writeBuffered(bool sync);
-    void bumpCounter(const char *name, uint64_t delta) const;
+    /**
+     * Bump the scoped counter `metricsScope + name`, resolving the
+     * registry reference once and caching it in @p slot — append()'s
+     * per-record cost is then a relaxed-flag check plus a striped
+     * atomic add, not a registry mutex + string lookup.
+     */
+    void bumpCounter(obs::Counter *&slot, const char *name,
+                     uint64_t delta) const;
 
     std::string dir_;
     StoreConfig config_;
@@ -198,6 +216,17 @@ class Store
     int fd_ = -1; //!< active segment file descriptor
     std::vector<uint8_t> buffer_;
     size_t pendingRecords_ = 0; //!< appended since the last fsync
+
+    /// @name Cached scoped-counter handles (see bumpCounter)
+    /// @{
+    mutable obs::Counter *ctrRecordsAppended_ = nullptr;
+    mutable obs::Counter *ctrBytesAppended_ = nullptr;
+    mutable obs::Counter *ctrFsyncs_ = nullptr;
+    mutable obs::Counter *ctrSegmentsSealed_ = nullptr;
+    mutable obs::Counter *ctrCheckpointsWritten_ = nullptr;
+    mutable obs::Counter *ctrSegmentsDeleted_ = nullptr;
+    mutable obs::Counter *ctrCheckpointsDeleted_ = nullptr;
+    /// @}
 };
 
 /** One fsck finding (also rendered into FsckReport::text). */

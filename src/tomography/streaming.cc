@@ -7,26 +7,15 @@
 
 namespace ct::tomography {
 
-StreamingEstimator::StreamingEstimator(const TimingModel &model,
-                                       const EstimatorOptions &options,
-                                       double step_exponent,
-                                       double forgetting)
-    : model_(model),
-      noise_(model.cyclesPerTick(), options.jitterSigmaTicks),
-      stepExponent_(step_exponent), forgetting_(forgetting),
-      smoothing_(options.smoothing)
+std::shared_ptr<const PathTable>
+PathTable::build(const TimingModel &model, const EstimatorOptions &options)
 {
-    CT_ASSERT(step_exponent > 0.5 && step_exponent <= 1.0,
-              "step exponent must lie in (0.5, 1]");
-    CT_ASSERT(forgetting >= 0.0 && forgetting < 1.0,
-              "forgetting factor must lie in [0, 1)");
-
-    theta_.assign(model.paramCount(), 0.5);
-    statTaken_.assign(model.paramCount(), 0.0);
-    statFall_.assign(model.paramCount(), 0.0);
+    auto table = std::make_shared<PathTable>();
+    table->paramCount = model.paramCount();
 
     // Latent path set, enumerated once under the agnostic prior.
-    auto chain = model.chainFor(theta_);
+    std::vector<double> prior(model.paramCount(), 0.5);
+    auto chain = model.chainFor(prior);
     auto set = markov::enumeratePaths(chain, model.proc().entry(),
                                       options.pathEnum);
     if (set.paths.empty())
@@ -34,11 +23,57 @@ StreamingEstimator::StreamingEstimator(const TimingModel &model,
               model.proc().name(), "'");
     const double tick = double(model.cyclesPerTick());
     for (const auto &path : set.paths) {
-        features_.push_back(extractFeatures(model, path));
-        rewards_.push_back(path.reward);
-        extraVarTicks2_.push_back(model.pathVarianceCycles(path.states) /
-                                  (tick * tick));
+        table->features.push_back(extractFeatures(model, path));
+        table->rewards.push_back(path.reward);
+        table->extraVarTicks2.push_back(
+            model.pathVarianceCycles(path.states) / (tick * tick));
     }
+    return table;
+}
+
+StreamingEstimator::StreamingEstimator(const TimingModel &model,
+                                       const EstimatorOptions &options,
+                                       double step_exponent,
+                                       double forgetting)
+    : model_(model),
+      noise_(model.cyclesPerTick(), options.jitterSigmaTicks),
+      stepExponent_(step_exponent), forgetting_(forgetting),
+      smoothing_(options.smoothing),
+      table_(PathTable::build(model, options))
+{
+    init(options, step_exponent, forgetting);
+}
+
+StreamingEstimator::StreamingEstimator(const TimingModel &model,
+                                       std::shared_ptr<const PathTable> table,
+                                       const EstimatorOptions &options,
+                                       double step_exponent,
+                                       double forgetting)
+    : model_(model),
+      noise_(model.cyclesPerTick(), options.jitterSigmaTicks),
+      stepExponent_(step_exponent), forgetting_(forgetting),
+      smoothing_(options.smoothing), table_(std::move(table))
+{
+    CT_ASSERT(table_ != nullptr, "streaming estimator: null path table");
+    CT_ASSERT(table_->paramCount == model.paramCount(),
+              "streaming estimator: path table parameter count mismatch "
+              "for '", model.proc().name(), "'");
+    init(options, step_exponent, forgetting);
+}
+
+void
+StreamingEstimator::init(const EstimatorOptions &, double step_exponent,
+                         double forgetting)
+{
+    CT_ASSERT(step_exponent > 0.5 && step_exponent <= 1.0,
+              "step exponent must lie in (0.5, 1]");
+    CT_ASSERT(forgetting >= 0.0 && forgetting < 1.0,
+              "forgetting factor must lie in [0, 1)");
+
+    theta_.assign(model_.paramCount(), 0.5);
+    statTaken_.assign(model_.paramCount(), 0.0);
+    statFall_.assign(model_.paramCount(), 0.0);
+    resp_.assign(table_->pathCount(), 0.0);
 }
 
 void
@@ -50,14 +85,14 @@ StreamingEstimator::observe(int64_t duration_ticks)
     }
 
     // E-step for this single observation.
-    const size_t paths = features_.size();
-    std::vector<double> resp(paths, 0.0);
+    const auto &features = table_->features;
+    const size_t paths = features.size();
     double denom = 0.0;
     for (size_t p = 0; p < paths; ++p) {
-        double prior = std::exp(features_[p].logProb(theta_));
-        resp[p] = prior * noise_.prob(duration_ticks, rewards_[p],
-                                      extraVarTicks2_[p]);
-        denom += resp[p];
+        double prior = std::exp(features[p].logProb(theta_));
+        resp_[p] = prior * noise_.prob(duration_ticks, table_->rewards[p],
+                                       table_->extraVarTicks2[p]);
+        denom += resp_[p];
     }
     ++count_;
     if (denom <= 0.0) {
@@ -74,9 +109,9 @@ StreamingEstimator::observe(int64_t duration_ticks)
         double taken = 0.0;
         double fall = 0.0;
         for (size_t p = 0; p < paths; ++p) {
-            double w = resp[p] / denom;
-            taken += w * features_[p].takenCount[b];
-            fall += w * features_[p].fallCount[b];
+            double w = resp_[p] / denom;
+            taken += w * features[p].takenCount[b];
+            fall += w * features[p].fallCount[b];
         }
         statTaken_[b] = (1.0 - rho) * statTaken_[b] + rho * taken;
         statFall_[b] = (1.0 - rho) * statFall_[b] + rho * fall;
@@ -114,6 +149,62 @@ StreamingEstimator::restore(const StreamingState &state)
     statFall_ = state.statFall;
     count_ = state.count;
     outliers_ = state.outliers;
+}
+
+void
+StreamingEstimator::mergeFrom(const StreamingState &other)
+{
+    CT_ASSERT(other.theta.size() == theta_.size() &&
+                  other.statTaken.size() == statTaken_.size() &&
+                  other.statFall.size() == statFall_.size(),
+              "streaming merge parameter count mismatch for '",
+              model_.proc().name(), "'");
+    restore(mergeStreamingStates(snapshot(), other, smoothing_));
+}
+
+StreamingState
+mergeStreamingStates(const StreamingState &a, const StreamingState &b,
+                     double smoothing)
+{
+    // The exact cases: one side never observed anything, so the merge
+    // *is* the other side's replay — adopting its state verbatim
+    // continues that stream bit-for-bit. Fleet sharding only ever
+    // lands here (each (mote, procedure) stream is wholly inside one
+    // shard), which is what makes merged shard banks bitwise equal to
+    // the unsharded bank.
+    if (b.count == 0)
+        return a;
+    if (a.count == 0)
+        return b;
+
+    CT_ASSERT(a.theta.size() == b.theta.size() &&
+                  a.statTaken.size() == b.statTaken.size() &&
+                  a.statFall.size() == b.statFall.size(),
+              "streaming merge parameter count mismatch");
+
+    // Overlapping streams: count-weighted convex combination of the
+    // exponentially weighted sufficient statistics — each side's stats
+    // already average its own stream, so weighting by observation
+    // count recovers the pooled average; theta is re-derived from the
+    // merged statistics exactly the way observe() derives it.
+    StreamingState out;
+    const double na = double(a.count);
+    const double nb = double(b.count);
+    const double n = na + nb;
+    out.count = a.count + b.count;
+    out.outliers = a.outliers + b.outliers;
+    out.theta.resize(a.theta.size());
+    out.statTaken.resize(a.statTaken.size());
+    out.statFall.resize(a.statFall.size());
+    for (size_t i = 0; i < a.statTaken.size(); ++i) {
+        out.statTaken[i] = (na * a.statTaken[i] + nb * b.statTaken[i]) / n;
+        out.statFall[i] = (na * a.statFall[i] + nb * b.statFall[i]) / n;
+        double total = out.statTaken[i] + out.statFall[i];
+        double s = smoothing / double(out.count);
+        out.theta[i] = (out.statTaken[i] + s) / (total + 2.0 * s);
+        out.theta[i] = std::clamp(out.theta[i], 1e-6, 1.0 - 1e-6);
+    }
+    return out;
 }
 
 void

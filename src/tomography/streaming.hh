@@ -15,10 +15,37 @@
 #ifndef CT_TOMOGRAPHY_STREAMING_HH
 #define CT_TOMOGRAPHY_STREAMING_HH
 
+#include <memory>
+
 #include "tomography/estimator.hh"
 #include "tomography/noise_kernel.hh"
 
 namespace ct::tomography {
+
+/**
+ * The latent path set one streaming estimator ranges over: per-path
+ * branch-decision features, rewards (cycles), and residual variance.
+ * A pure function of (model, options.pathEnum), so every estimator of
+ * the same procedure can share one immutable table — at fleet scale
+ * (one estimator per (mote, procedure), 10^5..10^6 motes) this turns
+ * the per-estimator construction cost from a full path enumeration
+ * into three vector handles, and the per-estimator footprint into the
+ * mutable state alone.
+ */
+struct PathTable
+{
+    std::vector<PathFeatures> features;  //!< per path
+    std::vector<double> rewards;         //!< per path, cycles
+    std::vector<double> extraVarTicks2;  //!< per path
+    size_t paramCount = 0;
+
+    size_t pathCount() const { return features.size(); }
+
+    /** Enumerate under the agnostic prior; fatal() when no path fits
+     *  the enumeration bounds (same contract as the estimator ctor). */
+    static std::shared_ptr<const PathTable>
+    build(const TimingModel &model, const EstimatorOptions &options);
+};
 
 /**
  * The complete mutable state of a StreamingEstimator, exposed so a
@@ -62,6 +89,18 @@ class StreamingEstimator
                        double step_exponent = 0.7,
                        double forgetting = 0.0);
 
+    /**
+     * Same, but adopt an already-built @p table instead of enumerating
+     * paths again — the fleet-scale constructor. @p table must have
+     * been built for the same (model, options) pair; paramCount is
+     * checked, deeper mismatches are the caller's contract.
+     */
+    StreamingEstimator(const TimingModel &model,
+                       std::shared_ptr<const PathTable> table,
+                       const EstimatorOptions &options = {},
+                       double step_exponent = 0.7,
+                       double forgetting = 0.0);
+
     /** Fold one measured duration (ticks) in. */
     void observe(int64_t duration_ticks);
 
@@ -78,7 +117,10 @@ class StreamingEstimator
     uint64_t outliers() const { return outliers_; }
 
     /** Size of the latent path set. */
-    size_t pathCount() const { return features_.size(); }
+    size_t pathCount() const { return table_->pathCount(); }
+
+    /** The (possibly shared) latent path table. */
+    const std::shared_ptr<const PathTable> &table() const { return table_; }
 
     /** Copy out the mutable state (checkpointing). */
     StreamingState snapshot() const;
@@ -92,23 +134,59 @@ class StreamingEstimator
      */
     void restore(const StreamingState &state);
 
+    /**
+     * Fold another estimator's state into this one — the mergeable-
+     * summary half of sharded collection (docs/FLEET.md). Semantics:
+     *
+     *   - @p other empty: no-op. This estimator empty: identical to
+     *     restore(other). Both cases are *exact*: the result equals
+     *     replaying the concatenated observation streams, bit for bit
+     *     — and these are the only cases fleet sharding produces,
+     *     because every (mote, procedure) stream lives wholly inside
+     *     one shard, so two shards' banks never both hold state for
+     *     the same estimator.
+     *   - Both non-empty (overlapping streams, e.g. hierarchical
+     *     aggregation of regional sinks): a principled approximation —
+     *     the count-weighted convex combination of the exponentially
+     *     weighted sufficient statistics, with theta re-derived from
+     *     the merged statistics under the merged-count smoothing.
+     *     Observation and outlier counts add.
+     *
+     * Parameter counts must match (same panic contract as restore()).
+     */
+    void mergeFrom(const StreamingState &other);
+
   private:
+    void init(const EstimatorOptions &options, double step_exponent,
+              double forgetting);
+
     const TimingModel &model_;
     NoiseKernel noise_;
     double stepExponent_;
     double forgetting_;
     double smoothing_;
 
-    std::vector<PathFeatures> features_; //!< per path
-    std::vector<double> rewards_;        //!< per path, cycles
-    std::vector<double> extraVarTicks2_; //!< per path
+    std::shared_ptr<const PathTable> table_; //!< immutable, shareable
 
     std::vector<double> theta_;
     std::vector<double> statTaken_; //!< EW sufficient statistics
     std::vector<double> statFall_;
+    std::vector<double> resp_; //!< per-path E-step scratch (no per-
+                               //!< observation allocation on the hot path)
     uint64_t count_ = 0;
     uint64_t outliers_ = 0;
 };
+
+/**
+ * Pure-state merge with the same semantics as
+ * StreamingEstimator::mergeFrom (exact when either side is empty,
+ * count-weighted blend otherwise). @p smoothing is the estimator's
+ * Dirichlet pseudo-count used to re-derive theta. Exposed so stores /
+ * checkpoints can merge without constructing estimators.
+ */
+StreamingState mergeStreamingStates(const StreamingState &a,
+                                    const StreamingState &b,
+                                    double smoothing);
 
 } // namespace ct::tomography
 

@@ -3,9 +3,8 @@
 namespace ct {
 
 uint16_t
-crc16(const uint8_t *data, size_t size)
+crc16Update(uint16_t crc, const uint8_t *data, size_t size)
 {
-    uint16_t crc = 0xffff;
     for (size_t i = 0; i < size; ++i) {
         crc ^= uint16_t(data[i]) << 8;
         for (int bit = 0; bit < 8; ++bit)
@@ -13,6 +12,12 @@ crc16(const uint8_t *data, size_t size)
                                : uint16_t(crc << 1);
     }
     return crc;
+}
+
+uint16_t
+crc16(const uint8_t *data, size_t size)
+{
+    return crc16Update(0xffff, data, size);
 }
 
 } // namespace ct

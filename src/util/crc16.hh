@@ -20,6 +20,15 @@ namespace ct {
 
 uint16_t crc16(const uint8_t *data, size_t size);
 
+/**
+ * Continue a CRC across discontiguous spans: start from 0xFFFF and
+ * feed each span in order — crc16(d, n) == crc16Update(0xFFFF, d, n),
+ * and checksumming a concatenation equals chaining the updates. Lets
+ * a framing layer cover header + payload without copying them into
+ * one buffer first.
+ */
+uint16_t crc16Update(uint16_t crc, const uint8_t *data, size_t size);
+
 } // namespace ct
 
 #endif // CT_UTIL_CRC16_HH

@@ -97,6 +97,16 @@ class TablePrinter
 
     size_t rowCount() const { return rows_.size(); }
 
+    /// @name Structured views (the bench JSON mirror reads these)
+    /// @{
+    const std::string &title() const { return title_; }
+    const std::vector<std::string> &header() const { return header_; }
+    const std::vector<std::vector<std::string>> &rows() const
+    {
+        return rows_;
+    }
+    /// @}
+
   private:
     static std::string field(const std::string &s) { return s; }
     static std::string field(const char *s) { return s; }

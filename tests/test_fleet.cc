@@ -1,0 +1,425 @@
+/**
+ * @file
+ * Tests for ct::fleet sharded collection: ShardLayout's partition of
+ * the id space, bitwise equivalence of the sharded pipeline to one
+ * unsharded collector (snapshots, digests, stats), both locking modes,
+ * per-shard durable recovery, the campaign driver's determinism across
+ * shard counts and jobs, and the per-shard store metric scopes.
+ */
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "api/pipeline.hh"
+#include "fleet/fleet.hh"
+#include "obs/metrics.hh"
+#include "sim/machine.hh"
+#include "workloads/workload.hh"
+
+using namespace ct;
+using namespace ct::fleet;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string
+scratchDir(const std::string &name)
+{
+    auto dir = fs::path(testing::TempDir()) / ("ct_fleet_" + name);
+    fs::remove_all(dir);
+    return dir.string();
+}
+
+/** One simulated mote run, re-stamped onto many wire ids. */
+struct FleetFixture
+{
+    workloads::Workload workload;
+    sim::SimConfig config;
+    sim::LoweredModule lowered;
+    sim::RunResult run;
+
+    explicit FleetFixture(const std::string &name = "event_dispatch",
+                          size_t samples = 200)
+        : workload(workloads::workloadByName(name))
+    {
+        config.timingProbes = true;
+        lowered = sim::lowerModule(*workload.module);
+        auto inputs = workload.makeInputs(31);
+        sim::Simulator simulator(*workload.module, lowered, config, *inputs,
+                                 32);
+        run = simulator.run(workload.entry, samples);
+    }
+
+    net::EstimatorBank
+    makeBank() const
+    {
+        return net::EstimatorBank(*workload.module, lowered, config.costs,
+                                  config.policy, config.cyclesPerTick, {},
+                                  2.0 * double(config.costs.timerRead));
+    }
+
+    ShardedCollector
+    makeSharded(const ShardedCollectorConfig &sharded) const
+    {
+        return ShardedCollector(*workload.module, lowered, config.costs,
+                                config.policy, config.cyclesPerTick, sharded,
+                                {}, 2.0 * double(config.costs.timerRead));
+    }
+
+    /** The run's trace framed for each mote id, frames interleaved
+     *  round-robin across motes (the realistic arrival order). */
+    std::vector<std::vector<uint8_t>>
+    interleavedFrames(const std::vector<uint16_t> &motes) const
+    {
+        std::vector<std::vector<std::vector<uint8_t>>> streams;
+        size_t longest = 0;
+        for (uint16_t mote : motes) {
+            std::vector<std::vector<uint8_t>> frames;
+            for (const auto &packet :
+                 net::packetizeTrace(run.trace, mote, net::kDefaultMtu))
+                frames.push_back(net::serializePacket(packet));
+            longest = std::max(longest, frames.size());
+            streams.push_back(std::move(frames));
+        }
+        std::vector<std::vector<uint8_t>> out;
+        for (size_t i = 0; i < longest; ++i)
+            for (auto &stream : streams)
+                if (i < stream.size())
+                    out.push_back(std::move(stream[i]));
+        return out;
+    }
+};
+
+/** One mote id inside every shard of a 4-way layout. */
+const std::vector<uint16_t> kFourWayMotes = {5, 20000, 40000, 60000};
+
+} // namespace
+
+TEST(Fleet, ShardLayoutPartitionsIdSpace)
+{
+    for (size_t shards : {1, 2, 3, 4, 8, 16, 256}) {
+        ShardLayout layout(shards);
+        EXPECT_EQ(layout.shards(), shards);
+        EXPECT_EQ(layout.firstMote(0), 0u);
+        EXPECT_EQ(layout.lastMote(shards - 1), 65535u);
+        for (size_t s = 0; s < shards; ++s) {
+            // Contiguous, non-overlapping, and self-consistent with
+            // shardOf at both range ends.
+            if (s > 0) {
+                EXPECT_EQ(layout.firstMote(s),
+                          uint16_t(layout.lastMote(s - 1) + 1));
+            }
+            EXPECT_LE(layout.firstMote(s), layout.lastMote(s));
+            EXPECT_EQ(layout.shardOf(layout.firstMote(s)), s);
+            EXPECT_EQ(layout.shardOf(layout.lastMote(s)), s);
+        }
+    }
+}
+
+TEST(Fleet, ShardDirNamesAndDiscovery)
+{
+    EXPECT_EQ(shardDirName(0), "shard-000");
+    EXPECT_EQ(shardDirName(17), "shard-017");
+
+    auto root = scratchDir("discovery");
+    EXPECT_TRUE(shardStoreDirs(root).empty()); // nonexistent root
+    fs::create_directories(fs::path(root) / "shard-001");
+    fs::create_directories(fs::path(root) / "shard-000");
+    fs::create_directories(fs::path(root) / "segments"); // unsharded debris
+    auto dirs = shardStoreDirs(root);
+    ASSERT_EQ(dirs.size(), 2u);
+    EXPECT_TRUE(dirs[0] < dirs[1]); // sorted: shard-000 first
+    EXPECT_EQ(fs::path(dirs[0]).filename().string(), "shard-000");
+    fs::remove_all(root);
+}
+
+TEST(Fleet, ShardedMatchesUnshardedBitwise)
+{
+    FleetFixture fx;
+    auto frames = fx.interleavedFrames(kFourWayMotes);
+
+    net::SinkCollector reference_sink;
+    auto reference_bank = fx.makeBank();
+    reference_sink.setRecordSink(reference_bank.sink());
+    for (const auto &frame : frames)
+        ASSERT_TRUE(reference_sink.offer(frame).has_value());
+    for (uint16_t mote : kFourWayMotes)
+        reference_sink.finalize(mote);
+
+    ShardedCollectorConfig config;
+    config.shards = 4;
+    auto sharded = fx.makeSharded(config);
+    for (const auto &frame : frames)
+        ASSERT_TRUE(sharded.offer(frame).has_value());
+    for (uint16_t mote : kFourWayMotes)
+        sharded.finalizeMote(mote);
+
+    // Each mote landed in its own shard, and the shard-concatenated
+    // snapshot is bit-identical to the unsharded bank's.
+    for (size_t s = 0; s < 4; ++s)
+        EXPECT_EQ(sharded.collector(s).motes().size(), 1u);
+    EXPECT_EQ(sharded.estimatorCount(), reference_bank.estimatorCount());
+    auto merged = sharded.mergedSnapshot();
+    EXPECT_TRUE(merged == reference_bank.snapshot());
+    EXPECT_EQ(snapshotDigest(merged),
+              snapshotDigest(reference_bank.snapshot()));
+
+    // Summed stats equal the single collector's.
+    auto stats = sharded.stats();
+    EXPECT_EQ(stats.framesOffered, reference_sink.stats().framesOffered);
+    EXPECT_EQ(stats.recordsDelivered,
+              reference_sink.stats().recordsDelivered);
+    EXPECT_EQ(stats.rejected, 0u);
+
+    // mergeInto folds every shard into a fresh bank exactly (disjoint
+    // mote sets, so merge == restore).
+    auto folded = fx.makeBank();
+    sharded.mergeInto(folded);
+    EXPECT_TRUE(folded.snapshot() == reference_bank.snapshot());
+}
+
+TEST(Fleet, GlobalLockingMatchesPerShard)
+{
+    FleetFixture fx;
+    auto frames = fx.interleavedFrames(kFourWayMotes);
+
+    uint64_t digests[2];
+    for (Locking locking : {Locking::PerShard, Locking::Global}) {
+        ShardedCollectorConfig config;
+        config.shards = 4;
+        config.locking = locking;
+        auto sharded = fx.makeSharded(config);
+        for (const auto &frame : frames)
+            sharded.offer(frame);
+        for (uint16_t mote : kFourWayMotes)
+            sharded.finalizeMote(mote);
+        digests[locking == Locking::Global] =
+            snapshotDigest(sharded.mergedSnapshot());
+    }
+    EXPECT_EQ(digests[0], digests[1]);
+}
+
+TEST(Fleet, EvictionDropsCollectorStateKeepsEstimators)
+{
+    FleetFixture fx;
+    auto frames = fx.interleavedFrames(kFourWayMotes);
+
+    ShardedCollectorConfig config;
+    config.shards = 4;
+    ASSERT_FALSE(config.retainTraces); // fleet default: O(1) per mote
+    auto sharded = fx.makeSharded(config);
+    for (const auto &frame : frames)
+        sharded.offer(frame);
+    for (uint16_t mote : kFourWayMotes)
+        sharded.evictMote(mote);
+
+    auto stats = sharded.stats();
+    EXPECT_GT(stats.recordsDelivered, 0u);
+    size_t estimators = 0;
+    for (size_t s = 0; s < 4; ++s) {
+        // Collector state is gone (memory tracks motes in flight)...
+        EXPECT_TRUE(sharded.collector(s).motes().empty());
+        EXPECT_TRUE(sharded.collector(s).traceFor(kFourWayMotes[s]).empty());
+        // ...the estimators and global stats survive.
+        estimators += sharded.bank(s).estimatorCount();
+    }
+    EXPECT_GT(estimators, 0u);
+    EXPECT_EQ(estimators, sharded.estimatorCount());
+}
+
+TEST(Fleet, SpanOfferMatchesVectorOffer)
+{
+    FleetFixture fx("blink", 60);
+    auto packets = net::packetizeTrace(fx.run.trace, 9, net::kDefaultMtu);
+
+    net::SinkCollector by_vector, by_span;
+    for (const auto &packet : packets) {
+        auto frame = net::serializePacket(packet);
+        auto a = by_vector.offer(frame);
+        auto b = by_span.offer(frame.data(), frame.size());
+        ASSERT_TRUE(a.has_value());
+        ASSERT_TRUE(b.has_value());
+        EXPECT_EQ(a->mote, b->mote);
+        EXPECT_EQ(a->nextExpected, b->nextExpected);
+        EXPECT_EQ(a->selective, b->selective);
+    }
+    EXPECT_EQ(by_vector.stats().recordsDelivered,
+              by_span.stats().recordsDelivered);
+
+    // A truncated span and a corrupted one are rejected, not decoded.
+    auto frame = net::serializePacket(packets.front());
+    EXPECT_FALSE(by_span.offer(frame.data(), 4).has_value());
+    frame[frame.size() / 2] ^= 0x10;
+    EXPECT_FALSE(by_span.offer(frame.data(), frame.size()).has_value());
+    EXPECT_EQ(by_span.stats().rejected, 2u);
+}
+
+TEST(Fleet, ShardedRecoveryResumesEachShard)
+{
+    FleetFixture fx;
+    auto frames = fx.interleavedFrames(kFourWayMotes);
+    auto dir = scratchDir("recover");
+
+    ShardedCollectorConfig config;
+    config.shards = 4;
+    config.storeDir = dir;
+
+    std::vector<store::EstimatorSlot> before;
+    uint64_t delivered = 0;
+    {
+        auto sharded = fx.makeSharded(config);
+        for (const auto &frame : frames)
+            sharded.offer(frame);
+        for (uint16_t mote : kFourWayMotes)
+            sharded.finalizeMote(mote);
+        before = sharded.mergedSnapshot();
+        delivered = sharded.stats().recordsDelivered;
+    } // process dies with every record in the per-shard WALs
+
+    // The root is a sharded store: one complete ct::store per shard,
+    // each individually fsck-clean.
+    auto dirs = shardStoreDirs(dir);
+    ASSERT_EQ(dirs.size(), 4u);
+    for (const auto &shard_dir : dirs)
+        EXPECT_TRUE(store::fsckStore(shard_dir).ok) << shard_dir;
+
+    // The pipeline's trace recovery reads the sharded root: every
+    // durable record, shard by shard.
+    auto trace = api::TomographyPipeline::recoverTrace(dir);
+    EXPECT_EQ(trace.size(), delivered);
+
+    // Reopening the same root *is* sharded recovery; the resumed
+    // pipeline holds the identical merged snapshot.
+    {
+        auto resumed = fx.makeSharded(config);
+        EXPECT_TRUE(resumed.mergedSnapshot() == before);
+        resumed.checkpoint(); // every shard: checkpoint + compact
+    }
+
+    // After compaction the WALs are gone; recovery now restores the
+    // same state from the per-shard checkpoints instead.
+    auto again = fx.makeSharded(config);
+    EXPECT_TRUE(again.mergedSnapshot() == before);
+    for (const auto &shard_dir : shardStoreDirs(dir))
+        EXPECT_TRUE(store::fsckStore(shard_dir).ok) << shard_dir;
+    fs::remove_all(dir);
+}
+
+TEST(Fleet, RunShardedFleetDigestInvariantAcrossShardsAndJobs)
+{
+    auto workload = workloads::workloadByName("event_dispatch");
+    ShardedFleetConfig config;
+    config.motes = 50;
+    config.invocations = 4;
+    config.templates = 3;
+    config.checkpointAtEnd = false;
+
+    std::vector<uint64_t> digests;
+    uint64_t frames = 0, records = 0;
+    for (size_t shards : {1, 4}) {
+        for (size_t jobs : {1, 3}) {
+            config.collector.shards = shards;
+            config.jobs = jobs;
+            auto result = runShardedFleet(workload, config);
+            EXPECT_EQ(result.shards.size(), shards);
+            EXPECT_EQ(result.totalMotes(), config.motes);
+            EXPECT_GT(result.totalRecords(), 0u);
+            EXPECT_GT(result.estimators, 0u);
+            digests.push_back(result.mergedDigest);
+            if (frames == 0) {
+                frames = result.totalFrames();
+                records = result.totalRecords();
+            } else {
+                // Counts are part of the determinism contract too.
+                EXPECT_EQ(result.totalFrames(), frames);
+                EXPECT_EQ(result.totalRecords(), records);
+            }
+        }
+    }
+    for (size_t i = 1; i < digests.size(); ++i)
+        EXPECT_EQ(digests[i], digests[0]) << "combination " << i;
+}
+
+TEST(Fleet, StoreMetricsUsePerShardScope)
+{
+    FleetFixture fx;
+    auto frames = fx.interleavedFrames(kFourWayMotes);
+    auto dir = scratchDir("metrics");
+
+    ShardedCollectorConfig config;
+    config.shards = 4;
+    config.storeDir = dir;
+
+    obs::metrics().clear();
+    obs::setMetricsEnabled(true);
+    uint64_t delivered = 0;
+    {
+        auto sharded = fx.makeSharded(config);
+        for (const auto &frame : frames)
+            sharded.offer(frame);
+        for (uint16_t mote : kFourWayMotes)
+            sharded.finalizeMote(mote);
+        delivered = sharded.stats().recordsDelivered;
+    }
+    obs::setMetricsEnabled(false);
+
+    // Each shard's store reports under its own scope; the scopes sum
+    // to the campaign total, so per-shard hot spots stay attributable.
+    auto &m = obs::metrics();
+    uint64_t appended = 0;
+    for (size_t s = 0; s < 4; ++s) {
+        uint64_t shard_appended =
+            m.counter("fleet.shard." + std::to_string(s) +
+                      ".store.records_appended")
+                .value();
+        EXPECT_GT(shard_appended, 0u) << "shard " << s;
+        appended += shard_appended;
+    }
+    EXPECT_EQ(appended, delivered);
+    obs::metrics().clear();
+    fs::remove_all(dir);
+}
+
+TEST(Fleet, EstimatorMergeSemantics)
+{
+    FleetFixture fx;
+    const auto &records = fx.run.trace.records();
+    ASSERT_GT(records.size(), 10u);
+    size_t split = records.size() / 2;
+
+    // Exact case: both halves of one mote's stream land in separate
+    // banks under *different* motes — disjoint keys, so merging into a
+    // third bank reproduces the reference that saw both streams.
+    auto bank_a = fx.makeBank();
+    auto bank_b = fx.makeBank();
+    auto reference = fx.makeBank();
+    for (size_t i = 0; i < records.size(); ++i) {
+        (i < split ? bank_a : bank_b).observe(i < split ? 1 : 2, records[i]);
+        reference.observe(i < split ? 1 : 2, records[i]);
+    }
+    auto merged = fx.makeBank();
+    merged.mergeFrom(bank_a);
+    merged.mergeFrom(bank_b);
+    EXPECT_TRUE(merged.snapshot() == reference.snapshot());
+
+    // Blend case: the same (mote, proc) key on both sides. Counts and
+    // outliers add; theta stays a valid probability vector.
+    auto overlap_a = fx.makeBank();
+    auto overlap_b = fx.makeBank();
+    for (size_t i = 0; i < records.size(); ++i)
+        (i < split ? overlap_a : overlap_b).observe(7, records[i]);
+    auto blended = fx.makeBank();
+    blended.mergeFrom(overlap_a);
+    blended.mergeFrom(overlap_b);
+    EXPECT_EQ(blended.observations(),
+              overlap_a.observations() + overlap_b.observations());
+    EXPECT_EQ(blended.outliers(),
+              overlap_a.outliers() + overlap_b.outliers());
+    for (const auto &slot : blended.snapshot())
+        for (double t : slot.state.theta) {
+            EXPECT_GE(t, 0.0);
+            EXPECT_LE(t, 1.0);
+        }
+}
