@@ -8,7 +8,16 @@
  *   store_tool compact <dir>   drop segments covered by the newest
  *                              checkpoint and prune old checkpoints
  *   store_tool demo [<dir>]    build a small store (simulated campaign
- *                              with a mid-way checkpoint) to poke at
+ *                              with a mid-way checkpoint) to poke at;
+ *                              also writes the checkpoint as a shipped
+ *                              relay snapshot (<dir>/snapshot.ctsnap)
+ *   store_tool snapshot <file> [--store <dir>]
+ *                              dump a relay snapshot image (header,
+ *                              per-(mote, proc) observation counts,
+ *                              digest); with --store, cross-check the
+ *                              digest against the store's newest
+ *                              checkpoint (read-only, exit 1 on
+ *                              mismatch or invalid image)
  *
  * `fsck` never writes: a store with a torn tail reports ok (that is
  * the expected crash artifact; opening the store truncates it), while
@@ -18,10 +27,12 @@
 #include <cstdio>
 #include <filesystem>
 #include <iostream>
+#include <set>
 #include <string>
 
 #include "fleet/fleet.hh"
 #include "net/collector.hh"
+#include "relay/snapshot.hh"
 #include "sim/lower.hh"
 #include "sim/machine.hh"
 #include "store/checkpoint.hh"
@@ -129,6 +140,75 @@ cmdCompact(const std::string &dir)
 }
 
 int
+cmdSnapshot(const std::string &file, const CliArgs &args)
+{
+    auto image = relay::readSnapshotImage(file);
+    if (!image)
+        fatal("cannot read snapshot image: ", file);
+
+    std::cout << "snapshot: " << file << " (" << image->size()
+              << " bytes)\n";
+    relay::SnapshotHeader header;
+    if (!relay::decodeSnapshotHeader(*image, header)) {
+        std::cout << "header: unreadable (image shorter than the fixed "
+                     "header)\n";
+        return 1;
+    }
+    std::cout << relay::describeSnapshotHeader(header);
+    std::cout << "fragments at default mtu: "
+              << relay::fragmentCount(image->size()) << "\n";
+
+    relay::Snapshot snapshot;
+    bool valid = relay::decodeSnapshotImage(*image, snapshot);
+    std::cout << "image: " << (valid ? "valid" : "INVALID") << "\n";
+    if (!valid)
+        return 1;
+
+    std::set<uint16_t> motes;
+    std::set<uint32_t> procs;
+    uint64_t observations = 0;
+    std::cout << "slots:\n";
+    for (const auto &slot : snapshot.slots) {
+        motes.insert(slot.mote);
+        procs.insert(slot.proc);
+        observations += slot.state.count;
+        std::printf("  mote %5u  proc %3u  %8llu observations  "
+                    "%zu thetas\n",
+                    slot.mote, slot.proc,
+                    (unsigned long long)slot.state.count,
+                    slot.state.theta.size());
+    }
+    std::cout << "total: " << snapshot.slots.size() << " slots, "
+              << motes.size() << " motes, " << procs.size()
+              << " procedures, " << observations << " observations\n";
+
+    std::string store_dir = args.get("store", "");
+    if (store_dir.empty())
+        return 0;
+
+    // Read-only cross-check against the live store: decode its newest
+    // checkpoint straight off disk (no Store open, no recovery side
+    // effects) and compare campaign digests.
+    auto ids = store::listCheckpointIds(store_dir);
+    if (ids.empty())
+        fatal("no checkpoints in store: ", store_dir);
+    auto path =
+        (fs::path(store_dir) / store::checkpointFileName(ids.back()))
+            .string();
+    auto bytes = store::readFileBytes(path);
+    store::Checkpoint checkpoint;
+    if (!bytes || !store::decodeCheckpoint(*bytes, checkpoint))
+        fatal("cannot decode checkpoint: ", path);
+    uint64_t store_digest = fleet::snapshotDigest(checkpoint.slots);
+    bool match = store_digest == snapshot.digest();
+    std::printf("store %s checkpoint %llu digest: %016llx  %s\n",
+                store_dir.c_str(), (unsigned long long)ids.back(),
+                (unsigned long long)store_digest,
+                match ? "MATCH" : "MISMATCH");
+    return match ? 0 : 1;
+}
+
+int
 cmdDemo(const std::string &dir, const CliArgs &args)
 {
     auto workload =
@@ -157,12 +237,31 @@ cmdDemo(const std::string &dir, const CliArgs &args)
             store.writeCheckpoint(bank.snapshot());
     }
     store.flush();
+
+    // Also ship the checkpoint as a relay snapshot: read the newest
+    // checkpoint back off disk and wrap it, so id, walOrdinal, and
+    // digest agree exactly with what `snapshot --store` cross-checks.
+    auto ids = store::listCheckpointIds(dir);
+    auto ck_path =
+        (fs::path(dir) / store::checkpointFileName(ids.back())).string();
+    auto ck_bytes = store::readFileBytes(ck_path);
+    store::Checkpoint checkpoint;
+    if (!ck_bytes || !store::decodeCheckpoint(*ck_bytes, checkpoint))
+        fatal("demo checkpoint unreadable: ", ck_path);
+    auto snap_path = (fs::path(dir) / "snapshot.ctsnap").string();
+    relay::writeSnapshotFile(
+        snap_path,
+        relay::snapshotFromCheckpoint(checkpoint, /*source_node=*/1));
+
     std::cout << "demo store at " << dir << ": " << records.size()
               << " records (" << workload.name << "), "
               << store.segments().size()
               << " segments, 1 checkpoint at ordinal "
               << records.size() / 2 << "\n"
-              << "try: store_tool inspect " << dir << "\n";
+              << "relay snapshot at " << snap_path << "\n"
+              << "try: store_tool inspect " << dir << "\n"
+              << "try: store_tool snapshot " << snap_path << " --store "
+              << dir << "\n";
     return 0;
 }
 
@@ -171,11 +270,12 @@ cmdDemo(const std::string &dir, const CliArgs &args)
 int
 main(int argc, char **argv)
 {
-    CliArgs args(argc, argv, {"workload", "samples", "seed"});
+    CliArgs args(argc, argv, {"workload", "samples", "seed", "store"});
     const auto &pos = args.positional();
     if (pos.empty())
         fatal("usage: store_tool inspect|fsck|compact|demo <dir> "
-              "[--workload crc16] [--samples 400] [--seed 1]");
+              "[--workload crc16] [--samples 400] [--seed 1] | "
+              "store_tool snapshot <file> [--store <dir>]");
 
     const std::string &cmd = pos[0];
     std::string dir = pos.size() > 1 ? pos[1] : "store_demo";
@@ -187,6 +287,11 @@ main(int argc, char **argv)
         return cmdCompact(dir);
     if (cmd == "demo")
         return cmdDemo(dir, args);
+    if (cmd == "snapshot") {
+        if (pos.size() < 2)
+            fatal("usage: store_tool snapshot <file> [--store <dir>]");
+        return cmdSnapshot(pos[1], args);
+    }
     fatal("unknown command: ", cmd,
-          " (expected inspect|fsck|compact|demo)");
+          " (expected inspect|fsck|compact|demo|snapshot)");
 }

@@ -11,6 +11,24 @@
 
 namespace ct::api {
 
+uint64_t
+RelayOutcome::totalWireBytes() const
+{
+    uint64_t total = 0;
+    for (const auto &ship : shipments)
+        total += ship.wireBytes;
+    return total;
+}
+
+uint64_t
+RelayOutcome::totalRounds() const
+{
+    uint64_t total = 0;
+    for (const auto &ship : shipments)
+        total += ship.rounds;
+    return total;
+}
+
 const LayoutOutcome &
 PipelineResult::outcome(const std::string &name) const
 {
@@ -258,6 +276,106 @@ TomographyPipeline::causalWith(const sim::LoweredModule &lowered,
     return profile;
 }
 
+tomography::ModuleEstimate
+TomographyPipeline::adoptFromSnapshot(const relay::Snapshot &snapshot)
+{
+    return estimateFromSnapshotWith(sim::lowerModule(*workload_.module),
+                                    snapshot);
+}
+
+std::optional<tomography::ModuleEstimate>
+TomographyPipeline::adoptFromSnapshotFile(const std::string &path)
+{
+    auto snapshot = relay::readSnapshotFile(path);
+    if (!snapshot)
+        return std::nullopt;
+    return adoptFromSnapshot(*snapshot);
+}
+
+tomography::ModuleEstimate
+TomographyPipeline::estimateFromSnapshotWith(
+    const sim::LoweredModule &lowered, const relay::Snapshot &snapshot)
+{
+    CT_SPAN("pipeline.adopt");
+    obs::StopwatchUs watch;
+    double nested_probe_cycles = 2.0 * double(config_.sim.costs.timerRead);
+    auto estimate = relay::estimateFromSnapshot(
+        *workload_.module, lowered, config_.sim.costs, config_.sim.policy,
+        config_.sim.cyclesPerTick, nested_probe_cycles,
+        config_.estimatorOptions, snapshot);
+    if (obs::metricsEnabled())
+        obs::metrics().histogram("pipeline.adopt_us")
+            .record(watch.elapsedUs());
+    return estimate;
+}
+
+void
+TomographyPipeline::relayWith(const sim::LoweredModule &lowered,
+                              const trace::TimingTrace &delivered,
+                              PipelineResult &result)
+{
+    CT_SPAN("pipeline.relay");
+    obs::StopwatchUs watch;
+    const RelayConfig &cfg = config_.relay;
+    uint64_t base_seed = cfg.seed ? cfg.seed : config_.seed ^ 0x72656c79;
+
+    // The sink condenses its delivered records into an estimator bank
+    // — the same online state a deployed sink holds — and ships that,
+    // not the trace: O(paths + branches) bytes instead of O(records).
+    double nested_probe_cycles = 2.0 * double(config_.sim.costs.timerRead);
+    net::EstimatorBank bank(*workload_.module, lowered, config_.sim.costs,
+                            config_.sim.policy, config_.sim.cyclesPerTick,
+                            config_.estimatorOptions, nested_probe_cycles);
+    uint16_t mote = config_.transport.moteId;
+    for (const auto &record : delivered.records())
+        bank.observe(mote, record);
+
+    RelayOutcome &out = result.relay;
+    out.enabled = true;
+    out.hops = cfg.hops;
+    relay::Snapshot snapshot =
+        relay::snapshotFromBank(bank, /*id=*/config_.seed, /*source_node=*/0);
+    out.slots = snapshot.slots.size();
+    out.sourceDigest = snapshot.digest();
+
+    // Chain the hops: what tier h adopted is exactly what tier h+1
+    // ships (source node re-stamped to the shipping tier).
+    bool alive = true;
+    for (size_t hop = 0; hop < cfg.hops && alive; ++hop) {
+        snapshot.sourceNode = uint16_t(hop);
+        relay::ShipOutcome ship;
+        auto received = relay::shipAndReceive(
+            snapshot, cfg.ship, base_seed + 0x9e3779b97f4a7c15ULL * hop,
+            ship);
+        out.imageBytes = ship.imageBytes;
+        out.shipments.push_back(ship);
+        if (received)
+            snapshot = std::move(*received);
+        else
+            alive = false;
+    }
+    out.adopted = alive;
+    out.rootDigest = alive ? snapshot.digest() : 0;
+    out.digestMatch = alive && out.rootDigest == out.sourceDigest;
+
+    if (alive && !cfg.snapshotOut.empty()) {
+        relay::writeSnapshotFile(cfg.snapshotOut, snapshot);
+        inform("wrote relay snapshot ", cfg.snapshotOut);
+    }
+    if (alive && cfg.estimateFromSnapshot) {
+        result.estimate = estimateFromSnapshotWith(lowered, snapshot);
+        out.estimateFromSnapshot = true;
+    }
+    if (obs::metricsEnabled()) {
+        auto &m = obs::metrics();
+        m.histogram("pipeline.relay_us").record(watch.elapsedUs());
+        m.counter("relay.pipeline_hops").add(out.shipments.size());
+        m.counter(out.digestMatch ? "relay.pipeline_digest_match"
+                                  : "relay.pipeline_digest_mismatch")
+            .add(1);
+    }
+}
+
 std::vector<sim::BlockOrder>
 TomographyPipeline::optimize(const ir::ModuleProfile &profile)
 {
@@ -357,14 +475,20 @@ TomographyPipeline::runStages()
     // it (they used to lower redundantly, once each).
     auto lowered = sim::lowerModule(*workload_.module);
     result.measureRun = measureWith(lowered);
+    trace::TimingTrace delivered;
     if (config_.transport.enabled) {
         // Estimate from what actually crossed the simulated radio link,
         // not from the mote-side trace.
-        auto delivered = transport(result.measureRun.trace, result.transport);
-        result.estimate = estimateWith(delivered, lowered);
+        delivered = transport(result.measureRun.trace, result.transport);
     } else {
-        result.estimate = estimateWith(result.measureRun.trace, lowered);
+        delivered = result.measureRun.trace;
     }
+    result.estimate = estimateWith(delivered, lowered);
+
+    // Snapshot shipping up the aggregation tiers; may replace the
+    // estimate with the root's snapshot-derived one (config.relay).
+    if (config_.relay.enabled)
+        relayWith(lowered, delivered, result);
 
     // Accuracy scoring over every procedure that was actually invoked
     // and has at least one conditional branch.

@@ -28,6 +28,7 @@
 #include "net/channel.hh"
 #include "net/collector.hh"
 #include "net/uplink.hh"
+#include "relay/relay.hh"
 #include "sim/machine.hh"
 #include "tomography/estimator.hh"
 #include "workloads/workload.hh"
@@ -101,6 +102,39 @@ struct CausalConfig
     std::string csvOut;
 };
 
+/**
+ * Opt-in relay stage: condense the sink's estimator bank into a
+ * ct::relay snapshot and ship it up a chain of aggregation hops
+ * (sink -> region -> root), each hop a fragmented, CRC-framed,
+ * selective-repeat transfer over its own lossy link (docs/RELAY.md).
+ * The stage proves the deployment story end to end: the root's
+ * adopted state must carry the same digest the sink started from.
+ */
+struct RelayConfig
+{
+    /** Off by default: the estimate never leaves the sink. */
+    bool enabled = false;
+    /** Aggregation hops the snapshot crosses (2 = sink -> region ->
+     *  root). 0 is allowed: encode + adopt locally, no wire. */
+    size_t hops = 2;
+    /** Per-hop shipping knobs (every hop uses the same ones; hop h
+     *  gets its own channel seed derived from seed and h). */
+    relay::ShipConfig ship;
+    /** Base seed; 0 = derive from the pipeline seed. */
+    uint64_t seed = 0;
+    /** When non-empty, write the root's adopted snapshot image here
+     *  (`.ctsnap`, inspectable with store_tool snapshot). */
+    std::string snapshotOut;
+    /**
+     * Replace the pipeline's estimate with one derived from the
+     * root's adopted snapshot (relay::estimateFromSnapshot), so the
+     * placement stage optimizes from exactly what survived the relay
+     * — the paper's estimation-at-the-root deployment. Ignored when
+     * the shipment failed (the sink-side estimate stands).
+     */
+    bool estimateFromSnapshot = false;
+};
+
 /** Pipeline configuration. */
 struct PipelineConfig
 {
@@ -144,6 +178,9 @@ struct PipelineConfig
 
     /** What-if causal profiling after estimation (off by default). */
     CausalConfig causalProfile;
+
+    /** Snapshot shipping up the aggregation tiers (off by default). */
+    RelayConfig relay;
 };
 
 /** What the transport stage did (all zero when disabled). */
@@ -162,6 +199,31 @@ struct TransportOutcome
     net::ChannelStats channel;
     net::UplinkStats uplink;
     net::CollectorStats collector;
+};
+
+/** What the relay stage did (all zero when disabled). */
+struct RelayOutcome
+{
+    bool enabled = false;
+    /** Every hop completed and the root validated its adoption. */
+    bool adopted = false;
+    size_t hops = 0;
+    /** Estimator slots the sink condensed into the snapshot. */
+    size_t slots = 0;
+    size_t imageBytes = 0;
+    /** Digest of the sink's bank at the ship point. */
+    uint64_t sourceDigest = 0;
+    /** Digest recomputed from the root's adopted slots. */
+    uint64_t rootDigest = 0;
+    /** sourceDigest == rootDigest (the stage's invariant). */
+    bool digestMatch = false;
+    /** The estimate came from the adopted snapshot, not the trace. */
+    bool estimateFromSnapshot = false;
+    /** Per-hop shipping outcomes, in hop order. */
+    std::vector<relay::ShipOutcome> shipments;
+
+    uint64_t totalWireBytes() const;
+    uint64_t totalRounds() const;
 };
 
 /** Simulated outcome of one placement. */
@@ -185,7 +247,10 @@ struct PipelineResult
     sim::RunResult measureRun;
     /** The simulated uplink (enabled == false when skipped). */
     TransportOutcome transport;
-    /** Tomography's output. */
+    /** Snapshot shipping (enabled == false when skipped). */
+    RelayOutcome relay;
+    /** Tomography's output (snapshot-derived when the relay stage ran
+     *  with estimateFromSnapshot and the shipment succeeded). */
     tomography::ModuleEstimate estimate;
 
     /// @name Estimation accuracy (evaluation-only; uses ground truth)
@@ -256,6 +321,19 @@ class TomographyPipeline
     static trace::TimingTrace recoverTrace(const std::string &store_dir);
     tomography::ModuleEstimate estimate(const trace::TimingTrace &trace);
     /**
+     * Derive the pipeline's estimate from a shipped relay snapshot
+     * instead of a trace: a fresh root (new process, no WAL, no
+     * telemetry) adopts a campaign wholesale and proceeds straight to
+     * placement. Per-(mote, proc) states collapse onto one estimate
+     * per procedure (relay::estimateFromSnapshot).
+     */
+    tomography::ModuleEstimate
+    adoptFromSnapshot(const relay::Snapshot &snapshot);
+    /** Same, reading a `.ctsnap` image file; nullopt when the file is
+     *  unreadable or fails the all-or-nothing validation. */
+    std::optional<tomography::ModuleEstimate>
+    adoptFromSnapshotFile(const std::string &path);
+    /**
      * Build the what-if causal profile per config.causalProfile from a
      * measurement run and the estimate derived from it (the estimate is
      * unused when useTrueProfile is set). Writes the configured JSON /
@@ -286,6 +364,18 @@ class TomographyPipeline
     causal::CausalProfile causalWith(
         const sim::LoweredModule &lowered, const sim::RunResult &measure_run,
         const tomography::ModuleEstimate &estimate);
+    /**
+     * The relay stage body: condense @p delivered into a bank, ship
+     * the snapshot across config.relay.hops chained lossy links, and
+     * fill @p result.relay (possibly replacing result.estimate when
+     * estimateFromSnapshot is set and every hop completed).
+     */
+    void relayWith(const sim::LoweredModule &lowered,
+                   const trace::TimingTrace &delivered,
+                   PipelineResult &result);
+    tomography::ModuleEstimate
+    estimateFromSnapshotWith(const sim::LoweredModule &lowered,
+                             const relay::Snapshot &snapshot);
     /// @}
 
     workloads::Workload workload_;

@@ -1,0 +1,174 @@
+#include "relay/relay.hh"
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "tomography/timing_model.hh"
+#include "util/logging.hh"
+
+namespace ct::relay {
+
+ShipOutcome
+shipSnapshot(const Snapshot &snapshot, const ShipConfig &config,
+             uint64_t seed, SnapshotReassembler &receiver)
+{
+    CT_SPAN("relay.ship");
+    auto image = encodeSnapshotImage(snapshot);
+    auto fragments =
+        fragmentSnapshot(image, snapshot.sourceNode, config.mtu);
+
+    ShipOutcome out;
+    out.fragments = fragments.size();
+    out.imageBytes = image.size();
+
+    // One channel spans every attempt, so rounds, fault draws, and
+    // delayed frames carry across restarts deterministically.
+    net::LossyChannel channel(config.channel, seed);
+    uint64_t round = 0;
+    while (out.attempts < config.maxAttempts && !receiver.complete()) {
+        ++out.attempts;
+        // Re-offer the full fragment set; the receiver's dedupe and
+        // the first ack heard retire everything it already holds
+        // (MoteUplink's selective acks are index-addressed, so the
+        // uplink must see the complete, gap-free sequence).
+        net::MoteUplink uplink(fragments, config.uplink);
+        uint64_t attempt_rounds = 0;
+        while (!uplink.done() && attempt_rounds < config.uplink.maxRounds) {
+            channel.advance();
+            for (const net::Packet &packet : uplink.poll(round)) {
+                auto frame = net::serializePacket(packet);
+                out.wireBytes += frame.size();
+                channel.send(frame);
+            }
+            for (const auto &frame : channel.drain()) {
+                auto ack = receiver.offer(frame);
+                if (ack && channel.ackSurvives())
+                    uplink.onAck(*ack);
+            }
+            ++round;
+            ++attempt_rounds;
+        }
+        // Delayed frames still in flight when this attempt's sender
+        // stopped (they may complete the transfer without a restart).
+        for (const auto &frame : channel.flush())
+            receiver.offer(frame);
+
+        const auto &stats = uplink.stats();
+        out.uplink.transmissions += stats.transmissions;
+        out.uplink.retransmissions += stats.retransmissions;
+        out.uplink.acksHeard += stats.acksHeard;
+        out.uplink.giveUps += stats.giveUps;
+    }
+    out.rounds = round;
+    out.channel = channel.stats();
+    out.adopted = receiver.complete();
+
+    if (obs::metricsEnabled()) {
+        auto &m = obs::metrics();
+        m.counter("relay.snapshots_shipped").add(1);
+        m.counter("relay.fragments_sent").add(out.uplink.transmissions);
+        m.counter("relay.fragments_retransmitted")
+            .add(out.uplink.retransmissions);
+        m.counter("relay.fragments_rejected")
+            .add(receiver.stats().rejected);
+        m.counter("relay.bytes_on_wire").add(out.wireBytes);
+        m.counter("relay.ship_rounds").add(out.rounds);
+        m.counter("relay.ship_attempts").add(out.attempts);
+        m.counter(out.adopted ? "relay.snapshots_adopted"
+                              : "relay.snapshots_rejected")
+            .add(1);
+    }
+    return out;
+}
+
+std::optional<Snapshot>
+shipAndReceive(const Snapshot &snapshot, const ShipConfig &config,
+               uint64_t seed, ShipOutcome &outcome)
+{
+    SnapshotReassembler receiver;
+    outcome = shipSnapshot(snapshot, config, seed, receiver);
+    Snapshot received;
+    if (!outcome.adopted || !receiver.assemble(received)) {
+        outcome.adopted = false;
+        return std::nullopt;
+    }
+    return received;
+}
+
+void
+adoptIntoBank(const Snapshot &snapshot, net::EstimatorBank &bank)
+{
+    CT_SPAN("relay.adopt");
+    obs::StopwatchUs watch;
+    for (const auto &slot : snapshot.slots)
+        bank.restoreSlot(slot.mote, slot.proc, slot.state);
+    if (obs::metricsEnabled()) {
+        obs::metrics().histogram("relay.adopt_us").record(watch.elapsedUs());
+        obs::metrics().counter("relay.slots_adopted").add(
+            snapshot.slots.size());
+    }
+}
+
+void
+mergeIntoBank(const Snapshot &snapshot, net::EstimatorBank &bank)
+{
+    CT_SPAN("relay.merge");
+    obs::StopwatchUs watch;
+    for (const auto &slot : snapshot.slots)
+        bank.mergeSlot(slot.mote, slot.proc, slot.state);
+    if (obs::metricsEnabled()) {
+        obs::metrics().histogram("relay.merge_us").record(watch.elapsedUs());
+        obs::metrics().counter("relay.slots_merged").add(
+            snapshot.slots.size());
+    }
+}
+
+void
+adoptIntoStore(const Snapshot &snapshot, store::Store &store)
+{
+    store.writeCheckpoint(snapshot.slots);
+}
+
+tomography::ModuleEstimate
+estimateFromSnapshot(const ir::Module &module,
+                     const sim::LoweredModule &lowered,
+                     const sim::CostModel &costs, sim::PredictPolicy policy,
+                     uint64_t cycles_per_tick, double nested_probe_cycles,
+                     const tomography::EstimatorOptions &options,
+                     const Snapshot &snapshot)
+{
+    CT_SPAN("relay.estimate");
+    // Collapse the per-(mote, proc) states onto one pseudo-mote: the
+    // first state of a procedure restores exactly, every further mote
+    // folds in with the count-weighted blend — the same operation the
+    // aggregation tree applies to overlapping streams.
+    net::EstimatorBank collapsed(module, lowered, costs, policy,
+                                 cycles_per_tick, options,
+                                 nested_probe_cycles);
+    for (const auto &slot : snapshot.slots)
+        collapsed.mergeSlot(0, slot.proc, slot.state);
+
+    tomography::ModuleEstimate out;
+    out.profile.resize(module.procedureCount());
+    out.thetas.resize(module.procedureCount());
+    out.results.resize(module.procedureCount());
+    out.meanCycles.assign(module.procedureCount(), 0.0);
+    out.varCycles.assign(module.procedureCount(), 0.0);
+    for (ir::ProcId id : tomography::bottomUpOrder(module)) {
+        const auto &proc = module.procedure(id);
+        tomography::TimingModel model(proc, lowered.procs[id], costs, policy,
+                                      cycles_per_tick, out.meanCycles,
+                                      nested_probe_cycles, out.varCycles);
+        auto theta = collapsed.theta(0, id);
+        if (theta.empty())
+            theta.assign(model.paramCount(), 0.5);
+        CT_ASSERT(theta.size() == model.paramCount(),
+                  "snapshot theta arity does not match the module");
+        out.thetas[id] = theta;
+        out.meanCycles[id] = model.meanCycles(theta);
+        out.varCycles[id] = model.varianceCycles(theta);
+        out.profile[id] = model.profileFor(theta);
+    }
+    return out;
+}
+
+} // namespace ct::relay

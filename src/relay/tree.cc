@@ -1,0 +1,354 @@
+#include "relay/tree.hh"
+
+#include <algorithm>
+
+#include "exec/thread_pool.hh"
+#include "fleet/fleet.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "sim/machine.hh"
+#include "util/logging.hh"
+
+namespace ct::relay {
+
+TreeTopology::TreeTopology() : TreeTopology(std::vector<int32_t>{-1}) {}
+
+TreeTopology::TreeTopology(std::vector<int32_t> parents)
+    : parent_(std::move(parents))
+{
+    children_.resize(parent_.size());
+    depth_.assign(parent_.size(), 0);
+    for (size_t i = 1; i < parent_.size(); ++i) {
+        size_t p = size_t(parent_[i]);
+        children_[p].push_back(i);
+        depth_[i] = depth_[p] + 1;
+        maxDepth_ = std::max(maxDepth_, depth_[i]);
+    }
+}
+
+std::optional<TreeTopology>
+TreeTopology::fromParents(std::vector<int32_t> parents)
+{
+    if (parents.empty() || parents[0] != -1)
+        return std::nullopt;
+    // Snapshots stamp the node id into a u16 source field.
+    if (parents.size() > 65536)
+        return std::nullopt;
+    for (size_t i = 1; i < parents.size(); ++i) {
+        if (parents[i] < 0 || size_t(parents[i]) >= i)
+            return std::nullopt;
+    }
+    return TreeTopology(std::move(parents));
+}
+
+TreeTopology
+TreeTopology::balanced(size_t fanout, size_t depth)
+{
+    CT_ASSERT(fanout >= 1, "relay: tree fanout must be >= 1");
+    std::vector<int32_t> parents{-1};
+    size_t level_begin = 0, level_end = 1;
+    for (size_t d = 0; d < depth; ++d) {
+        size_t next_begin = parents.size();
+        for (size_t p = level_begin; p < level_end; ++p) {
+            for (size_t c = 0; c < fanout; ++c) {
+                CT_ASSERT(parents.size() < 65536,
+                          "relay: tree exceeds 16-bit node ids");
+                parents.push_back(int32_t(p));
+            }
+        }
+        level_begin = next_begin;
+        level_end = parents.size();
+    }
+    return TreeTopology(std::move(parents));
+}
+
+std::vector<size_t>
+TreeTopology::leaves() const
+{
+    std::vector<size_t> out;
+    for (size_t i = 0; i < parent_.size(); ++i) {
+        if (children_[i].empty())
+            out.push_back(i);
+    }
+    return out;
+}
+
+uint64_t
+RelayTreeResult::totalFragmentsSent() const
+{
+    uint64_t total = 0;
+    for (const auto &link : links)
+        total += link.ship.uplink.transmissions;
+    return total;
+}
+
+uint64_t
+RelayTreeResult::totalRetransmissions() const
+{
+    uint64_t total = 0;
+    for (const auto &link : links)
+        total += link.ship.uplink.retransmissions;
+    return total;
+}
+
+uint64_t
+RelayTreeResult::totalWireBytes() const
+{
+    uint64_t total = 0;
+    for (const auto &link : links)
+        total += link.ship.wireBytes;
+    return total;
+}
+
+uint64_t
+RelayTreeResult::totalImageBytes() const
+{
+    uint64_t total = 0;
+    for (const auto &link : links)
+        total += link.ship.imageBytes;
+    return total;
+}
+
+namespace {
+
+uint64_t
+splitmix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Per-link channel seed: a function of the campaign seed and the
+ *  child node id only, so the fault schedule of every link is fixed
+ *  regardless of jobs count or aggregation interleaving. */
+uint64_t
+linkSeed(uint64_t campaign_seed, size_t child)
+{
+    uint64_t state =
+        campaign_seed ^ 0xd1b54a32d192ed03ULL * (uint64_t(child) + 1);
+    return splitmix64(state);
+}
+
+/** One logical mote's frames inside the arena. */
+struct MotePlan
+{
+    uint16_t wire = 0;
+    uint32_t firstFrame = 0;
+    uint32_t frameCount = 0;
+};
+
+/** Pre-framed campaign traffic grouped per leaf — the same template
+ *  re-stamping fleet::runShardedFleet uses, except motes partition
+ *  contiguously across the *leaves*, so leaf banks cover disjoint
+ *  (mote, proc) keys and every upward merge is the exact case. */
+struct FrameArena
+{
+    std::vector<uint8_t> bytes;
+    std::vector<std::pair<size_t, size_t>> frames; //!< (offset, size)
+    std::vector<std::vector<MotePlan>> perLeaf;
+};
+
+FrameArena
+buildArena(const workloads::Workload &workload,
+           const sim::LoweredModule &lowered,
+           const sim::SimConfig &sim_config, const RelayTreeConfig &config,
+           size_t leaf_count)
+{
+    size_t templates =
+        std::max<size_t>(1, std::min(config.templates, config.motes));
+    std::vector<std::vector<std::vector<uint8_t>>> payloads(templates);
+    for (size_t t = 0; t < templates; ++t) {
+        uint64_t state =
+            config.seed ^ 0x9e3779b97f4a7c15ULL * (uint64_t(t) + 1);
+        uint64_t sim_seed = splitmix64(state);
+        uint64_t input_seed = splitmix64(state);
+        auto inputs = workload.makeInputs(input_seed);
+        sim::Simulator simulator(*workload.module, lowered, sim_config,
+                                 *inputs, sim_seed);
+        auto run = simulator.run(workload.entry, config.invocations);
+        for (auto &packet :
+             net::packetizeTrace(run.trace, /*mote=*/0, config.ingestMtu))
+            payloads[t].push_back(std::move(packet.payload));
+    }
+
+    FrameArena arena;
+    arena.perLeaf.resize(leaf_count);
+    for (size_t i = 0; i < config.motes; ++i) {
+        // Same wire-id bijection as the fleet campaigns (id 0
+        // reserved, ids spread across the space); the leaf partition
+        // slices the *logical* index range, so each leaf owns a
+        // disjoint set of wire ids no matter how they scatter.
+        uint16_t wire = uint16_t(1 + (i % 65535) * 48271ULL % 65535);
+        const auto &split = payloads[i % templates];
+        MotePlan plan;
+        plan.wire = wire;
+        plan.firstFrame = uint32_t(arena.frames.size());
+        plan.frameCount = uint32_t(split.size());
+        for (size_t seq = 0; seq < split.size(); ++seq) {
+            net::Packet packet;
+            packet.mote = wire;
+            packet.seq = uint32_t(seq);
+            packet.payload = split[seq];
+            auto frame = net::serializePacket(packet);
+            arena.frames.emplace_back(arena.bytes.size(), frame.size());
+            arena.bytes.insert(arena.bytes.end(), frame.begin(),
+                               frame.end());
+        }
+        arena.perLeaf[i * leaf_count / config.motes].push_back(
+            std::move(plan));
+    }
+    return arena;
+}
+
+/** Feed one mote plan's frames into @p collector and evict. */
+uint64_t
+ingestPlans(const FrameArena &arena, const std::vector<MotePlan> &plans,
+            net::SinkCollector &collector)
+{
+    for (const MotePlan &plan : plans) {
+        for (uint32_t f = 0; f < plan.frameCount; ++f) {
+            const auto &[offset, size] = arena.frames[plan.firstFrame + f];
+            collector.offer(arena.bytes.data() + offset, size);
+        }
+        collector.evictMote(plan.wire);
+    }
+    return collector.stats().recordsDelivered;
+}
+
+} // namespace
+
+RelayTreeResult
+runRelayTree(const workloads::Workload &workload,
+             const RelayTreeConfig &config)
+{
+    CT_SPAN("relay.tree");
+    CT_ASSERT(workload.module != nullptr, "relay: workload has no module");
+    CT_ASSERT(config.motes > 0, "relay: motes must be >= 1");
+
+    const TreeTopology &tree = config.tree;
+    auto leaf_nodes = tree.leaves();
+    auto lowered = sim::lowerModule(*workload.module);
+    sim::SimConfig sim_config;
+    sim_config.cyclesPerTick = config.cyclesPerTick;
+    sim_config.timingProbes = true;
+    double nested_probe = 2.0 * double(sim_config.costs.timerRead);
+
+    FrameArena arena = buildArena(workload, lowered, sim_config, config,
+                                  leaf_nodes.size());
+
+    // One estimator bank per tree node. Leaf banks fill from ingest;
+    // interior banks only ever receive shipped snapshots.
+    std::vector<net::EstimatorBank> banks;
+    banks.reserve(tree.nodes());
+    for (size_t i = 0; i < tree.nodes(); ++i) {
+        banks.emplace_back(*workload.module, lowered, sim_config.costs,
+                           sim_config.policy, config.cyclesPerTick,
+                           config.estimator, nested_probe);
+    }
+
+    RelayTreeResult result;
+    result.leafCount = leaf_nodes.size();
+    result.ingestFrameBytes = arena.bytes.size();
+
+    exec::ThreadPool pool(config.jobs);
+
+    // Leaf ingest fans out: each leaf owns its collector and bank, so
+    // workers never share mutable state. Frames arrive loss-free at
+    // the leaves (the sink hears its own motes directly, as in the
+    // fleet arena); the lossy links are the relay hops above.
+    obs::StopwatchUs ingest_watch;
+    auto leaf_records =
+        exec::parallelMap(pool, leaf_nodes.size(), [&](size_t j) {
+            net::CollectorConfig collector_config;
+            collector_config.retainTraces = false;
+            net::SinkCollector collector(collector_config);
+            collector.setRecordSink(banks[leaf_nodes[j]].sink());
+            return ingestPlans(arena, arena.perLeaf[j], collector);
+        });
+    result.ingestSeconds = double(ingest_watch.elapsedUs()) / 1e6;
+    for (uint64_t records : leaf_records)
+        result.records += records;
+
+    // Bottom-up aggregation, one level at a time. Parents of a level
+    // fan out over the pool; each parent folds its children serially
+    // in ascending node-id order, and per-link channel seeds depend
+    // only on (campaign seed, child id) — any jobs count reproduces
+    // the same shipping schedule and the same root digest.
+    obs::StopwatchUs aggregate_watch;
+    std::vector<LinkOutcome> links(tree.nodes());
+    for (size_t level = tree.depth(); level >= 1; --level) {
+        std::vector<size_t> parents;
+        for (size_t node = 0; node < tree.nodes(); ++node) {
+            if (!tree.isLeaf(node) && tree.depthOf(node) == level - 1)
+                parents.push_back(node);
+        }
+        exec::parallelMap(pool, parents.size(), [&](size_t pi) {
+            size_t parent = parents[pi];
+            for (size_t child : tree.children(parent)) {
+                LinkOutcome &link = links[child];
+                link.child = child;
+                link.parent = parent;
+                auto snapshot =
+                    snapshotFromBank(banks[child], /*id=*/child,
+                                     uint16_t(child));
+                link.slots = snapshot.slots.size();
+                auto received =
+                    shipAndReceive(snapshot, config.ship,
+                                   linkSeed(config.seed, child), link.ship);
+                if (received) {
+                    obs::StopwatchUs merge_watch;
+                    mergeIntoBank(*received, banks[parent]);
+                    link.mergeUs = merge_watch.elapsedUs();
+                }
+            }
+            return 0;
+        });
+    }
+    result.aggregateSeconds = double(aggregate_watch.elapsedUs()) / 1e6;
+
+    result.links.reserve(tree.nodes() > 0 ? tree.nodes() - 1 : 0);
+    for (size_t child = 1; child < tree.nodes(); ++child) {
+        if (!links[child].ship.adopted)
+            ++result.failedLinks;
+        result.links.push_back(std::move(links[child]));
+    }
+
+    result.estimators = banks[0].estimatorCount();
+    result.root = snapshotFromBank(banks[0], /*id=*/config.seed,
+                                   /*source_node=*/0);
+    result.rootDigest = result.root.digest();
+
+    // The invariant's reference side: one flat sink hearing every
+    // mote, in the same per-mote frame order the leaves saw.
+    if (config.computeFlatDigest) {
+        net::EstimatorBank flat(*workload.module, lowered, sim_config.costs,
+                                sim_config.policy, config.cyclesPerTick,
+                                config.estimator, nested_probe);
+        net::CollectorConfig collector_config;
+        collector_config.retainTraces = false;
+        net::SinkCollector collector(collector_config);
+        collector.setRecordSink(flat.sink());
+        for (const auto &plans : arena.perLeaf)
+            ingestPlans(arena, plans, collector);
+        result.flatDigest = fleet::snapshotDigest(flat.snapshot());
+        result.digestMatch = result.rootDigest == result.flatDigest;
+    }
+
+    if (obs::metricsEnabled()) {
+        auto &m = obs::metrics();
+        m.counter("relay.tree_campaigns").add(1);
+        m.counter("relay.tree_links").add(result.links.size());
+        m.counter("relay.tree_link_failures").add(result.failedLinks);
+        m.counter("relay.tree_records").add(result.records);
+        m.gauge("relay.tree.nodes").set(double(tree.nodes()));
+        m.gauge("relay.tree.depth").set(double(tree.depth()));
+        m.gauge("relay.tree.leaves").set(double(result.leafCount));
+        for (const auto &link : result.links)
+            m.histogram("relay.link_merge_us").record(link.mergeUs);
+    }
+    return result;
+}
+
+} // namespace ct::relay
