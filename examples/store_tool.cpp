@@ -5,8 +5,9 @@
  *
  *   store_tool inspect <dir>   list segments, checkpoints, WAL coverage
  *   store_tool fsck <dir>      read-only integrity check (exit 1 if NOT ok)
- *   store_tool compact <dir>   drop segments covered by the newest
- *                              checkpoint and prune old checkpoints
+ *   store_tool compact <dir>   prune old checkpoints, then drop
+ *                              segments covered by the oldest
+ *                              *retained* checkpoint
  *   store_tool demo [<dir>]    build a small store (simulated campaign
  *                              with a mid-way checkpoint) to poke at;
  *                              also writes the checkpoint as a shipped

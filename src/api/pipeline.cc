@@ -556,6 +556,26 @@ TomographyPipeline::runStages()
         exec::parallelMap(pool, candidates.size(), [&](size_t i) {
             return evaluate(candidates[i].name, candidates[i].orders);
         });
+
+    if (config_.pgo.enabled) {
+        CT_SPAN("pipeline.pgo");
+        obs::StopwatchUs watch;
+        // The controller inherits the pipeline-level knobs so its
+        // bootstrap reproduces the "tomography" candidate bitwise.
+        pgo::PgoConfig cfg = config_.pgo;
+        cfg.estimator = config_.estimator;
+        cfg.estimatorOptions = config_.estimatorOptions;
+        cfg.sim = config_.sim;
+        cfg.seed = config_.seed;
+        cfg.jobs = config_.jobs;
+        cfg.measureInvocations = config_.measureInvocations;
+        pgo::ContinuousPgo loop(workload_, cfg);
+        result.pgo.enabled = true;
+        result.pgo.result = loop.run();
+        if (obs::metricsEnabled())
+            obs::metrics().histogram("pipeline.pgo_us")
+                .record(watch.elapsedUs());
+    }
     return result;
 }
 

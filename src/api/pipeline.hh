@@ -28,6 +28,7 @@
 #include "net/channel.hh"
 #include "net/collector.hh"
 #include "net/uplink.hh"
+#include "pgo/pgo.hh"
 #include "relay/relay.hh"
 #include "sim/machine.hh"
 #include "tomography/estimator.hh"
@@ -181,6 +182,16 @@ struct PipelineConfig
 
     /** Snapshot shipping up the aggregation tiers (off by default). */
     RelayConfig relay;
+
+    /**
+     * Opt-in closed-loop stage (docs/PGO.md): after the one-shot
+     * evaluation, keep running the workload in windows under a
+     * continuous-PGO controller with drift-triggered re-placement.
+     * The controller inherits the pipeline's estimator, sim config,
+     * seed, jobs, and measureInvocations, so its bootstrap placement
+     * is bitwise the "tomography" candidate evaluated above.
+     */
+    pgo::PgoConfig pgo;
 };
 
 /** What the transport stage did (all zero when disabled). */
@@ -226,6 +237,13 @@ struct RelayOutcome
     uint64_t totalRounds() const;
 };
 
+/** What the closed-loop stage did (enabled == false when skipped). */
+struct PgoOutcome
+{
+    bool enabled = false;
+    pgo::PgoResult result;
+};
+
 /** Simulated outcome of one placement. */
 struct LayoutOutcome
 {
@@ -268,6 +286,9 @@ struct PipelineResult
 
     /** Ranked what-if profile (empty when the stage is disabled). */
     causal::CausalProfile causal;
+
+    /** Closed-loop continuous PGO (enabled == false when skipped). */
+    PgoOutcome pgo;
 
     /** Convenience accessors; fatal() if the name is absent. */
     const LayoutOutcome &outcome(const std::string &name) const;

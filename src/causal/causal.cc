@@ -619,4 +619,38 @@ CausalProfile::writeCsv(const std::string &path) const
     }
 }
 
+std::vector<GateEntry>
+rankingGate(const Engine &engine, double min_fraction, size_t max_procs)
+{
+    CT_ASSERT(min_fraction >= 0.0, "rankingGate: negative min_fraction");
+    const ir::Module &module = engine.module();
+    const double baseline = engine.baselineCyclesPerEvent();
+    const double floor = min_fraction * baseline;
+
+    std::vector<GateEntry> out;
+    for (ir::ProcId id = 0; id < module.procedureCount(); ++id) {
+        if (engine.callRate(id) <= 0.0)
+            continue;
+        double delta = baseline - engine.whatIf(id, 1.0);
+        if (delta < floor || delta <= 0.0)
+            continue;
+        GateEntry entry;
+        entry.proc = id;
+        entry.name = module.procedure(id).name();
+        entry.deltaCyclesPerEvent = delta;
+        entry.virtualSpeedupPct =
+            baseline > 0.0 ? 100.0 * delta / baseline : 0.0;
+        out.push_back(std::move(entry));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const GateEntry &a, const GateEntry &b) {
+                  if (a.deltaCyclesPerEvent != b.deltaCyclesPerEvent)
+                      return a.deltaCyclesPerEvent > b.deltaCyclesPerEvent;
+                  return a.proc < b.proc;
+              });
+    if (max_procs > 0 && out.size() > max_procs)
+        out.resize(max_procs);
+    return out;
+}
+
 } // namespace ct::causal

@@ -264,6 +264,32 @@ class Engine
     std::vector<double> callRates_;        //!< invocations per event
 };
 
+/** One procedure that cleared the re-placement gate. */
+struct GateEntry
+{
+    ir::ProcId proc = ir::kNoProc;
+    std::string name;
+    /** baseline - whatIf(proc, 1): cycles a perfect re-placement of
+     *  this procedure recovers per entry event, under the layout the
+     *  engine was built from. */
+    double deltaCyclesPerEvent = 0.0;
+    /** 100 * deltaCyclesPerEvent / baseline. */
+    double virtualSpeedupPct = 0.0;
+};
+
+/**
+ * The continuous-PGO re-placement gate (docs/PGO.md): every invoked
+ * procedure whose causal delta clears @p min_fraction of the baseline
+ * cycles per event, sorted by delta descending (ties broken by
+ * ascending ProcId so the order is deterministic). @p max_procs > 0
+ * truncates to the top entries. This is the ranking that cuts
+ * re-placement work to the procedures worth re-placing — the second
+ * half of the ROADMAP's causal-feedback item.
+ */
+std::vector<GateEntry> rankingGate(const Engine &engine,
+                                   double min_fraction,
+                                   size_t max_procs = 0);
+
 } // namespace ct::causal
 
 #endif // CT_CAUSAL_CAUSAL_HH

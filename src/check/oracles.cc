@@ -502,6 +502,11 @@ storeCrashRecoveryOracle(const StoreScenario &scenario)
                 (i + 1) % scenario.checkpointEvery == 0) {
                 store.writeCheckpoint(writer.snapshot());
                 coverages.push_back(i + 1);
+                // The drift-triggered pattern (checkpointAndCompact):
+                // retention pruning + covered-segment deletion run
+                // mid-campaign.
+                if (scenario.compactAfterCheckpoint)
+                    store.compact();
             }
         }
     }
@@ -535,6 +540,34 @@ storeCrashRecoveryOracle(const StoreScenario &scenario)
         }
         const size_t total_bytes = global_base + file_bytes;
 
+        // Compaction model. compact() after a checkpoint retains the
+        // keepCheckpoints newest checkpoints and deletes sealed
+        // segments fully covered by the *oldest retained* one.
+        // Coverage and the active segment only grow across the
+        // campaign, so the final compaction dominates: the deleted
+        // files are exactly the prefix of segments sealed by the last
+        // checkpoint whose records all lie below its oldest-retained
+        // coverage. Records are appended in ordinal order, so the
+        // deleted set is a file prefix and deleted_records its length.
+        size_t deleted_files = 0;
+        size_t deleted_records = 0;
+        if (scenario.compactAfterCheckpoint && !coverages.empty()) {
+            std::vector<size_t> last_index(file_start.size(), 0);
+            for (size_t i = 0; i < spans.size(); ++i)
+                last_index[spans[i].file] = i;
+            const size_t keep = std::max<size_t>(
+                1, store_config.keepCheckpoints);
+            const size_t k = coverages.size();
+            const uint64_t safe = coverages[k > keep ? k - keep : 0];
+            const size_t active_file = spans[coverages.back() - 1].file;
+            while (deleted_files < active_file &&
+                   uint64_t(last_index[deleted_files]) < safe) {
+                deleted_records = last_index[deleted_files] + 1;
+                ++deleted_files;
+            }
+        }
+        const size_t deleted_bytes = file_start[deleted_files];
+
         // The model must agree with the disk before any crash goes in.
         std::vector<std::string> seg_paths;
         size_t disk_bytes = 0;
@@ -544,21 +577,29 @@ storeCrashRecoveryOracle(const StoreScenario &scenario)
             seg_paths.push_back(p.string());
             disk_bytes += size_t(fs::file_size(p, ec));
         }
-        if (seg_paths.size() != file_start.size())
+        if (seg_paths.size() != file_start.size() - deleted_files)
             return fmt("framing model predicts %zu segments, disk has %zu",
-                       file_start.size(), seg_paths.size());
-        if (disk_bytes != total_bytes)
+                       file_start.size() - deleted_files,
+                       seg_paths.size());
+        if (disk_bytes != total_bytes - deleted_bytes)
             return fmt("framing model predicts %zu WAL bytes, disk has %zu",
-                       total_bytes, disk_bytes);
+                       total_bytes - deleted_bytes, disk_bytes);
 
         // Crash injection + the model's surviving-prefix prediction.
+        // Offsets range over the *surviving* byte stream (compaction
+        // already removed the deleted file prefix); seg_paths holds
+        // surviving files only, so disk paths index at
+        // file - deleted_files.
         size_t surviving = records.size();
         uint64_t expect_discarded = 0;
         if (scenario.crash == StoreCrash::TruncateTail ||
             scenario.crash == StoreCrash::CorruptByte) {
-            size_t c = std::min(
-                size_t(scenario.crashFraction * double(total_bytes)),
-                total_bytes - 1);
+            const size_t surv_bytes = total_bytes - deleted_bytes;
+            size_t c =
+                deleted_bytes +
+                std::min(size_t(scenario.crashFraction *
+                                double(surv_bytes)),
+                         surv_bytes - 1);
             size_t file = file_start.size() - 1;
             while (file_start[file] > c)
                 --file;
@@ -567,14 +608,15 @@ storeCrashRecoveryOracle(const StoreScenario &scenario)
             if (scenario.crash == StoreCrash::TruncateTail) {
                 // A crash ends the byte stream at c: the segment under
                 // the pen is torn, later segments never existed.
-                fs::resize_file(seg_paths[file], local, ec);
-                for (size_t f = file + 1; f < seg_paths.size(); ++f)
-                    fs::remove(seg_paths[f], ec);
+                fs::resize_file(seg_paths[file - deleted_files], local,
+                                ec);
+                for (size_t f = file + 1; f < file_start.size(); ++f)
+                    fs::remove(seg_paths[f - deleted_files], ec);
                 surviving = 0;
                 for (const auto &span : spans)
                     surviving += span.end <= c ? 1 : 0;
             } else {
-                flipFileByte(seg_paths[file], local);
+                flipFileByte(seg_paths[file - deleted_files], local);
                 // Prefix rule: everything from the damaged byte's
                 // entry (or, for a damaged header, segment) onward is
                 // outside the durable prefix.
@@ -592,6 +634,12 @@ storeCrashRecoveryOracle(const StoreScenario &scenario)
                 }
             }
         } else if (scenario.crash == StoreCrash::CorruptCheckpoint) {
+            // Compaction deleted the segments the single retained
+            // checkpoint covers; damaging it then loses data no
+            // recovery can get back (genuine media damage, outside
+            // the crash-safety contract).
+            if (scenario.compactAfterCheckpoint && coverages.size() < 2)
+                return skipCase();
             auto ckpt_ids = store::listCheckpointIds(dir);
             if (!ckpt_ids.empty()) {
                 auto p = fs::path(dir) /
@@ -612,7 +660,9 @@ storeCrashRecoveryOracle(const StoreScenario &scenario)
         // fsck is read-only and must classify the damage sanely.
         auto report = store::fsckStore(dir);
         if (scenario.crash == StoreCrash::None) {
-            if (!report.ok || report.records != records.size())
+            // Compaction leaves only the uncovered suffix on disk.
+            if (!report.ok ||
+                report.records != records.size() - deleted_records)
                 return "fsck misjudges a cleanly closed store:\n" +
                        report.text();
         }

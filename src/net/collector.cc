@@ -178,8 +178,10 @@ EstimatorBank::EstimatorBank(const ir::Module &module,
                              sim::PredictPolicy policy,
                              uint64_t cycles_per_tick,
                              const tomography::EstimatorOptions &options,
-                             double nested_probe_cycles)
-    : module_(&module), options_(options)
+                             double nested_probe_cycles,
+                             double step_exponent, double forgetting)
+    : module_(&module), options_(options), stepExponent_(step_exponent),
+      forgetting_(forgetting)
 {
     std::vector<double> no_callees(module.procedureCount(), 0.0);
     models_.reserve(module.procedureCount());
@@ -205,7 +207,8 @@ EstimatorBank::estimatorFor(uint16_t mote, ir::ProcId proc)
         found = estimators_
                     .emplace(key,
                              std::make_unique<tomography::StreamingEstimator>(
-                                 *models_[proc], tables_[proc], options_))
+                                 *models_[proc], tables_[proc], options_,
+                                 stepExponent_, forgetting_))
                     .first;
     }
     return *found->second;

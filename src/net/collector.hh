@@ -194,13 +194,22 @@ class SinkCollector
 class EstimatorBank
 {
   public:
-    /** @param nested_probe_cycles see tomography::TimingModel. */
+    /**
+     * @param nested_probe_cycles see tomography::TimingModel.
+     * @param step_exponent / @param forgetting forwarded to every
+     *        StreamingEstimator the bank creates (see its ctor): a
+     *        forgetting-mode bank tracks nonstationary workloads, the
+     *        continuous-PGO loop's configuration. Recovery replay
+     *        (resumeBank) must rebuild the bank with the *same*
+     *        parameters or the replayed states diverge bitwise.
+     */
     EstimatorBank(const ir::Module &module,
                   const sim::LoweredModule &lowered,
                   const sim::CostModel &costs, sim::PredictPolicy policy,
                   uint64_t cycles_per_tick,
                   const tomography::EstimatorOptions &options = {},
-                  double nested_probe_cycles = 0.0);
+                  double nested_probe_cycles = 0.0,
+                  double step_exponent = 0.7, double forgetting = 0.0);
 
     /** Fold one delivered record in. */
     void observe(uint16_t mote, const trace::TimingRecord &record);
@@ -272,6 +281,8 @@ class EstimatorBank
 
     const ir::Module *module_;
     tomography::EstimatorOptions options_;
+    double stepExponent_ = 0.7;
+    double forgetting_ = 0.0;
     std::vector<std::unique_ptr<tomography::TimingModel>> models_;
     /**
      * Latent path tables, one per procedure, built on the first

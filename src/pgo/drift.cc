@@ -1,0 +1,46 @@
+#include "pgo/drift.hh"
+
+#include "util/logging.hh"
+
+namespace ct::pgo {
+
+DriftDetector::DriftDetector(const DriftDetectorConfig &config)
+    : config_(config)
+{
+    CT_ASSERT(config_.trigger > 0.0, "drift detector: trigger must be > 0");
+    CT_ASSERT(config_.clear <= config_.trigger,
+              "drift detector: clear must not exceed trigger (hysteresis "
+              "band would be inverted)");
+    CT_ASSERT(config_.hysteresisWindows >= 1,
+              "drift detector: hysteresisWindows must be >= 1");
+}
+
+bool
+DriftDetector::step(double stat)
+{
+    if (cooldown_ > 0) {
+        --cooldown_;
+        streak_ = 0;
+        return false;
+    }
+    if (!armed_) {
+        if (stat <= config_.clear)
+            armed_ = true;
+        streak_ = 0;
+        return false;
+    }
+    if (stat >= config_.trigger) {
+        if (++streak_ >= config_.hysteresisWindows) {
+            streak_ = 0;
+            armed_ = false;
+            cooldown_ = config_.cooldownWindows;
+            ++fires_;
+            return true;
+        }
+    } else {
+        streak_ = 0;
+    }
+    return false;
+}
+
+} // namespace ct::pgo

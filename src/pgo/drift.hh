@@ -1,0 +1,83 @@
+/**
+ * @file
+ * DriftDetector: hysteresis + cooldown gating over a windowed drift
+ * statistic.
+ *
+ * The continuous-PGO loop (pgo.hh) computes one scalar per window —
+ * the worst per-procedure divergence between the frozen layout-time
+ * theta and the forgetting-mode estimate (tomography::thetaDrift).
+ * Acting on that raw statistic directly would chatter: the
+ * constant-step estimator has steady-state variance, so a stationary
+ * workload still wobbles around its mean. Three guards stop the loop
+ * from re-placing on noise:
+ *
+ *   - trigger/clear hysteresis: a re-placement needs the statistic at
+ *     or above `trigger`; the detector does not re-arm until it falls
+ *     back to `clear` (< trigger), so hovering at the threshold fires
+ *     once, not every window;
+ *   - persistence: the statistic must clear `trigger` for
+ *     `hysteresisWindows` *consecutive* windows — one outlier window
+ *     (a burst of unlucky samples) is not a regime;
+ *   - cooldown: after a fire, `cooldownWindows` windows are ignored
+ *     entirely, giving the forgetting-mode estimators time to
+ *     converge onto the new regime before the reference comparison
+ *     means anything again.
+ */
+
+#ifndef CT_PGO_DRIFT_HH
+#define CT_PGO_DRIFT_HH
+
+#include <cstddef>
+
+namespace ct::pgo {
+
+/** Detector thresholds (see the class comment for semantics). */
+struct DriftDetectorConfig
+{
+    /** Fire when the statistic holds at/above this. The default sits
+     *  well above the stationary noise floor of a forgetting-mode
+     *  tracker (meanAbsDelta ~0.05-0.10 at forgetting 0.02; a regime
+     *  shift that matters reads ~0.3-0.4). */
+    double trigger = 0.20;
+    /** Re-arm only when the statistic falls to/below this. Must sit
+     *  *above* the stationary noise floor, or the detector fires once
+     *  and never re-arms. */
+    double clear = 0.12;
+    /** Consecutive windows at/above trigger required to fire. */
+    size_t hysteresisWindows = 2;
+    /** Windows ignored after a fire. */
+    size_t cooldownWindows = 2;
+};
+
+class DriftDetector
+{
+  public:
+    explicit DriftDetector(const DriftDetectorConfig &config);
+
+    /**
+     * Fold one window's statistic in; true means "re-place now".
+     * Deterministic: the decision is a pure function of the statistic
+     * sequence.
+     */
+    bool step(double stat);
+
+    /** Ready to fire (not cooling down, hysteresis cleared). */
+    bool armed() const { return armed_ && cooldown_ == 0; }
+    /** Consecutive above-trigger windows so far. */
+    size_t streak() const { return streak_; }
+    /** Cooldown windows remaining. */
+    size_t cooldownLeft() const { return cooldown_; }
+    /** step() calls that returned true. */
+    size_t fires() const { return fires_; }
+
+  private:
+    DriftDetectorConfig config_;
+    bool armed_ = true;
+    size_t streak_ = 0;
+    size_t cooldown_ = 0;
+    size_t fires_ = 0;
+};
+
+} // namespace ct::pgo
+
+#endif // CT_PGO_DRIFT_HH

@@ -1,0 +1,434 @@
+#include "pgo/pgo.hh"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+#include "causal/causal.hh"
+#include "exec/thread_pool.hh"
+#include "layout/placement.hh"
+#include "net/collector.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "relay/relay.hh"
+#include "relay/snapshot.hh"
+#include "stats/rng.hh"
+#include "util/logging.hh"
+
+namespace ct::pgo {
+
+namespace {
+
+/** The one instrumented mote feeding the tracking bank. */
+constexpr uint16_t kProbeMote = 1;
+
+/**
+ * InputSource applying a Regime's affine transform to a workload's
+ * scripted streams. The base source consumes its Rng identically for
+ * every regime, so two windows with the same seed but different
+ * regimes see the *same* underlying random sequence shifted — regime
+ * changes never re-randomize, they re-bias.
+ */
+class RegimeInputs : public sim::InputSource
+{
+  public:
+    RegimeInputs(std::unique_ptr<sim::ScriptedInputs> base,
+                 const Regime &regime)
+        : base_(std::move(base)), regime_(regime)
+    {
+    }
+
+    ir::Word sense(int channel) override
+    {
+        return shift(base_->sense(channel), regime_.senseScale,
+                     regime_.senseOffset);
+    }
+
+    ir::Word radioRx() override
+    {
+        return shift(base_->radioRx(), regime_.radioScale,
+                     regime_.radioOffset);
+    }
+
+  private:
+    static ir::Word shift(ir::Word v, double scale, double offset)
+    {
+        return ir::Word(std::llround(scale * double(v) + offset));
+    }
+
+    std::unique_ptr<sim::ScriptedInputs> base_;
+    Regime regime_;
+};
+
+std::string
+fmtLine(const char *fmt, ...)
+{
+    char buf[512];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof buf, fmt, args);
+    va_end(args);
+    return buf;
+}
+
+std::string
+joinNames(const std::vector<std::string> &names)
+{
+    std::string out = "[";
+    for (size_t i = 0; i < names.size(); ++i) {
+        if (i)
+            out += ",";
+        out += names[i];
+    }
+    out += "]";
+    return out;
+}
+
+} // namespace
+
+uint64_t
+layoutDigest(const std::vector<sim::BlockOrder> &orders)
+{
+    // FNV-1a over the flattened (proc count, order length, block id)
+    // stream — the deterministic identity of a whole layout.
+    uint64_t h = 1469598103934665603ULL;
+    auto fold = [&h](uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xFF;
+            h *= 1099511628211ULL;
+        }
+    };
+    fold(orders.size());
+    for (const auto &order : orders) {
+        fold(order.size());
+        for (auto block : order)
+            fold(uint64_t(block));
+    }
+    return h;
+}
+
+ContinuousPgo::ContinuousPgo(workloads::Workload workload, PgoConfig config)
+    : workload_(std::move(workload)), config_(std::move(config))
+{
+    CT_ASSERT(workload_.module != nullptr, "pgo: workload has no module");
+    CT_ASSERT(config_.forgetting > 0.0 && config_.forgetting < 1.0,
+              "pgo: forgetting must lie in (0, 1)");
+    CT_ASSERT(config_.windowInvocations > 0,
+              "pgo: windowInvocations must be >= 1");
+}
+
+PgoResult
+ContinuousPgo::run()
+{
+    CT_SPAN("pgo.run");
+    const ir::Module &module = *workload_.module;
+    const sim::CostModel &costs = config_.sim.costs;
+    const sim::PredictPolicy policy = config_.sim.policy;
+    const double nested_probe_cycles = 2.0 * double(costs.timerRead);
+
+    PgoResult result;
+
+    // --- Bootstrap: the pipeline's one-shot flow, constant for
+    // constant (seeds included), so a stationary run's layout is
+    // bitwise the pipeline's "tomography" placement.
+    auto lowered_natural = sim::lowerModule(module);
+    sim::RunResult bootstrap;
+    {
+        CT_SPAN("pgo.bootstrap");
+        sim::SimConfig cfg = config_.sim;
+        cfg.timingProbes = true;
+        auto inputs = workload_.makeInputs(config_.seed);
+        sim::Simulator simulator(module, lowered_natural, cfg, *inputs,
+                                 config_.seed ^ 0x6d656173);
+        bootstrap =
+            simulator.run(workload_.entry, config_.measureInvocations);
+    }
+    auto estimator = tomography::makeEstimator(config_.estimator,
+                                               config_.estimatorOptions);
+    auto layout_estimate = tomography::estimateModule(
+        module, lowered_natural, costs, policy, config_.sim.cyclesPerTick,
+        nested_probe_cycles, bootstrap.trace, *estimator);
+    std::vector<sim::BlockOrder> current_orders;
+    {
+        Rng rng(config_.seed ^ 0x6c61796f);
+        current_orders = layout::computeModuleOrders(
+            module, layout_estimate.profile,
+            layout::LayoutKind::ProfileGuided, rng);
+    }
+    result.initialOrders = current_orders;
+    result.initialLayoutDigest = layoutDigest(current_orders);
+    auto lowered_current = sim::lowerModule(module, current_orders);
+
+    // The frozen reference the drift statistic compares against.
+    // Initialized from the layout estimate, then re-frozen below from
+    // the tracking bank once it has digested the bootstrap trace.
+    std::vector<std::vector<double>> frozen = layout_estimate.thetas;
+
+    // The tracking bank: forgetting-mode estimators over the
+    // instrumented lane's records. Recovery must rebuild with the
+    // same forgetting to continue bitwise (see EstimatorBank ctor).
+    net::EstimatorBank bank(module, lowered_natural, costs, policy,
+                            config_.sim.cyclesPerTick,
+                            config_.estimatorOptions, nested_probe_cycles,
+                            /*step_exponent=*/0.7, config_.forgetting);
+
+    std::unique_ptr<store::Store> store;
+    if (!config_.storeDir.empty())
+        store = std::make_unique<store::Store>(config_.storeDir,
+                                               config_.store);
+
+    // Seed the bank (and the WAL) with the bootstrap trace, then
+    // freeze the drift reference from the bank itself. Frozen and
+    // tracking thetas then come from one estimator family, so a
+    // stationary deployment's drift statistic is sampling noise
+    // around zero — not the systematic EM-vs-streaming offset, which
+    // would eat most of the detector's headroom.
+    for (const auto &record : bootstrap.trace.records()) {
+        bank.observe(kProbeMote, record);
+        if (store)
+            store->append(kProbeMote, record);
+        if (config_.retainRecords)
+            result.records.push_back(record);
+    }
+    for (ir::ProcId p = 0; p < module.procedureCount(); ++p) {
+        const auto *est = bank.find(kProbeMote, p);
+        if (est && p < frozen.size() && !est->theta().empty())
+            frozen[p] = est->theta();
+    }
+
+    std::vector<Regime> regimes = config_.regimes;
+    if (regimes.empty())
+        regimes.push_back(Regime{.windows = config_.windows});
+
+    DriftDetector detector(config_.drift);
+    exec::ThreadPool pool(config_.jobs);
+    int64_t cumulative_regret = 0;
+    size_t pending_swap = size_t(-1); // swap awaiting its post window
+    size_t window = 0;
+
+    for (size_t r = 0; r < regimes.size(); ++r) {
+        const Regime &regime = regimes[r];
+        for (size_t i = 0; i < regime.windows; ++i, ++window) {
+            CT_SPAN("pgo.window");
+            const uint64_t sw =
+                config_.seed ^ (0x9e3779b97f4a7c15ULL * (window + 1));
+
+            // Instrumented lane: natural layout, probes on. Records
+            // feed the tracking bank (and the WAL) in stream order.
+            sim::RunResult probe;
+            {
+                sim::SimConfig cfg = config_.sim;
+                cfg.timingProbes = true;
+                RegimeInputs inputs(workload_.makeInputs(sw), regime);
+                sim::Simulator simulator(module, lowered_natural, cfg,
+                                         inputs, sw ^ 0x6d656173);
+                probe = simulator.run(workload_.entry,
+                                      config_.windowInvocations);
+            }
+            for (const auto &record : probe.trace.records()) {
+                bank.observe(kProbeMote, record);
+                if (store)
+                    store->append(kProbeMote, record);
+                if (config_.retainRecords)
+                    result.records.push_back(record);
+            }
+
+            // Live + clairvoyant lanes: probes off, identical input
+            // and simulator seeds, so cycle differences are placement
+            // alone. The oracle re-places from this window's own
+            // ground-truth profile — what "re-place every window"
+            // would deploy.
+            std::vector<sim::BlockOrder> oracle_orders;
+            {
+                Rng rng(sw ^ 0x6c61796f);
+                oracle_orders = layout::computeModuleOrders(
+                    module, probe.profile,
+                    layout::LayoutKind::ProfileGuided, rng);
+            }
+            const std::vector<sim::BlockOrder> *lane_orders[2] = {
+                &current_orders, &oracle_orders};
+            auto lanes = exec::parallelMap(pool, 2, [&](size_t lane) {
+                sim::SimConfig cfg = config_.sim;
+                cfg.timingProbes = false;
+                RegimeInputs inputs(workload_.makeInputs(sw + 1), regime);
+                sim::Simulator simulator(
+                    module, sim::lowerModule(module, *lane_orders[lane]),
+                    cfg, inputs, sw ^ 0x6576616c);
+                return simulator.run(workload_.entry,
+                                     config_.windowInvocations);
+            });
+            const sim::RunResult &live = lanes[0];
+            const sim::RunResult &oracle = lanes[1];
+
+            WindowReport report;
+            report.window = window;
+            report.regime = r;
+            report.mispredictRate = live.branches.mispredictRate();
+            report.liveCycles = live.totalCycles;
+            report.oracleCycles = oracle.totalCycles;
+            report.regretCycles =
+                int64_t(live.totalCycles) - int64_t(oracle.totalCycles);
+            cumulative_regret += report.regretCycles;
+            report.cumulativeRegretCycles = cumulative_regret;
+
+            if (pending_swap != size_t(-1)) {
+                result.swapEvents[pending_swap].postMispredictRate =
+                    report.mispredictRate;
+                result.swapEvents[pending_swap].postRegretCycles =
+                    report.regretCycles;
+                pending_swap = size_t(-1);
+            }
+
+            // Drift statistic: worst per-procedure divergence of the
+            // tracking estimate from the frozen layout-time theta,
+            // over procedures with enough evidence in the window.
+            double stat = 0.0;
+            std::vector<std::string> drifted;
+            for (ir::ProcId p = 0; p < module.procedureCount(); ++p) {
+                if (p >= frozen.size() || frozen[p].empty())
+                    continue;
+                const auto *est = bank.find(kProbeMote, p);
+                if (!est ||
+                    est->observations() < config_.driftMinObservations)
+                    continue;
+                double d = est->driftFrom(frozen[p]).meanAbsDelta;
+                stat = std::max(stat, d);
+                if (d >= config_.drift.trigger)
+                    drifted.push_back(module.procedure(p).name());
+            }
+            report.driftStat = stat;
+            report.triggered = detector.step(stat);
+
+            result.decisionLog += fmtLine(
+                "w=%03zu r=%zu drift=%.6f mr=%.6f live=%llu oracle=%llu "
+                "regret=%lld cum=%lld trig=%d\n",
+                window, r, stat, report.mispredictRate,
+                (unsigned long long)report.liveCycles,
+                (unsigned long long)report.oracleCycles,
+                (long long)report.regretCycles,
+                (long long)report.cumulativeRegretCycles,
+                int(report.triggered));
+
+            if (report.triggered) {
+                CT_SPAN("pgo.replace");
+                ++result.triggers;
+
+                // (1) Durability: fold the pre-drift history into a
+                // checkpoint and reset the WAL to the regime boundary.
+                if (store)
+                    store->checkpointAndCompact(bank.snapshot());
+
+                // (2) Re-placement, gated by the causal ranking over
+                // the *current* layout: only procedures whose whatIf
+                // delta clears the gate are worth re-placing.
+                auto snapshot = relay::snapshotFromBank(
+                    bank, /*id=*/window, /*source_node=*/0);
+                auto tracking = relay::estimateFromSnapshot(
+                    module, lowered_natural, costs, policy,
+                    config_.sim.cyclesPerTick, nested_probe_cycles,
+                    config_.estimatorOptions, snapshot);
+                causal::Engine engine(
+                    module, lowered_current, costs, policy,
+                    workload_.entry,
+                    causal::normalizeTheta(module, tracking.thetas));
+                auto gate = causal::rankingGate(engine,
+                                                config_.gateFraction,
+                                                config_.gateMaxProcs);
+
+                std::vector<sim::BlockOrder> fresh;
+                {
+                    Rng rng(sw ^ 0x6c61796f);
+                    fresh = layout::computeModuleOrders(
+                        module, tracking.profile,
+                        layout::LayoutKind::ProfileGuided, rng);
+                }
+                auto mixed = current_orders;
+                std::vector<std::string> survivors;
+                for (const auto &entry : gate) {
+                    mixed[entry.proc] = fresh[entry.proc];
+                    survivors.push_back(entry.name);
+                }
+                const uint64_t digest = layoutDigest(mixed);
+                const bool swapped =
+                    digest != layoutDigest(current_orders);
+                // The trigger absorbed the tracked regime whether or
+                // not the layout moved (the gate may find the current
+                // layout already optimal for it): re-freeze the
+                // reference at the tracking thetas so the detector
+                // re-arms and stays sensitive to the *next* shift.
+                for (ir::ProcId p = 0; p < module.procedureCount();
+                     ++p) {
+                    if (p < tracking.thetas.size() &&
+                        !tracking.thetas[p].empty())
+                        frozen[p] = tracking.thetas[p];
+                }
+                if (swapped) {
+                    current_orders = std::move(mixed);
+                    lowered_current =
+                        sim::lowerModule(module, current_orders);
+                    ++result.swaps;
+                    SwapEvent event;
+                    event.window = window;
+                    event.regime = r;
+                    event.preMispredictRate = report.mispredictRate;
+                    event.postMispredictRate = report.mispredictRate;
+                    event.preRegretCycles = report.regretCycles;
+                    event.postRegretCycles = report.regretCycles;
+                    event.gateSurvivors = gate.size();
+                    event.layoutDigest = digest;
+                    result.swapEvents.push_back(event);
+                    pending_swap = result.swapEvents.size() - 1;
+                    report.swapped = true;
+                }
+
+                result.decisionLog += fmtLine(
+                    "trigger w=%03zu stat=%.6f drifted=%s gate=%s "
+                    "swap=%d digest=%016llx\n",
+                    window, stat, joinNames(drifted).c_str(),
+                    joinNames(survivors).c_str(), int(swapped),
+                    (unsigned long long)digest);
+            }
+
+            result.windowReports.push_back(report);
+            if (obs::metricsEnabled()) {
+                auto &m = obs::metrics();
+                m.counter("pgo.windows").add(1);
+                // Histograms hold integers; drift lives in [0, 1], so
+                // record micro-units.
+                m.histogram("pgo.window_drift_micro")
+                    .record(int64_t(std::llround(stat * 1e6)));
+                m.counter("pgo.regret_cycles")
+                    .add(report.regretCycles > 0
+                             ? uint64_t(report.regretCycles)
+                             : 0);
+            }
+        }
+    }
+
+    if (store) {
+        store->flush();
+        result.compactions = store->stats().driftCompactions;
+    }
+    result.windows = window;
+    result.finalOrders = current_orders;
+    result.finalLayoutDigest = layoutDigest(current_orders);
+    result.cumulativeRegretCycles = cumulative_regret;
+    result.finalMispredictRate = result.windowReports.empty()
+                                     ? 0.0
+                                     : result.windowReports.back()
+                                           .mispredictRate;
+    result.finalBank = bank.snapshot();
+
+    if (obs::metricsEnabled()) {
+        auto &m = obs::metrics();
+        m.counter("pgo.triggers").add(result.triggers);
+        m.counter("pgo.swaps").add(result.swaps);
+        m.counter("pgo.compactions").add(result.compactions);
+        m.gauge("pgo.cumulative_regret_cycles")
+            .set(double(result.cumulativeRegretCycles));
+        m.gauge("pgo.final_mispredict").set(result.finalMispredictRate);
+    }
+    return result;
+}
+
+} // namespace ct::pgo

@@ -284,8 +284,28 @@ Store::compact()
 {
     if (!checkpoint_)
         return;
-    const uint64_t covered = checkpoint_->walOrdinal;
 
+    // Retention first: decide which checkpoints survive, then delete
+    // only segments every *retained* checkpoint covers. Deleting up to
+    // the newest checkpoint's coverage would leave the older retained
+    // checkpoints useless — if the newest file is later damaged,
+    // recovery falls back to an older checkpoint whose covered records
+    // would no longer exist anywhere (an unrecoverable WAL gap). With
+    // the oldest-retained rule every fallback checkpoint still has its
+    // full replay tail on disk, which is what lets the crash-recovery
+    // property inject checkpoint damage and compaction together.
+    while (checkpointIds_.size() > std::max<size_t>(
+                                       1, config_.keepCheckpoints)) {
+        std::error_code ec;
+        fs::remove(fs::path(dir_) /
+                       checkpointFileName(checkpointIds_.front()),
+                   ec);
+        checkpointIds_.erase(checkpointIds_.begin());
+        ++stats_.checkpointsDeleted;
+        bumpCounter(ctrCheckpointsDeleted_, "compaction.checkpoints_deleted", 1);
+    }
+
+    const uint64_t covered = oldestRetainedCoverage();
     for (auto it = segments_.begin(); it != segments_.end();) {
         if (!it->active && it->firstOrdinal + it->records <= covered) {
             std::error_code ec;
@@ -297,18 +317,36 @@ Store::compact()
             ++it;
         }
     }
-
-    while (checkpointIds_.size() > std::max<size_t>(
-                                       1, config_.keepCheckpoints)) {
-        std::error_code ec;
-        fs::remove(fs::path(dir_) /
-                       checkpointFileName(checkpointIds_.front()),
-                   ec);
-        checkpointIds_.erase(checkpointIds_.begin());
-        ++stats_.checkpointsDeleted;
-        bumpCounter(ctrCheckpointsDeleted_, "compaction.checkpoints_deleted", 1);
-    }
     syncDirectory(dir_);
+}
+
+uint64_t
+Store::oldestRetainedCoverage() const
+{
+    if (checkpointIds_.empty() || !checkpoint_)
+        return 0;
+    if (checkpointIds_.front() == checkpoint_->id)
+        return checkpoint_->walOrdinal;
+    auto bytes = readFileBytes(
+        (fs::path(dir_) / checkpointFileName(checkpointIds_.front()))
+            .string());
+    Checkpoint oldest;
+    if (!bytes || !decodeCheckpoint(*bytes, oldest)) {
+        // A damaged retained checkpoint covers nothing we can rely on:
+        // be conservative and keep the whole WAL (fsck will report it,
+        // the next retention pass will age it out).
+        return 0;
+    }
+    return oldest.walOrdinal;
+}
+
+void
+Store::checkpointAndCompact(std::vector<EstimatorSlot> slots)
+{
+    writeCheckpoint(std::move(slots));
+    compact();
+    ++stats_.driftCompactions;
+    bumpCounter(ctrDriftCompactions_, "compaction.drift_triggered", 1);
 }
 
 void

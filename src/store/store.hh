@@ -21,11 +21,13 @@
  * estimator bank equals a from-scratch replay of the durable record
  * prefix, bit for bit.
  *
- * Compaction folds what a checkpoint covers back into it: sealed
- * segments whose records all lie below the newest checkpoint's
- * ordinal are deleted, and old checkpoints beyond the retention count
- * are pruned. The WAL therefore stays proportional to the records
- * since the last checkpoint, not to the campaign's lifetime.
+ * Compaction folds what a checkpoint covers back into it: checkpoints
+ * beyond the retention count are pruned, then sealed segments whose
+ * records all lie below the *oldest retained* checkpoint's ordinal
+ * are deleted — every checkpoint recovery could fall back to keeps
+ * its full replay tail on disk. The WAL therefore stays proportional
+ * to the records since the oldest retained checkpoint, not to the
+ * campaign's lifetime.
  *
  * Observability: when metrics are enabled the store records `store.*`
  * counters (bytes/records appended, fsyncs, segments sealed,
@@ -102,6 +104,8 @@ struct StoreStats
     /// @{
     uint64_t segmentsDeleted = 0;
     uint64_t checkpointsDeleted = 0;
+    /** checkpointAndCompact() calls (drift-triggered, see docs/PGO.md). */
+    uint64_t driftCompactions = 0;
     /// @}
 };
 
@@ -171,11 +175,26 @@ class Store
     void writeCheckpoint(std::vector<EstimatorSlot> slots);
 
     /**
-     * Enforce retention: delete sealed segments fully covered by the
-     * newest checkpoint and prune checkpoints beyond
-     * StoreConfig::keepCheckpoints. A no-op without a checkpoint.
+     * Enforce retention: prune checkpoints beyond
+     * StoreConfig::keepCheckpoints, then delete sealed segments fully
+     * covered by the *oldest retained* checkpoint — so every
+     * checkpoint recovery could still fall back to keeps its complete
+     * replay tail on disk (damaging the newest checkpoint never
+     * strands records). A no-op without a checkpoint.
      */
     void compact();
+
+    /**
+     * The drift-triggered compaction hook (docs/PGO.md): persist
+     * @p slots as a fresh checkpoint, then compact. The continuous-PGO
+     * loop calls this when its drift detector fires, so cold recovery
+     * stays O(records of the current regime) instead of O(campaign) —
+     * the checkpoint absorbs the pre-drift history and the WAL resets
+     * to the regime boundary. Counted separately from routine
+     * compactions (StoreStats::driftCompactions,
+     * `compaction.drift_triggered`).
+     */
+    void checkpointAndCompact(std::vector<EstimatorSlot> slots);
 
     /** Global ordinal the next append() will receive — equivalently,
      *  the number of records the store knows to be durable. */
@@ -188,6 +207,9 @@ class Store
 
   private:
     void recover();
+    /** WAL ordinal of the oldest checkpoint still on disk (0 when it
+     *  fails to decode — then compact() deletes nothing). */
+    uint64_t oldestRetainedCoverage() const;
     void openActiveSegment(uint64_t id, uint64_t first_ordinal,
                            bool fresh);
     void sealActiveSegment();
@@ -226,6 +248,7 @@ class Store
     mutable obs::Counter *ctrCheckpointsWritten_ = nullptr;
     mutable obs::Counter *ctrSegmentsDeleted_ = nullptr;
     mutable obs::Counter *ctrCheckpointsDeleted_ = nullptr;
+    mutable obs::Counter *ctrDriftCompactions_ = nullptr;
     /// @}
 };
 

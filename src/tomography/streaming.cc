@@ -31,6 +31,40 @@ PathTable::build(const TimingModel &model, const EstimatorOptions &options)
     return table;
 }
 
+DriftStats
+thetaDrift(const std::vector<double> &reference,
+           const std::vector<double> &current)
+{
+    CT_ASSERT(reference.size() == current.size(),
+              "thetaDrift: branch count mismatch (", reference.size(),
+              " vs ", current.size(), ")");
+    DriftStats out;
+    out.branches = current.size();
+    if (current.empty())
+        return out;
+
+    // Per-branch Bernoulli JS divergence; clamp away exact 0/1 so the
+    // logs stay finite (observe() clamps theta the same way).
+    auto kl = [](double p, double q) {
+        return p * std::log(p / q) + (1.0 - p) * std::log((1.0 - p) /
+                                                          (1.0 - q));
+    };
+    double sum_abs = 0.0;
+    double sum_js = 0.0;
+    for (size_t b = 0; b < current.size(); ++b) {
+        double p = std::clamp(reference[b], 1e-6, 1.0 - 1e-6);
+        double q = std::clamp(current[b], 1e-6, 1.0 - 1e-6);
+        double d = std::abs(p - q);
+        sum_abs += d;
+        out.maxAbsDelta = std::max(out.maxAbsDelta, d);
+        double m = 0.5 * (p + q);
+        sum_js += 0.5 * (kl(p, m) + kl(q, m));
+    }
+    out.meanAbsDelta = sum_abs / double(current.size());
+    out.jsDivergence = sum_js / double(current.size());
+    return out;
+}
+
 StreamingEstimator::StreamingEstimator(const TimingModel &model,
                                        const EstimatorOptions &options,
                                        double step_exponent,

@@ -68,6 +68,28 @@ struct StreamingState
     bool operator==(const StreamingState &other) const = default;
 };
 
+/**
+ * Divergence between two theta vectors over the same branch set — the
+ * statistic the continuous-PGO drift detector (src/pgo) watches. All
+ * three views compare per-branch Bernoulli distributions:
+ * element-wise absolute deltas (mean and max) and the mean per-branch
+ * Jensen-Shannon divergence in nats (bounded, symmetric, defined even
+ * at the clamped extremes).
+ */
+struct DriftStats
+{
+    double meanAbsDelta = 0.0;
+    double maxAbsDelta = 0.0;
+    double jsDivergence = 0.0;
+    size_t branches = 0;
+};
+
+/** Drift of @p current away from @p reference. The vectors must have
+ *  equal length (same procedure, same branch order); both empty is
+ *  allowed and yields all-zero stats. */
+DriftStats thetaDrift(const std::vector<double> &reference,
+                      const std::vector<double> &current);
+
 class StreamingEstimator
 {
   public:
@@ -115,6 +137,29 @@ class StreamingEstimator
 
     /** Observations that matched no path (likely outliers). */
     uint64_t outliers() const { return outliers_; }
+
+    /// @name Drift diagnostics (nonstationary tracking; docs/PGO.md)
+    /// @{
+    /** The constant forgetting step, 0 when on the decaying schedule. */
+    double forgetting() const { return forgetting_; }
+    /**
+     * How many recent observations effectively shape the current
+     * estimate: 1/forgetting under the constant step (the exponential
+     * window's time constant), the full count on the decaying
+     * schedule. The drift detector uses this to ignore estimators
+     * whose window holds too little evidence to compare.
+     */
+    double effectiveWindowObservations() const
+    {
+        return forgetting_ > 0.0 ? 1.0 / forgetting_ : double(count_);
+    }
+    /** Drift of the current theta away from @p reference (the frozen
+     *  layout-time estimate in the continuous-PGO loop). */
+    DriftStats driftFrom(const std::vector<double> &reference) const
+    {
+        return thetaDrift(reference, theta_);
+    }
+    /// @}
 
     /** Size of the latent path set. */
     size_t pathCount() const { return table_->pathCount(); }

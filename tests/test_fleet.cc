@@ -15,6 +15,7 @@
 #include "fleet/fleet.hh"
 #include "obs/metrics.hh"
 #include "sim/machine.hh"
+#include "tomography/streaming.hh"
 #include "workloads/workload.hh"
 
 using namespace ct;
@@ -422,4 +423,59 @@ TEST(Fleet, EstimatorMergeSemantics)
             EXPECT_GE(t, 0.0);
             EXPECT_LE(t, 1.0);
         }
+}
+
+TEST(Fleet, MergeStreamingStatesZeroCountEdges)
+{
+    // The zero-count paths are what fleet sharding leans on: a slot a
+    // shard never observed must adopt the other side *verbatim* —
+    // before the parameter-count assertion, so an empty default slot
+    // (no vectors yet) merges cleanly with any populated one.
+    tomography::StreamingState empty;
+    tomography::StreamingState populated;
+    populated.theta = {0.25, 0.75};
+    populated.statTaken = {1.0, 3.0};
+    populated.statFall = {3.0, 1.0};
+    populated.count = 8;
+    populated.outliers = 2;
+
+    // 0/0: the merge is a (itself empty), not a blend or a crash.
+    auto both = tomography::mergeStreamingStates(empty, empty, 0.1);
+    EXPECT_EQ(both.count, 0u);
+    EXPECT_TRUE(both.theta.empty());
+
+    // 0/n and n/0: verbatim adoption, bit for bit, including the
+    // fields a blend would recompute (theta, outliers).
+    auto right = tomography::mergeStreamingStates(empty, populated, 0.1);
+    EXPECT_EQ(right.count, populated.count);
+    EXPECT_EQ(right.outliers, populated.outliers);
+    EXPECT_EQ(right.theta, populated.theta);
+    EXPECT_EQ(right.statTaken, populated.statTaken);
+    EXPECT_EQ(right.statFall, populated.statFall);
+    auto left = tomography::mergeStreamingStates(populated, empty, 0.1);
+    EXPECT_EQ(left.count, populated.count);
+    EXPECT_EQ(left.theta, populated.theta);
+    EXPECT_EQ(left.statTaken, populated.statTaken);
+}
+
+TEST(Fleet, MergeStreamingStatesCountWeightedBlend)
+{
+    // Counts 1 and 3 pin the convex weights at exactly 0.25 / 0.75.
+    tomography::StreamingState a;
+    a.theta = {0.5};
+    a.statTaken = {1.0};
+    a.statFall = {0.0};
+    a.count = 1;
+    tomography::StreamingState b;
+    b.theta = {0.5};
+    b.statTaken = {0.0};
+    b.statFall = {1.0};
+    b.count = 3;
+
+    auto merged = tomography::mergeStreamingStates(a, b, 0.0);
+    EXPECT_EQ(merged.count, 4u);
+    EXPECT_DOUBLE_EQ(merged.statTaken[0], 0.25);
+    EXPECT_DOUBLE_EQ(merged.statFall[0], 0.75);
+    // theta re-derives from the merged statistics (smoothing 0).
+    EXPECT_DOUBLE_EQ(merged.theta[0], 0.25);
 }
