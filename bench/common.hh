@@ -30,7 +30,9 @@ std::string csvPath(const std::string &name);
  * obs registry is also dumped to results/<csv_name>.metrics.json.
  * With @p json, the table is additionally mirrored machine-readably to
  * results/<csv_name>.json (see writeTableJson) — the artifact CI
- * uploads for the perf-tracking benches (e.g. BENCH_fleet.json).
+ * uploads for the perf-tracking benches (e.g. BENCH_fleet.json). A
+ * csv_name starting with "BENCH_" forces the JSON mirror regardless of
+ * @p json: the perf-tracking artifact is part of the naming contract.
  */
 void emit(const TablePrinter &table, const std::string &csv_name,
           bool json = false);

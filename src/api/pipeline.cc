@@ -376,6 +376,47 @@ TomographyPipeline::relayWith(const sim::LoweredModule &lowered,
     }
 }
 
+BudgetOutcome
+TomographyPipeline::planBudget(const tomography::ModuleEstimate &estimate)
+{
+    return budgetWith(sim::lowerModule(*workload_.module), estimate);
+}
+
+BudgetOutcome
+TomographyPipeline::budgetWith(const sim::LoweredModule &lowered,
+                               const tomography::ModuleEstimate &estimate)
+{
+    CT_SPAN("pipeline.budget");
+    obs::StopwatchUs watch;
+    const BudgetConfig &cfg = config_.budget;
+
+    auto theta = causal::normalizeTheta(*workload_.module, estimate.thetas);
+    auto instance = budget::buildInstance(
+        *workload_.module, lowered, config_.sim.costs, config_.sim.policy,
+        workload_.entry, theta, estimate.profile, cfg.spec, cfg.options);
+
+    BudgetOutcome out;
+    out.enabled = true;
+    out.groups = instance.groups.size();
+    for (const auto &group : instance.groups)
+        out.candidates += group.candidates.size();
+    out.baselineCyclesPerEvent = instance.baselineCyclesPerEvent;
+    out.plan = budget::solve(instance, cfg.solver, cfg.limits);
+    out.orders = budget::applyAssignment(
+        instance, out.plan.assignment, workload_.module->procedureCount());
+    for (size_t g = 0; g < instance.groups.size(); ++g) {
+        const auto &group = instance.groups[g];
+        const auto &cand = group.candidates[out.plan.assignment.choice[g]];
+        out.choices.push_back({group.name, cand.name,
+                               cand.gainCyclesPerEvent, cand.flashBytes});
+    }
+
+    if (obs::metricsEnabled())
+        obs::metrics().histogram("pipeline.budget_us")
+            .record(watch.elapsedUs());
+    return out;
+}
+
 std::vector<sim::BlockOrder>
 TomographyPipeline::optimize(const ir::ModuleProfile &profile)
 {
@@ -518,12 +559,17 @@ TomographyPipeline::runStages()
         result.causal =
             causalWith(lowered, result.measureRun, result.estimate);
 
+    // Budget-constrained selection over the estimate (the chosen mixed
+    // layout joins the evaluation fan-out below as "budget").
+    if (config_.budget.enabled)
+        result.budget = budgetWith(lowered, result.estimate);
+
     // Candidate placements.
     Rng rng(config_.seed ^ 0x72616e64);
     const auto &module = *workload_.module;
 
     // Orders are computed serially (they share one Rng stream), then
-    // the five evaluations — each with its own Simulator, seeded only
+    // the evaluations — each with its own Simulator, seeded only
     // by the placement — fan out over the pool. parallelMap writes
     // outcome i to slot i, so the result is bit-identical to the old
     // serial loop for every jobs value.
@@ -550,6 +596,8 @@ TomographyPipeline::runStages()
         {"perfect",
          layout::computeModuleOrders(module, result.measureRun.profile,
                                      layout::LayoutKind::ProfileGuided, rng)});
+    if (config_.budget.enabled)
+        candidates.push_back({"budget", result.budget.orders});
 
     exec::ThreadPool pool(config_.jobs);
     result.outcomes =

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "budget/budget.hh"
 #include "causal/causal.hh"
 #include "layout/placement.hh"
 #include "net/channel.hh"
@@ -136,6 +137,28 @@ struct RelayConfig
     bool estimateFromSnapshot = false;
 };
 
+/**
+ * Opt-in budgeted-placement stage (docs/BUDGET.md): after estimation,
+ * price per-procedure candidate layouts with the causal model and
+ * select the best set that fits a reprogramming budget (flash pages,
+ * RAM bytes, energy). The selected mixed layout is evaluated alongside
+ * the unconstrained candidates as a "budget" outcome, so a run shows
+ * directly what the constraint costs against the tomography placement.
+ */
+struct BudgetConfig
+{
+    /** Off by default: the unconstrained pipeline is the paper's. */
+    bool enabled = false;
+    /** The mote's reprogramming budget (default: unlimited, in which
+     *  case the stage degenerates to the tomography placement). */
+    budget::BudgetSpec spec;
+    /** Candidate pricing knobs (strategies, cost model, energy
+     *  weight). */
+    budget::InstanceOptions options;
+    budget::Solver solver = budget::Solver::Auto;
+    budget::DpLimits limits;
+};
+
 /** Pipeline configuration. */
 struct PipelineConfig
 {
@@ -179,6 +202,9 @@ struct PipelineConfig
 
     /** What-if causal profiling after estimation (off by default). */
     CausalConfig causalProfile;
+
+    /** Budget-constrained placement selection (off by default). */
+    BudgetConfig budget;
 
     /** Snapshot shipping up the aggregation tiers (off by default). */
     RelayConfig relay;
@@ -237,6 +263,34 @@ struct RelayOutcome
     uint64_t totalRounds() const;
 };
 
+/** One procedure's budget decision, for reporting. */
+struct BudgetChoice
+{
+    std::string proc;
+    std::string candidate; //!< "keep" or the chosen layout's name
+    double gainCyclesPerEvent = 0.0;
+    uint64_t flashBytes = 0;
+};
+
+/** What the budget stage decided (enabled == false when skipped). */
+struct BudgetOutcome
+{
+    bool enabled = false;
+    /** The solved plan: chosen assignment, solver gap, binding
+     *  dimensions, upgrade/deferred counts. */
+    budget::BudgetPlan plan;
+    /** Instance shape, for reporting. */
+    size_t groups = 0;
+    size_t candidates = 0;
+    double baselineCyclesPerEvent = 0.0;
+    /** Chosen candidate per group, in group (procedure id) order. */
+    std::vector<BudgetChoice> choices;
+    /** Materialized per-procedure orders of the chosen assignment
+     *  (empty order = keep = natural, the pipeline's current layout);
+     *  what the appended "budget" outcome evaluates. */
+    std::vector<sim::BlockOrder> orders;
+};
+
 /** What the closed-loop stage did (enabled == false when skipped). */
 struct PgoOutcome
 {
@@ -281,11 +335,15 @@ struct PipelineResult
     double branchMaxError = 0.0;
     /// @}
 
-    /** Outcomes in order: natural, random, dfs, tomography, perfect. */
+    /** Outcomes in order: natural, random, dfs, tomography, perfect —
+     *  plus "budget" appended when that stage is enabled. */
     std::vector<LayoutOutcome> outcomes;
 
     /** Ranked what-if profile (empty when the stage is disabled). */
     causal::CausalProfile causal;
+
+    /** Budgeted placement selection (enabled == false when skipped). */
+    BudgetOutcome budget;
 
     /** Closed-loop continuous PGO (enabled == false when skipped). */
     PgoOutcome pgo;
@@ -364,6 +422,14 @@ class TomographyPipeline
         const sim::RunResult &measure_run,
         const tomography::ModuleEstimate &estimate);
     std::vector<sim::BlockOrder> optimize(const ir::ModuleProfile &profile);
+    /**
+     * Budget-constrained placement selection per config.budget: price
+     * candidate layouts from @p estimate with the causal model against
+     * the natural layout and solve the knapsack. Runs regardless of
+     * config.budget.enabled — the flag only gates whether runStages()
+     * calls this and evaluates the result.
+     */
+    BudgetOutcome planBudget(const tomography::ModuleEstimate &estimate);
     LayoutOutcome evaluate(const std::string &name,
                            const std::vector<sim::BlockOrder> &orders);
     /// @}
@@ -397,6 +463,8 @@ class TomographyPipeline
     tomography::ModuleEstimate
     estimateFromSnapshotWith(const sim::LoweredModule &lowered,
                              const relay::Snapshot &snapshot);
+    BudgetOutcome budgetWith(const sim::LoweredModule &lowered,
+                             const tomography::ModuleEstimate &estimate);
     /// @}
 
     workloads::Workload workload_;

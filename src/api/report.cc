@@ -115,6 +115,43 @@ renderReport(const workloads::Workload &workload,
            << " procedures rank differently than in the flat profile\n";
     }
 
+    if (result.budget.enabled) {
+        const auto &b = result.budget;
+        os << "\n";
+        TablePrinter table("budgeted placement (" + b.plan.solver +
+                           " solver)");
+        table.setHeader({"metric", "value"});
+        table.row("groups", b.groups);
+        table.row("upgrades chosen", b.plan.upgrades);
+        table.row("upgrades deferred", b.plan.deferred);
+        table.row("gain (cycles/event)",
+                  b.plan.assignment.gainCyclesPerEvent);
+        table.row("gain (uJ/event)",
+                  b.plan.assignment.gainEnergyMicrojoulesPerEvent);
+        table.row("flash used (B)", b.plan.assignment.usage.flashBytes);
+        table.row("ram used (B)", b.plan.assignment.usage.ramBytes);
+        table.row("energy used (nJ)",
+                  b.plan.assignment.usage.energyNanojoules);
+        table.print(os);
+        std::string binding;
+        if (b.plan.flashBinding)
+            binding += " flash";
+        if (b.plan.ramBinding)
+            binding += " ram";
+        if (b.plan.energyBinding)
+            binding += " energy";
+        os << "binding constraints:" << (binding.empty() ? " none" : binding)
+           << "; ";
+        if (b.plan.exactRan) {
+            os << "greedy is within "
+               << formatDouble(b.plan.optimalityGapPct, 3)
+               << "% of the exact optimum\n";
+        } else {
+            os << "exact solver skipped (" << b.plan.exactSkipReason
+               << ")\n";
+        }
+    }
+
     os << "\nbottom line: the tomography-guided placement saves "
        << formatDouble(result.cyclesImprovementPct(), 2) << "% cycles and "
        << formatDouble(result.energyImprovementPct(), 2)

@@ -75,6 +75,48 @@ chainVisits(const ir::Procedure &proc, const std::vector<double> &theta)
     return chain.expectedVisits(proc.entry());
 }
 
+/**
+ * Visit-weighted placement-penalty mass hanging off each block's
+ * outgoing edges under @p placed: mispredict flushes plus trailing
+ * untaken jumps, the per-edge extras of the timing model. Shared by
+ * the engine's factorization and the free candidate pricers.
+ */
+std::vector<double>
+penaltyMassPerBlock(const ir::Procedure &proc, const sim::LoweredProc &placed,
+                    const sim::CostModel &costs, sim::PredictPolicy policy,
+                    const std::vector<double> &theta,
+                    const std::vector<double> &visits)
+{
+    std::vector<double> mass(proc.blockCount(), 0.0);
+    auto branches = proc.branchBlocks();
+    std::vector<size_t> branchIndex(proc.blockCount(), SIZE_MAX);
+    for (size_t i = 0; i < branches.size(); ++i)
+        branchIndex[branches[i]] = i;
+    for (const ir::Edge &edge : proc.edges()) {
+        const auto &lb = placed.order[placed.positionOf[edge.from]];
+        if (lb.ctrl != sim::CtrlKind::CondBr &&
+            lb.ctrl != sim::CtrlKind::CondBrPlusJmp) {
+            continue; // Jmp cost lives in the block reward
+        }
+        double prob = 1.0;
+        if (edge.kind == ir::EdgeKind::BranchTaken)
+            prob = std::clamp(theta[branchIndex[edge.from]], 0.0, 1.0);
+        else if (edge.kind == ir::EdgeKind::BranchFall)
+            prob = 1.0 - std::clamp(theta[branchIndex[edge.from]], 0.0, 1.0);
+        bool transfer = edge.to == lb.condTarget;
+        bool predicted =
+            sim::predictsTaken(policy, placed.positionOf[edge.from],
+                               placed.positionOf[lb.condTarget]);
+        double extra = 0.0;
+        if (transfer != predicted)
+            extra += double(costs.mispredictPenalty);
+        if (!transfer && lb.ctrl == sim::CtrlKind::CondBrPlusJmp)
+            extra += double(costs.jump);
+        mass[edge.from] += visits[edge.from] * prob * extra;
+    }
+    return mass;
+}
+
 /** %.12g rendering, matching the obs JSON determinism contract. */
 std::string
 num(double value)
@@ -148,6 +190,64 @@ normalizeTheta(const ir::Module &module, ModuleTheta theta, double fallback)
             p = std::clamp(p, 0.0, 1.0);
     }
     return theta;
+}
+
+std::vector<double>
+expectedVisits(const ir::Procedure &proc, const std::vector<double> &theta)
+{
+    return chainVisits(proc, theta);
+}
+
+double
+placementPenaltyPerInvocation(const ir::Procedure &proc,
+                              const sim::LoweredProc &placed,
+                              const sim::CostModel &costs,
+                              sim::PredictPolicy policy,
+                              const std::vector<double> &theta,
+                              const std::vector<double> &visits)
+{
+    CT_ASSERT(visits.size() == proc.blockCount(),
+              "placementPenalty: visit vector covers ", visits.size(),
+              " blocks, '", proc.name(), "' has ", proc.blockCount());
+    double total = 0.0;
+    for (double m :
+         penaltyMassPerBlock(proc, placed, costs, policy, theta, visits))
+        total += m;
+    return total;
+}
+
+double
+placedSelfCyclesPerInvocation(const ir::Procedure &proc,
+                              const sim::LoweredProc &placed,
+                              const sim::CostModel &costs,
+                              sim::PredictPolicy policy,
+                              const std::vector<double> &theta,
+                              const std::vector<double> &visits)
+{
+    double self = placementPenaltyPerInvocation(proc, placed, costs, policy,
+                                                theta, visits);
+    for (const auto &bb : proc.blocks()) {
+        double cycles = 0.0;
+        for (const auto &inst : bb.insts)
+            cycles += double(costs.cyclesFor(inst));
+        const auto &lb = placed.order[placed.positionOf[bb.id]];
+        switch (lb.ctrl) {
+          case sim::CtrlKind::Ret:
+            cycles += double(costs.retOverhead);
+            break;
+          case sim::CtrlKind::Fallthrough:
+            break;
+          case sim::CtrlKind::Jmp:
+            cycles += double(costs.jump);
+            break;
+          case sim::CtrlKind::CondBr:
+          case sim::CtrlKind::CondBrPlusJmp:
+            cycles += double(costs.branchBase);
+            break;
+        }
+        self += visits[bb.id] * cycles;
+    }
+    return self;
 }
 
 Engine::Engine(const ir::Module &module, const sim::LoweredModule &lowered,
@@ -239,35 +339,8 @@ Engine::Engine(const ir::Module &module, const sim::LoweredModule &lowered,
 
         // Placement-penalty mass: mispredict flushes plus trailing
         // untaken jumps, exactly the per-edge extras of the timing model.
-        auto branches = proc.branchBlocks();
-        std::vector<size_t> branchIndex(proc.blockCount(), SIZE_MAX);
-        for (size_t i = 0; i < branches.size(); ++i)
-            branchIndex[branches[i]] = i;
-        for (const ir::Edge &edge : proc.edges()) {
-            const auto &lb = placed.order[placed.positionOf[edge.from]];
-            if (lb.ctrl != sim::CtrlKind::CondBr &&
-                lb.ctrl != sim::CtrlKind::CondBrPlusJmp) {
-                continue; // Jmp cost lives in the block reward
-            }
-            double prob = 1.0;
-            if (edge.kind == ir::EdgeKind::BranchTaken)
-                prob = std::clamp(theta_[id][branchIndex[edge.from]], 0.0,
-                                  1.0);
-            else if (edge.kind == ir::EdgeKind::BranchFall)
-                prob = 1.0 - std::clamp(theta_[id][branchIndex[edge.from]],
-                                        0.0, 1.0);
-            bool transfer = edge.to == lb.condTarget;
-            bool predicted = sim::predictsTaken(
-                policy, placed.positionOf[edge.from],
-                placed.positionOf[lb.condTarget]);
-            double extra = 0.0;
-            if (transfer != predicted)
-                extra += double(costs.mispredictPenalty);
-            if (!transfer && lb.ctrl == sim::CtrlKind::CondBrPlusJmp)
-                extra += double(costs.jump);
-            pm.blockPenalty[edge.from] +=
-                pm.visits[edge.from] * prob * extra;
-        }
+        pm.blockPenalty = penaltyMassPerBlock(proc, placed, costs, policy,
+                                              theta_[id], pm.visits);
 
         double self = 0.0;
         for (ir::BlockId b = 0; b < proc.blockCount(); ++b) {

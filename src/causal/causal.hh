@@ -63,6 +63,47 @@ ModuleTheta thetaFromProfile(const ir::Module &module,
 ModuleTheta normalizeTheta(const ir::Module &module, ModuleTheta theta,
                            double fallback = 0.5);
 
+/**
+ * Expected visits per invocation of @p proc under @p theta, indexed by
+ * block id — the layout-invariant factor of the what-if model (the
+ * absorbing chain depends only on the CFG and theta, never on the
+ * physical block order). Exposed so placement pricers (ct::budget) can
+ * evaluate many candidate orders against one chain factorization.
+ * fatal()s when the chain never reaches an exit under @p theta.
+ */
+std::vector<double> expectedVisits(const ir::Procedure &proc,
+                                   const std::vector<double> &theta);
+
+/**
+ * Expected placement-penalty cycles per invocation of @p proc as
+ * placed by @p placed: mispredict flushes plus trailing untaken jumps
+ * — exactly the per-edge extras of the timing model, visit-weighted.
+ * @p visits must come from expectedVisits(proc, theta).
+ */
+double placementPenaltyPerInvocation(const ir::Procedure &proc,
+                                     const sim::LoweredProc &placed,
+                                     const sim::CostModel &costs,
+                                     sim::PredictPolicy policy,
+                                     const std::vector<double> &theta,
+                                     const std::vector<double> &visits);
+
+/**
+ * Expected *self* cycles per invocation of @p proc as placed by
+ * @p placed (callee bodies excluded): straight-line instruction cycles
+ * plus emitted control transfers plus the placement-penalty mass, all
+ * visit-weighted. Equals Engine::selfCyclesPerInvocation for the
+ * lowering the engine was built from. Because the visit vector is
+ * layout-invariant, the difference between two placements of the same
+ * procedure is exactly the end-to-end per-invocation delta the what-if
+ * engine would report — the candidate-pricing primitive of ct::budget.
+ */
+double placedSelfCyclesPerInvocation(const ir::Procedure &proc,
+                                     const sim::LoweredProc &placed,
+                                     const sim::CostModel &costs,
+                                     sim::PredictPolicy policy,
+                                     const std::vector<double> &theta,
+                                     const std::vector<double> &visits);
+
 /** One point of a virtual-speedup curve. */
 struct DialPoint
 {

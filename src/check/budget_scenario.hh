@@ -1,0 +1,175 @@
+/**
+ * @file
+ * BudgetScenario: the value shape the budget-solver differential
+ * property ranges over — a synthetic multiple-choice knapsack instance
+ * (groups of priced candidate layouts under a three-dimension budget)
+ * built as a pure function of its fields, which are in turn a pure
+ * function of the Rng (the reproduction contract in check/check.hh).
+ *
+ * The instances deliberately stress what buildInstance() never
+ * produces: negative-gain candidates, exact gain ties, zero-cost
+ * upgrades, costs sharing a large gcd (so the exact solver's lattice
+ * quantization collapses), and budgets from zero through generous.
+ * The matching properties live in tests/prop_budget.cc: greedy is
+ * always feasible and never beats the exact optimum; the exact solver
+ * matches brute-force enumeration on every instance it accepts.
+ */
+
+#ifndef CT_CHECK_BUDGET_SCENARIO_HH
+#define CT_CHECK_BUDGET_SCENARIO_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "budget/budget.hh"
+#include "check/check.hh"
+#include "stats/rng.hh"
+
+namespace ct::check {
+
+struct BudgetScenario
+{
+    /** Seeds the per-candidate gains and costs. */
+    uint64_t seed = 1;
+    size_t groups = 3;
+    /** Upgrade candidates per group beyond the zero-cost keep. */
+    size_t maxCandidates = 3;
+    /** Every flash cost is a multiple of this (gcd stress). */
+    uint64_t flashQuantum = 2;
+    /** Budget as a fraction of the instance's total per-dimension
+     *  demand; negative = that dimension is unconstrained. */
+    double flashFraction = 0.5;
+    double ramFraction = -1.0;
+    double energyFraction = -1.0;
+};
+
+/** Materialize the scenario's instance (deterministic in the fields). */
+inline budget::Instance
+buildBudgetInstance(const BudgetScenario &s)
+{
+    Rng rng(s.seed ^ 0x6b6e6170736bULL); // "knapsk"
+    budget::Instance instance;
+    uint64_t total[3] = {0, 0, 0};
+    for (size_t g = 0; g < s.groups; ++g) {
+        budget::Group group;
+        group.proc = ir::ProcId(g);
+        group.name = "p" + std::to_string(g);
+        group.candidates.push_back({"keep", {}, 0, 0, 0, 0, 0, 0});
+        size_t extras = s.maxCandidates == 0
+                            ? 0
+                            : size_t(rng.below(s.maxCandidates + 1));
+        for (size_t c = 0; c < extras; ++c) {
+            budget::Candidate cand;
+            cand.name = "alt" + std::to_string(c);
+            // Quantized flash (sometimes zero: a free upgrade), small
+            // RAM, energy correlated with flash like real rewrites.
+            cand.flashBytes = s.flashQuantum * rng.below(9);
+            cand.ramBytes = 2 * rng.below(5);
+            cand.energyNanojoules = cand.flashBytes * 100 + rng.below(3);
+            // Mostly positive gains, some negative (never worth it),
+            // some exact ties via a coarse grid.
+            double grid = double(1 + rng.below(8));
+            cand.gain = rng.bernoulli(0.15) ? -grid : grid;
+            cand.gainCyclesPerEvent = cand.gain;
+            group.candidates.push_back(std::move(cand));
+        }
+        for (const auto &cand : group.candidates) {
+            total[0] += cand.flashBytes;
+            total[1] += cand.ramBytes;
+            total[2] += cand.energyNanojoules;
+        }
+        instance.groups.push_back(std::move(group));
+    }
+    auto clamp = [](double fraction, uint64_t demand) {
+        if (fraction < 0.0)
+            return budget::kUnlimited;
+        return uint64_t(fraction * double(demand));
+    };
+    instance.budget.pageBytes = 1; // flashPages counts bytes
+    instance.budget.flashPages = clamp(s.flashFraction, total[0]);
+    instance.budget.ramBytes = clamp(s.ramFraction, total[1]);
+    instance.budget.energyNanojoules = clamp(s.energyFraction, total[2]);
+    return instance;
+}
+
+inline BudgetScenario
+genBudgetScenario(Rng &rng)
+{
+    BudgetScenario s;
+    s.seed = rng.next();
+    s.groups = 1 + size_t(rng.below(8));
+    s.maxCandidates = size_t(rng.below(4));
+    s.flashQuantum = uint64_t(1) << rng.below(4); // 1, 2, 4, 8
+    auto fraction = [&rng]() -> double {
+        switch (rng.below(5)) {
+          case 0: return -1.0;          // unconstrained
+          case 1: return 0.0;           // nothing fits
+          case 2: return 1.0;           // everything fits
+          default: return rng.uniform();
+        }
+    };
+    s.flashFraction = fraction();
+    s.ramFraction = fraction();
+    s.energyFraction = fraction();
+    return s;
+}
+
+inline std::vector<BudgetScenario>
+shrinkBudgetScenario(const BudgetScenario &s)
+{
+    std::vector<BudgetScenario> out;
+    for (uint64_t groups : shrinkToward(s.groups, 1)) {
+        BudgetScenario c = s;
+        c.groups = size_t(groups);
+        out.push_back(c);
+    }
+    if (s.maxCandidates > 1) {
+        BudgetScenario c = s;
+        c.maxCandidates = s.maxCandidates - 1;
+        out.push_back(c);
+    }
+    if (s.flashQuantum != 1) {
+        BudgetScenario c = s;
+        c.flashQuantum = 1;
+        out.push_back(c);
+    }
+    // Unconstrained counterexamples exercise less machinery; then the
+    // two degenerate budgets.
+    for (double f : {-1.0, 0.0, 1.0}) {
+        if (s.flashFraction != f) {
+            BudgetScenario c = s;
+            c.flashFraction = f;
+            out.push_back(c);
+        }
+    }
+    if (s.ramFraction >= 0.0) {
+        BudgetScenario c = s;
+        c.ramFraction = -1.0;
+        out.push_back(c);
+    }
+    if (s.energyFraction >= 0.0) {
+        BudgetScenario c = s;
+        c.energyFraction = -1.0;
+        out.push_back(c);
+    }
+    return out;
+}
+
+inline std::string
+showBudgetScenario(const BudgetScenario &s)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "{seed=0x%llx groups=%zu maxCand=%zu quantum=%llu "
+                  "frac=[%.3f %.3f %.3f]}",
+                  (unsigned long long)s.seed, s.groups, s.maxCandidates,
+                  (unsigned long long)s.flashQuantum, s.flashFraction,
+                  s.ramFraction, s.energyFraction);
+    return std::string(buf);
+}
+
+} // namespace ct::check
+
+#endif // CT_CHECK_BUDGET_SCENARIO_HH

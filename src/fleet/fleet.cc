@@ -10,6 +10,7 @@
 #include "obs/trace.hh"
 #include "sim/machine.hh"
 #include "stats/rng.hh"
+#include "tomography/timing_model.hh"
 #include "util/logging.hh"
 
 namespace fs = std::filesystem;
@@ -405,7 +406,8 @@ ShardedFleetResult::recordsPerSecond() const
 
 ShardedFleetResult
 runShardedFleet(const workloads::Workload &workload,
-                const ShardedFleetConfig &config)
+                const ShardedFleetConfig &config,
+                std::unique_ptr<ShardedCollector> *collector_out)
 {
     CT_SPAN("fleet.campaign");
     CT_ASSERT(workload.module != nullptr, "fleet workload has no module");
@@ -421,10 +423,11 @@ runShardedFleet(const workloads::Workload &workload,
     FrameArena arena =
         buildArena(workload, lowered, sim_config, config, layout);
 
-    ShardedCollector sharded(
+    auto sharded_owner = std::make_unique<ShardedCollector>(
         *workload.module, lowered, sim_config.costs, sim_config.policy,
         config.cyclesPerTick, config.collector, config.estimator,
         2.0 * double(sim_config.costs.timerRead));
+    ShardedCollector &sharded = *sharded_owner;
 
     ShardedFleetResult result;
     result.buildSeconds = double(build_watch.elapsedUs()) / 1e6;
@@ -488,7 +491,112 @@ runShardedFleet(const workloads::Workload &workload,
         for (const auto &shard : result.shards)
             m.histogram(scope + "shard_ingest_us").record(shard.ingestUs);
     }
+    if (collector_out != nullptr)
+        *collector_out = std::move(sharded_owner);
     return result;
+}
+
+tomography::ModuleEstimate
+estimateFromSlots(const ir::Module &module, const sim::LoweredModule &lowered,
+                  const sim::CostModel &costs, sim::PredictPolicy policy,
+                  uint64_t cycles_per_tick, double nested_probe_cycles,
+                  const tomography::EstimatorOptions &options,
+                  const std::vector<store::EstimatorSlot> &slots)
+{
+    CT_SPAN("fleet.estimate");
+    // Collapse the per-(mote, proc) states onto one pseudo-mote: the
+    // first state of a procedure restores exactly, every further mote
+    // folds in with the count-weighted blend — the same operation the
+    // aggregation tree applies to overlapping streams.
+    net::EstimatorBank collapsed(module, lowered, costs, policy,
+                                 cycles_per_tick, options,
+                                 nested_probe_cycles);
+    for (const auto &slot : slots)
+        collapsed.mergeSlot(0, slot.proc, slot.state);
+
+    tomography::ModuleEstimate out;
+    out.profile.resize(module.procedureCount());
+    out.thetas.resize(module.procedureCount());
+    out.results.resize(module.procedureCount());
+    out.meanCycles.assign(module.procedureCount(), 0.0);
+    out.varCycles.assign(module.procedureCount(), 0.0);
+    for (ir::ProcId id : tomography::bottomUpOrder(module)) {
+        const auto &proc = module.procedure(id);
+        tomography::TimingModel model(proc, lowered.procs[id], costs, policy,
+                                      cycles_per_tick, out.meanCycles,
+                                      nested_probe_cycles, out.varCycles);
+        auto theta = collapsed.theta(0, id);
+        if (theta.empty())
+            theta.assign(model.paramCount(), 0.5);
+        CT_ASSERT(theta.size() == model.paramCount(),
+                  "slot theta arity does not match the module");
+        out.thetas[id] = theta;
+        out.meanCycles[id] = model.meanCycles(theta);
+        out.varCycles[id] = model.varianceCycles(theta);
+        out.profile[id] = model.profileFor(theta);
+    }
+    return out;
+}
+
+std::vector<ShardPlan>
+planShardBudgets(const ir::Module &module, const sim::LoweredModule &current,
+                 const sim::CostModel &costs, sim::PredictPolicy policy,
+                 const ShardedCollector &collector,
+                 const FleetPlanConfig &config)
+{
+    CT_SPAN("fleet.plan");
+    CT_ASSERT(!config.classes.empty(),
+              "planShardBudgets: at least one mote class required");
+    obs::StopwatchUs stopwatch;
+
+    // Each worker plans whole shards into indexed slots; everything a
+    // plan depends on (the shard's slots, the class budget) is data,
+    // so any jobs value produces bit-identical plans.
+    exec::ThreadPool pool(config.jobs);
+    auto plans = exec::parallelMap(
+        pool, collector.shards(), [&](size_t shard) {
+            const MoteClass &cls =
+                config.classes[shard % config.classes.size()];
+            auto slots = collector.bank(shard).snapshot();
+            auto estimate = estimateFromSlots(
+                module, current, costs, policy, config.cyclesPerTick,
+                config.nestedProbeCycles, config.estimator, slots);
+            auto theta = causal::normalizeTheta(module,
+                                                std::move(estimate.thetas));
+
+            ShardPlan out;
+            out.shard = shard;
+            out.className = cls.name;
+            out.estimators = slots.size();
+            auto instance = budget::buildInstance(
+                module, current, costs, policy, config.entry, theta,
+                estimate.profile, cls.budget, config.instance);
+            out.plan =
+                budget::solve(instance, config.solver, config.limits);
+            out.orders = budget::applyAssignment(instance,
+                                                 out.plan.assignment,
+                                                 module.procedureCount());
+            for (ir::ProcId id = 0; id < module.procedureCount(); ++id) {
+                if (out.orders[id].empty())
+                    out.orders[id] = sim::naturalOrder(module.procedure(id));
+            }
+            out.layoutDigest = layout::layoutDigest(out.orders);
+            return out;
+        });
+
+    if (obs::metricsEnabled()) {
+        auto &m = obs::metrics();
+        m.counter("fleet.plans").add(plans.size());
+        size_t upgrades = 0, deferred = 0;
+        for (const ShardPlan &plan : plans) {
+            upgrades += plan.plan.upgrades;
+            deferred += plan.plan.deferred;
+        }
+        m.counter("fleet.plan_upgrades").add(upgrades);
+        m.counter("fleet.plan_deferred").add(deferred);
+        m.histogram("fleet.plan_us").record(stopwatch.elapsedUs());
+    }
+    return plans;
 }
 
 } // namespace ct::fleet

@@ -47,8 +47,10 @@
 #include <string>
 #include <vector>
 
+#include "budget/budget.hh"
 #include "net/collector.hh"
 #include "stats/histogram.hh"
+#include "tomography/estimator.hh"
 #include "workloads/workload.hh"
 
 namespace ct::fleet {
@@ -214,6 +216,81 @@ std::vector<std::string> shardStoreDirs(const std::string &root);
  */
 uint64_t snapshotDigest(const std::vector<store::EstimatorSlot> &slots);
 
+/**
+ * Rebuild a module estimate from raw estimator slots: collapse the
+ * per-(mote, proc) states onto one pseudo-mote with the count-weighted
+ * blend, then walk procedures bottom-up re-deriving thetas, per-proc
+ * timing, and the synthetic edge profile — the same reconstruction the
+ * single-mote pipeline performs from its own bank. Shared by
+ * relay::estimateFromSnapshot (a snapshot is slots plus provenance)
+ * and the per-shard budget planner below.
+ */
+tomography::ModuleEstimate estimateFromSlots(
+    const ir::Module &module, const sim::LoweredModule &lowered,
+    const sim::CostModel &costs, sim::PredictPolicy policy,
+    uint64_t cycles_per_tick, double nested_probe_cycles,
+    const tomography::EstimatorOptions &options,
+    const std::vector<store::EstimatorSlot> &slots);
+
+/** One hardware class in a heterogeneous fleet. */
+struct MoteClass
+{
+    std::string name;
+    /** Per-round reprogramming budget for motes of this class. */
+    budget::BudgetSpec budget;
+};
+
+/** Knobs for planShardBudgets(). */
+struct FleetPlanConfig
+{
+    /** Hardware classes; shard s is class `classes[s % classes.size()]`
+     *  (round-robin over the contiguous shard ranges). Must be
+     *  non-empty. */
+    std::vector<MoteClass> classes;
+    /** Candidate pricing knobs, shared across classes. */
+    budget::InstanceOptions instance;
+    budget::Solver solver = budget::Solver::Auto;
+    budget::DpLimits limits;
+    /** Event entry procedure for the causal engine's call rates. */
+    ir::ProcId entry = 0;
+    uint64_t cyclesPerTick = 1;
+    double nestedProbeCycles = 0.0;
+    /** Estimator options for the per-shard estimate reconstruction. */
+    tomography::EstimatorOptions estimator;
+    /** Worker threads for the per-shard fan-out (0 = auto). */
+    size_t jobs = 1;
+};
+
+/** One shard's budgeted placement decision. */
+struct ShardPlan
+{
+    size_t shard = 0;
+    std::string className;
+    budget::BudgetPlan plan;
+    /** Materialized per-procedure orders ("keep" becomes the explicit
+     *  natural order, so the digest below identifies the layout). */
+    std::vector<sim::BlockOrder> orders;
+    uint64_t layoutDigest = 0;
+    /** Estimator slots the shard's snapshot contributed. */
+    size_t estimators = 0;
+};
+
+/**
+ * Heterogeneous-fleet budgeted placement: for every shard of
+ * @p collector, snapshot its bank, rebuild the shard-local estimate,
+ * price candidates with the causal model against @p current, and solve
+ * the shard's knapsack under its hardware class's budget. Shards are
+ * planned concurrently (`jobs` workers) writing indexed slots, so the
+ * result is bit-identical for any jobs value. Ingest must be quiesced,
+ * as for every other bank accessor.
+ */
+std::vector<ShardPlan> planShardBudgets(const ir::Module &module,
+                                        const sim::LoweredModule &current,
+                                        const sim::CostModel &costs,
+                                        sim::PredictPolicy policy,
+                                        const ShardedCollector &collector,
+                                        const FleetPlanConfig &config);
+
 /** One ingest campaign's knobs (see runShardedFleet). */
 struct ShardedFleetConfig
 {
@@ -285,9 +362,15 @@ struct ShardedFleetResult
  * never contend — and report throughput, per-shard latency quantiles,
  * and the merged snapshot digest. Exports `fleet.*` metrics after the
  * join (docs/OBSERVABILITY.md).
+ *
+ * When @p collector_out is non-null it receives the campaign's
+ * collector (ingest quiesced), ready for planShardBudgets() or any
+ * other bank accessor.
  */
-ShardedFleetResult runShardedFleet(const workloads::Workload &workload,
-                                   const ShardedFleetConfig &config);
+ShardedFleetResult
+runShardedFleet(const workloads::Workload &workload,
+                const ShardedFleetConfig &config,
+                std::unique_ptr<ShardedCollector> *collector_out = nullptr);
 
 } // namespace ct::fleet
 

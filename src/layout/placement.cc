@@ -180,4 +180,23 @@ computeModuleOrders(const ir::Module &module, const ir::ModuleProfile &profile,
     return orders;
 }
 
+uint64_t
+layoutDigest(const std::vector<sim::BlockOrder> &orders)
+{
+    uint64_t h = 1469598103934665603ULL;
+    auto fold = [&h](uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xFF;
+            h *= 1099511628211ULL;
+        }
+    };
+    fold(orders.size());
+    for (const auto &order : orders) {
+        fold(order.size());
+        for (auto block : order)
+            fold(uint64_t(block));
+    }
+    return h;
+}
+
 } // namespace ct::layout

@@ -69,6 +69,16 @@ std::vector<sim::BlockOrder> computeModuleOrders(
     const ir::Module &module, const ir::ModuleProfile &profile,
     LayoutKind kind, Rng &rng);
 
+/**
+ * FNV-1a over the flattened (proc count, order length, block id)
+ * stream — the deterministic identity of a whole layout. Two layouts
+ * digest equal iff their orders are identical; continuous PGO keys
+ * swap events on it and fleet planners compare per-shard placements
+ * with it. An empty per-procedure order digests as length 0 (callers
+ * materialize natural orders first when "empty means natural").
+ */
+uint64_t layoutDigest(const std::vector<sim::BlockOrder> &orders);
+
 } // namespace ct::layout
 
 #endif // CT_LAYOUT_PLACEMENT_HH

@@ -89,22 +89,7 @@ joinNames(const std::vector<std::string> &names)
 uint64_t
 layoutDigest(const std::vector<sim::BlockOrder> &orders)
 {
-    // FNV-1a over the flattened (proc count, order length, block id)
-    // stream — the deterministic identity of a whole layout.
-    uint64_t h = 1469598103934665603ULL;
-    auto fold = [&h](uint64_t v) {
-        for (int i = 0; i < 8; ++i) {
-            h ^= (v >> (8 * i)) & 0xFF;
-            h *= 1099511628211ULL;
-        }
-    };
-    fold(orders.size());
-    for (const auto &order : orders) {
-        fold(order.size());
-        for (auto block : order)
-            fold(uint64_t(block));
-    }
-    return h;
+    return layout::layoutDigest(orders);
 }
 
 ContinuousPgo::ContinuousPgo(workloads::Workload workload, PgoConfig config)
@@ -327,26 +312,70 @@ ContinuousPgo::run()
                     module, lowered_natural, costs, policy,
                     config_.sim.cyclesPerTick, nested_probe_cycles,
                     config_.estimatorOptions, snapshot);
-                causal::Engine engine(
-                    module, lowered_current, costs, policy,
-                    workload_.entry,
-                    causal::normalizeTheta(module, tracking.thetas));
+                auto tracking_theta =
+                    causal::normalizeTheta(module, tracking.thetas);
+                causal::Engine engine(module, lowered_current, costs,
+                                      policy, workload_.entry,
+                                      tracking_theta);
                 auto gate = causal::rankingGate(engine,
                                                 config_.gateFraction,
                                                 config_.gateMaxProcs);
 
-                std::vector<sim::BlockOrder> fresh;
-                {
-                    Rng rng(sw ^ 0x6c61796f);
-                    fresh = layout::computeModuleOrders(
-                        module, tracking.profile,
-                        layout::LayoutKind::ProfileGuided, rng);
-                }
                 auto mixed = current_orders;
                 std::vector<std::string> survivors;
-                for (const auto &entry : gate) {
-                    mixed[entry.proc] = fresh[entry.proc];
+                for (const auto &entry : gate)
                     survivors.push_back(entry.name);
+                if (config_.budgetEnabled) {
+                    // Candidates per survivor: keep vs its fresh
+                    // profile-guided order (computeOrder is
+                    // deterministic for ProfileGuided, so the priced
+                    // candidate IS the order the unbudgeted path
+                    // would swap in). Greedy applies them best
+                    // delta-per-flash-byte first while the budget
+                    // holds.
+                    budget::InstanceOptions opts = config_.budgetOptions;
+                    opts.kinds = {layout::LayoutKind::ProfileGuided};
+                    opts.restrictTo.clear();
+                    for (const auto &entry : gate)
+                        opts.restrictTo.push_back(entry.proc);
+                    auto instance = budget::buildInstance(
+                        module, lowered_current, costs, policy,
+                        workload_.entry, tracking_theta, tracking.profile,
+                        config_.swapBudget, opts);
+                    auto plan = budget::solve(instance,
+                                              config_.budgetSolver,
+                                              config_.budgetLimits);
+                    for (size_t g = 0; g < instance.groups.size(); ++g) {
+                        const auto &group = instance.groups[g];
+                        size_t c = plan.assignment.choice[g];
+                        if (c != 0)
+                            mixed[group.proc] = group.candidates[c].order;
+                    }
+                    result.budgetUpgrades += plan.upgrades;
+                    result.budgetDeferred += plan.deferred;
+                    result.budgetFlashBytes +=
+                        plan.assignment.usage.flashBytes;
+                    result.decisionLog += fmtLine(
+                        "budget w=%03zu solver=%s up=%zu defer=%zu "
+                        "flash=%llu ram=%llu nrg=%llu\n",
+                        window, plan.solver.c_str(), plan.upgrades,
+                        plan.deferred,
+                        (unsigned long long)
+                            plan.assignment.usage.flashBytes,
+                        (unsigned long long)
+                            plan.assignment.usage.ramBytes,
+                        (unsigned long long)
+                            plan.assignment.usage.energyNanojoules);
+                } else {
+                    std::vector<sim::BlockOrder> fresh;
+                    {
+                        Rng rng(sw ^ 0x6c61796f);
+                        fresh = layout::computeModuleOrders(
+                            module, tracking.profile,
+                            layout::LayoutKind::ProfileGuided, rng);
+                    }
+                    for (const auto &entry : gate)
+                        mixed[entry.proc] = fresh[entry.proc];
                 }
                 const uint64_t digest = layoutDigest(mixed);
                 const bool swapped =
@@ -427,6 +456,12 @@ ContinuousPgo::run()
         m.gauge("pgo.cumulative_regret_cycles")
             .set(double(result.cumulativeRegretCycles));
         m.gauge("pgo.final_mispredict").set(result.finalMispredictRate);
+        if (config_.budgetEnabled) {
+            m.counter("pgo.budget_upgrades").add(result.budgetUpgrades);
+            m.counter("pgo.budget_deferred").add(result.budgetDeferred);
+            m.counter("pgo.budget_flash_bytes")
+                .add(result.budgetFlashBytes);
+        }
     }
     return result;
 }

@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "budget/budget.hh"
 #include "pgo/drift.hh"
 #include "sim/lower.hh"
 #include "sim/machine.hh"
@@ -106,6 +107,30 @@ struct PgoConfig
     /** Cap on gate survivors (0 = no cap). */
     size_t gateMaxProcs = 0;
 
+    /// @name Budgeted re-placement (docs/BUDGET.md; off by default)
+    /// @{
+    /**
+     * When true, a triggered re-placement routes the causal gate's
+     * survivors through ct::budget: each survivor's candidates are
+     * "keep" vs its fresh profile-guided order, ranked by
+     * delta-per-flash-byte and applied only while `swapBudget` still
+     * fits — so under a tight budget a drift trigger swaps the best
+     * procedures it can afford instead of all-or-nothing. Adds one
+     * `budget ...` line per trigger to the decision log (the golden
+     * log snapshot is recorded with this off).
+     */
+    bool budgetEnabled = false;
+    /** Per-trigger reprogramming budget. */
+    budget::BudgetSpec swapBudget;
+    /** Cost model / energy weight; kinds and restrictTo are overridden
+     *  (ProfileGuided only, gate survivors only). */
+    budget::InstanceOptions budgetOptions;
+    /** Greedy is the deployment-shaped default: the bang-for-buck
+     *  ordering *is* the swap priority. */
+    budget::Solver budgetSolver = budget::Solver::Greedy;
+    budget::DpLimits budgetLimits;
+    /// @}
+
     /** When non-empty, persist every instrumented-lane record to a
      *  durable store here; drift fires checkpoint + compact. */
     std::string storeDir;
@@ -163,6 +188,16 @@ struct PgoResult
     size_t triggers = 0; //!< detector fires
     size_t swaps = 0;    //!< fires that changed the layout
     uint64_t compactions = 0;
+
+    /// @name Budgeted mode only (all zero otherwise)
+    /// @{
+    /** Gate survivors actually re-placed across all triggers. */
+    size_t budgetUpgrades = 0;
+    /** Gate survivors whose re-placement no budget admitted. */
+    size_t budgetDeferred = 0;
+    /** Total flash bytes the applied swaps consumed. */
+    uint64_t budgetFlashBytes = 0;
+    /// @}
     uint64_t initialLayoutDigest = 0;
     uint64_t finalLayoutDigest = 0;
     int64_t cumulativeRegretCycles = 0;

@@ -1,8 +1,8 @@
 #include "relay/relay.hh"
 
+#include "fleet/fleet.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
-#include "tomography/timing_model.hh"
 #include "util/logging.hh"
 
 namespace ct::relay {
@@ -137,38 +137,11 @@ estimateFromSnapshot(const ir::Module &module,
                      const Snapshot &snapshot)
 {
     CT_SPAN("relay.estimate");
-    // Collapse the per-(mote, proc) states onto one pseudo-mote: the
-    // first state of a procedure restores exactly, every further mote
-    // folds in with the count-weighted blend — the same operation the
-    // aggregation tree applies to overlapping streams.
-    net::EstimatorBank collapsed(module, lowered, costs, policy,
-                                 cycles_per_tick, options,
-                                 nested_probe_cycles);
-    for (const auto &slot : snapshot.slots)
-        collapsed.mergeSlot(0, slot.proc, slot.state);
-
-    tomography::ModuleEstimate out;
-    out.profile.resize(module.procedureCount());
-    out.thetas.resize(module.procedureCount());
-    out.results.resize(module.procedureCount());
-    out.meanCycles.assign(module.procedureCount(), 0.0);
-    out.varCycles.assign(module.procedureCount(), 0.0);
-    for (ir::ProcId id : tomography::bottomUpOrder(module)) {
-        const auto &proc = module.procedure(id);
-        tomography::TimingModel model(proc, lowered.procs[id], costs, policy,
-                                      cycles_per_tick, out.meanCycles,
-                                      nested_probe_cycles, out.varCycles);
-        auto theta = collapsed.theta(0, id);
-        if (theta.empty())
-            theta.assign(model.paramCount(), 0.5);
-        CT_ASSERT(theta.size() == model.paramCount(),
-                  "snapshot theta arity does not match the module");
-        out.thetas[id] = theta;
-        out.meanCycles[id] = model.meanCycles(theta);
-        out.varCycles[id] = model.varianceCycles(theta);
-        out.profile[id] = model.profileFor(theta);
-    }
-    return out;
+    // A snapshot is estimator slots plus provenance; the collapse and
+    // bottom-up reconstruction live with the other snapshot consumers.
+    return fleet::estimateFromSlots(module, lowered, costs, policy,
+                                    cycles_per_tick, nested_probe_cycles,
+                                    options, snapshot.slots);
 }
 
 } // namespace ct::relay

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Properties of the ct::budget solvers (docs/BUDGET.md), ranging over
+ * synthetic multiple-choice knapsack instances
+ * (check/budget_scenario.hh) that stress what buildInstance() never
+ * produces: negative gains, exact ties, free upgrades, gcd-heavy
+ * costs, and budgets from zero through unconstrained.
+ *
+ * The differential anchor: greedySolve is budget-feasible on *every*
+ * instance and never beats exactSolve's optimum on any instance the
+ * DP accepts — and that optimum itself matches brute-force
+ * enumeration wherever enumeration is affordable. Around it, the
+ * algebraic corners: a zero budget forces the all-keep assignment, an
+ * unconstrained budget degenerates both solvers to the per-group
+ * argmax, and the exact optimum is monotone in the budget.
+ */
+
+#include <cmath>
+#include <optional>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "budget/budget.hh"
+#include "check/budget_scenario.hh"
+#include "check/check.hh"
+
+#include "prop_util.hh"
+
+namespace {
+
+using namespace ct;
+
+/** Brute-force optimum by full enumeration (small instances only). */
+double
+bruteForceOptimum(const budget::Instance &instance)
+{
+    std::vector<size_t> choice(instance.groups.size(), 0);
+    double best = 0.0;
+    for (;;) {
+        if (budget::feasible(instance, choice)) {
+            double gain = 0.0;
+            for (size_t g = 0; g < choice.size(); ++g)
+                gain += instance.groups[g].candidates[choice[g]].gain;
+            best = std::max(best, gain);
+        }
+        size_t g = 0;
+        while (g < choice.size() &&
+               ++choice[g] == instance.groups[g].candidates.size()) {
+            choice[g] = 0;
+            ++g;
+        }
+        if (g == choice.size())
+            return best;
+    }
+}
+
+TEST(PropBudget, GreedyFeasibleAndWithinExact)
+{
+    CT_EXPECT_PROP(check::forAll<check::BudgetScenario>(
+        "Budget.GreedyFeasibleAndWithinExact", check::genBudgetScenario,
+        [](const check::BudgetScenario &s) -> std::optional<std::string> {
+            auto instance = check::buildBudgetInstance(s);
+            auto greedy = budget::greedySolve(instance);
+            // greedySolve asserts its own feasibility; re-check through
+            // the public predicate so the property does not rest on the
+            // solver's internal bookkeeping.
+            if (!budget::feasible(instance, greedy.choice))
+                return "greedy assignment violates the budget";
+            auto exact = budget::exactSolve(instance);
+            if (!exact.accepted)
+                return check::skipCase();
+            if (!budget::feasible(instance, exact.assignment.choice))
+                return "exact assignment violates the budget";
+            if (greedy.gain > exact.assignment.gain + 1e-9) {
+                char buf[128];
+                std::snprintf(buf, sizeof buf,
+                              "greedy %.9g beats the exact optimum %.9g",
+                              greedy.gain, exact.assignment.gain);
+                return std::string(buf);
+            }
+            return std::nullopt;
+        },
+        check::shrinkBudgetScenario, check::showBudgetScenario,
+        {.iterations = 300}));
+}
+
+TEST(PropBudget, ExactMatchesBruteForce)
+{
+    CT_EXPECT_PROP(check::forAll<check::BudgetScenario>(
+        "Budget.ExactMatchesBruteForce",
+        [](Rng &rng) {
+            auto s = check::genBudgetScenario(rng);
+            // Keep enumeration affordable: <= 4^6 assignments.
+            s.groups = 1 + s.groups % 6;
+            return s;
+        },
+        [](const check::BudgetScenario &s) -> std::optional<std::string> {
+            auto instance = check::buildBudgetInstance(s);
+            auto exact = budget::exactSolve(instance);
+            if (!exact.accepted)
+                return check::skipCase();
+            double brute = bruteForceOptimum(instance);
+            if (std::abs(exact.assignment.gain - brute) > 1e-9) {
+                char buf[128];
+                std::snprintf(buf, sizeof buf,
+                              "exact %.9g != brute-force optimum %.9g",
+                              exact.assignment.gain, brute);
+                return std::string(buf);
+            }
+            return std::nullopt;
+        },
+        check::shrinkBudgetScenario, check::showBudgetScenario,
+        {.iterations = 200}));
+}
+
+TEST(PropBudget, ZeroBudgetKeepsEverything)
+{
+    CT_EXPECT_PROP(check::forAll<check::BudgetScenario>(
+        "Budget.ZeroBudgetKeepsEverything", check::genBudgetScenario,
+        [](const check::BudgetScenario &s) -> std::optional<std::string> {
+            auto instance = check::buildBudgetInstance(s);
+            instance.budget = budget::BudgetSpec::zero();
+            auto plan = budget::solve(instance);
+            for (size_t g = 0; g < plan.assignment.choice.size(); ++g) {
+                // A zero-cost upgrade is still admissible under a zero
+                // budget; anything with a cost is not.
+                const auto &cand = instance.groups[g]
+                                       .candidates[plan.assignment.choice[g]];
+                if (cand.flashBytes || cand.ramBytes ||
+                    cand.energyNanojoules)
+                    return "zero budget admitted a costed candidate in " +
+                           instance.groups[g].name;
+            }
+            return std::nullopt;
+        },
+        check::shrinkBudgetScenario, check::showBudgetScenario,
+        {.iterations = 200}));
+}
+
+TEST(PropBudget, UnconstrainedIsPerGroupArgmax)
+{
+    CT_EXPECT_PROP(check::forAll<check::BudgetScenario>(
+        "Budget.UnconstrainedIsArgmax", check::genBudgetScenario,
+        [](const check::BudgetScenario &s) -> std::optional<std::string> {
+            auto instance = check::buildBudgetInstance(s);
+            instance.budget = budget::BudgetSpec::unlimited();
+            double argmax = 0.0;
+            for (const auto &group : instance.groups) {
+                double best = 0.0;
+                for (const auto &cand : group.candidates)
+                    best = std::max(best, cand.gain);
+                argmax += best;
+            }
+            auto greedy = budget::greedySolve(instance);
+            auto exact = budget::exactSolve(instance);
+            char buf[128];
+            if (std::abs(greedy.gain - argmax) > 1e-9) {
+                std::snprintf(buf, sizeof buf,
+                              "greedy %.9g != per-group argmax %.9g",
+                              greedy.gain, argmax);
+                return std::string(buf);
+            }
+            if (!exact.accepted ||
+                std::abs(exact.assignment.gain - argmax) > 1e-9) {
+                std::snprintf(buf, sizeof buf,
+                              "exact %.9g != per-group argmax %.9g",
+                              exact.assignment.gain, argmax);
+                return std::string(buf);
+            }
+            return std::nullopt;
+        },
+        check::shrinkBudgetScenario, check::showBudgetScenario,
+        {.iterations = 200}));
+}
+
+TEST(PropBudget, ExactOptimumMonotoneInBudget)
+{
+    // Growing the budget only grows the feasible set, so the exact
+    // optimum can never decrease. (The greedy heuristic carries no
+    // such guarantee — only the ordering against the optimum does.)
+    CT_EXPECT_PROP(check::forAll<check::BudgetScenario>(
+        "Budget.ExactMonotoneInBudget",
+        [](Rng &rng) {
+            auto s = check::genBudgetScenario(rng);
+            s.flashFraction = std::abs(s.flashFraction);
+            return s;
+        },
+        [](const check::BudgetScenario &s) -> std::optional<std::string> {
+            auto instance = check::buildBudgetInstance(s);
+            auto tight = budget::exactSolve(instance);
+            budget::Instance wide = instance;
+            if (wide.budget.flashPages != budget::kUnlimited)
+                wide.budget.flashPages =
+                    wide.budget.flashPages * 2 + wide.budget.pageBytes;
+            auto loose = budget::exactSolve(wide);
+            if (!tight.accepted || !loose.accepted)
+                return check::skipCase();
+            if (loose.assignment.gain < tight.assignment.gain - 1e-9) {
+                char buf[160];
+                std::snprintf(buf, sizeof buf,
+                              "optimum fell from %.9g to %.9g when the "
+                              "flash budget doubled",
+                              tight.assignment.gain, loose.assignment.gain);
+                return std::string(buf);
+            }
+            return std::nullopt;
+        },
+        check::shrinkBudgetScenario, check::showBudgetScenario,
+        {.iterations = 150}));
+}
+
+} // namespace
